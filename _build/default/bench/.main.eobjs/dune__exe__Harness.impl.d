@@ -1,0 +1,1 @@
+bench/harness.ml: Array Filename Ivm Ivm_datalog Ivm_eval Ivm_relation Ivm_workload List Out_channel Printf String Unix

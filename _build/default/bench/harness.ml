@@ -1,0 +1,161 @@
+(** Bench harness utilities: deterministic workload setup, wall-clock
+    timing with warm-up, work counters, and aligned table printing so every
+    experiment renders the rows EXPERIMENTS.md records. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Parser = Ivm_datalog.Parser
+module Program = Ivm_datalog.Program
+module Database = Ivm_eval.Database
+module Seminaive = Ivm_eval.Seminaive
+module Stats = Ivm_eval.Stats
+module Changes = Ivm.Changes
+module Prng = Ivm_workload.Prng
+module Graph_gen = Ivm_workload.Graph_gen
+module Update_gen = Ivm_workload.Update_gen
+module Programs = Ivm_workload.Programs
+
+(* ------------------------------------------------------------------ *)
+(* Workload setup                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Build a database over [src] with [link] loaded from a random graph. *)
+let graph_db ?(semantics = Database.Set_semantics) ~src ~seed ~nodes ~edges () =
+  let rng = Prng.create seed in
+  let program = Program.make (Parser.parse_rules src) in
+  let db = Database.create ~semantics program in
+  Database.load db "link" (Graph_gen.tuples (Graph_gen.random rng ~nodes ~edges));
+  Seminaive.evaluate db;
+  (db, rng)
+
+let costed_graph_db ?(semantics = Database.Set_semantics) ~src ~seed ~nodes
+    ~edges ~max_cost () =
+  let rng = Prng.create seed in
+  let program = Program.make (Parser.parse_rules src) in
+  let db = Database.create ~semantics program in
+  Database.load db "link"
+    (Graph_gen.costed_tuples rng ~max_cost (Graph_gen.random rng ~nodes ~edges));
+  Seminaive.evaluate db;
+  (db, rng)
+
+let layered_db ?(semantics = Database.Set_semantics) ~src ~seed ~layers ~width
+    ~out_degree () =
+  let rng = Prng.create seed in
+  let program = Program.make (Parser.parse_rules src) in
+  let db = Database.create ~semantics program in
+  Database.load db "link"
+    (Graph_gen.tuples (Graph_gen.layered_dag rng ~layers ~width ~out_degree));
+  Seminaive.evaluate db;
+  (db, rng)
+
+(** Warm a database's demand-built indexes by flipping a synthetic edge
+    (insert then delete — net zero) through the given maintenance
+    algorithm, so copies taken afterwards carry every index the timed
+    maintenance will probe.  A live database would have them already. *)
+let warm db algorithm =
+  let program = Database.program db in
+  let arity = Program.arity program "link" in
+  let tup =
+    Array.init arity (fun i ->
+        if i < 2 then Value.Int (-424242 - i) else Value.Int 1)
+  in
+  let ins = Changes.insertions program "link" [ tup ] in
+  let del = Changes.deletions program "link" [ tup ] in
+  let maintain c =
+    match algorithm with
+    | `Counting -> ignore (Ivm.Counting.maintain db c)
+    | `Dred -> ignore (Ivm.Dred.maintain db c)
+    | `Recursive_counting -> ignore (Ivm.Recursive_counting.maintain db c)
+  in
+  maintain ins;
+  maintain del
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [timed f] — wall-clock seconds and result of one run. *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (Unix.gettimeofday () -. t0, x)
+
+(** Median wall-clock seconds of [repeat] runs of [setup ∘ op]; setup time
+    excluded.  Each run gets a fresh state from [setup]. *)
+let median_time ?(repeat = 5) ~setup op =
+  let samples =
+    List.init repeat (fun _ ->
+        let st = setup () in
+        fst (timed (fun () -> op st)))
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (repeat / 2)
+
+(** Run [op] on a fresh state and report (seconds, derivations). *)
+let time_and_work ~setup op =
+  let st = setup () in
+  Stats.reset ();
+  let t, _ = timed (fun () -> op st) in
+  (t, Stats.derivations ())
+
+(* ------------------------------------------------------------------ *)
+(* Table printing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Optional CSV sink: when set, every printed table is also written to
+   <dir>/<experiment>.csv for plotting. *)
+let csv_dir : string option ref = ref None
+let current_experiment = ref "experiment"
+
+let print_header title claim =
+  (match String.index_opt title ':' with
+  | Some i -> current_experiment := String.lowercase_ascii (String.sub title 0 i)
+  | None -> current_experiment := "experiment");
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  Printf.printf "paper claim: %s\n\n" claim
+
+let print_table (headers : string list) (rows : string list list) =
+  let all = headers :: rows in
+  let ncols = List.length headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        Printf.printf "%s%s" (if c = 0 then "  " else "  | ")
+          (Printf.sprintf "%-*s" (List.nth widths c) cell))
+      row;
+    print_newline ()
+  in
+  print_row headers;
+  Printf.printf "  %s\n"
+    (String.concat "-+-"
+       (List.map (fun w -> String.make (w + (2)) '-') widths));
+  List.iter print_row rows;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (!current_experiment ^ ".csv") in
+    Out_channel.with_open_text path (fun oc ->
+        List.iter
+          (fun row ->
+            output_string oc (String.concat "," (List.map String.trim row));
+            output_char oc '\n')
+          (headers :: rows));
+    Printf.printf "  [csv: %s]\n" path
+
+let fmt_time s =
+  if s < 1e-4 then Printf.sprintf "%.1f µs" (s *. 1e6)
+  else if s < 0.1 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.3f s" s
+
+let fmt_ratio r = Printf.sprintf "%.1fx" r
+
+let fmt_int = string_of_int
+
+(** Summary verdict line printed under each table. *)
+let verdict ok msg =
+  Printf.printf "\n  %s %s\n" (if ok then "[shape holds]" else "[SHAPE DIVERGES]") msg

@@ -1,0 +1,196 @@
+(* Benchmark harness entry point.
+
+     dune exec bench/main.exe                 # all experiments + micro suite
+     dune exec bench/main.exe -- e1 e6        # selected experiments
+     dune exec bench/main.exe -- micro        # Bechamel micro suite only
+
+   Each experiment prints the table EXPERIMENTS.md records; the micro suite
+   gives one Bechamel measurement per experiment's headline operation. *)
+
+open Harness
+module Counting = Ivm.Counting
+module Dred = Ivm.Dred
+module Recursive_counting = Ivm.Recursive_counting
+module Pf = Ivm_baselines.Pf
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro suite: one Test.make per experiment.  Maintenance
+   mutates the database, so each measured function applies a change and
+   its inverse — the state is identical after every run. *)
+(* ------------------------------------------------------------------ *)
+
+let flip_pair db pred tuple =
+  let program = Database.program db in
+  let ins = Changes.insertions program pred [ tuple ] in
+  let del = Changes.deletions program pred [ tuple ] in
+  (ins, del)
+
+let fresh_edge db rng ~nodes =
+  let stored = Database.relation db "link" in
+  let rec go () =
+    let t = [| Value.Int (Prng.int rng nodes); Value.Int (Prng.int rng nodes) |] in
+    if Value.equal t.(0) t.(1) || Relation.mem stored t then go () else t
+  in
+  go ()
+
+let micro_tests () =
+  let open Bechamel in
+  (* X1 / E1: counting on the hop+tri_hop views *)
+  let db_cnt, rng = graph_db ~src:Programs.hop_tri_hop ~seed:3 ~nodes:400 ~edges:2000 () in
+  let e = fresh_edge db_cnt rng ~nodes:400 in
+  let ins, del = flip_pair db_cnt "link" e in
+  let t_e1 =
+    Test.make ~name:"e1.counting-flip-edge(hop,tri_hop)@2k"
+      (Staged.stage (fun () ->
+           ignore (Counting.maintain db_cnt ins);
+           ignore (Counting.maintain db_cnt del)))
+  in
+  let db_re, _ = graph_db ~src:Programs.hop_tri_hop ~seed:3 ~nodes:400 ~edges:2000 () in
+  let t_e1b =
+    Test.make ~name:"e1.recompute(hop,tri_hop)@2k"
+      (Staged.stage (fun () -> Seminaive.evaluate db_re))
+  in
+  (* E2: evaluation of the hop join (counts are always tracked) *)
+  let db_eval, _ = graph_db ~src:Programs.hop ~seed:5 ~nodes:400 ~edges:4000 () in
+  let t_e2 =
+    Test.make ~name:"e2.evaluate-hop@4k"
+      (Staged.stage (fun () -> Seminaive.evaluate db_eval))
+  in
+  (* E5: DRed on transitive closure over a layered DAG *)
+  let db_tc, _ =
+    layered_db ~src:Programs.transitive_closure ~seed:7 ~layers:10 ~width:8
+      ~out_degree:2 ()
+  in
+  let e_tc = [| Value.Int 0; Value.Int 79 |] in
+  let ins_tc, del_tc = flip_pair db_tc "link" e_tc in
+  let t_e5 =
+    Test.make ~name:"e5.dred-flip-edge(tc-dag)"
+      (Staged.stage (fun () ->
+           ignore (Dred.maintain db_tc ins_tc);
+           ignore (Dred.maintain db_tc del_tc)))
+  in
+  (* E6: PF on the same shape *)
+  let db_pf, _ =
+    layered_db ~src:Programs.transitive_closure ~seed:7 ~layers:10 ~width:8
+      ~out_degree:2 ()
+  in
+  let ins_pf, del_pf = flip_pair db_pf "link" e_tc in
+  let t_e6 =
+    Test.make ~name:"e6.pf-flip-edge(tc-dag)"
+      (Staged.stage (fun () ->
+           ignore (Pf.maintain db_pf ins_pf);
+           ignore (Pf.maintain db_pf del_pf)))
+  in
+  (* E8: aggregation *)
+  let db_agg, rng_agg =
+    costed_graph_db ~src:Programs.min_cost_hop ~seed:9 ~nodes:200 ~edges:1200
+      ~max_cost:50 ()
+  in
+  let e_agg =
+    let t2 = fresh_edge db_agg rng_agg ~nodes:200 in
+    [| t2.(0); t2.(1); Value.Int 7 |]
+  in
+  let ins_agg, del_agg = flip_pair db_agg "link" e_agg in
+  let t_e8 =
+    Test.make ~name:"e8.counting-flip-edge(min_cost_hop)@1200"
+      (Staged.stage (fun () ->
+           ignore (Counting.maintain db_agg ins_agg);
+           ignore (Counting.maintain db_agg del_agg)))
+  in
+  (* E10: negation *)
+  let db_neg, rng_neg =
+    graph_db ~semantics:Database.Duplicate_semantics ~src:Programs.only_tri_hop
+      ~seed:11 ~nodes:80 ~edges:320 ()
+  in
+  let e_neg = fresh_edge db_neg rng_neg ~nodes:80 in
+  let ins_neg, del_neg = flip_pair db_neg "link" e_neg in
+  let t_e10 =
+    Test.make ~name:"e10.counting-flip-edge(only_tri_hop)@320"
+      (Staged.stage (fun () ->
+           ignore (Counting.maintain db_neg ins_neg);
+           ignore (Counting.maintain db_neg del_neg)))
+  in
+  (* E12: recursive counting on a DAG *)
+  let db_rc =
+    let rng = Prng.create 13 in
+    let program = Program.make (Parser.parse_rules Programs.transitive_closure) in
+    let db = Database.create ~semantics:Database.Duplicate_semantics program in
+    Database.load db "link"
+      (Graph_gen.tuples (Graph_gen.layered_dag rng ~layers:6 ~width:5 ~out_degree:2));
+    Recursive_counting.evaluate db;
+    db
+  in
+  let e_rc = [| Value.Int 0; Value.Int 9 |] in
+  let ins_rc, del_rc = flip_pair db_rc "link" e_rc in
+  let t_e12 =
+    Test.make ~name:"e12.recursive-counting-flip-edge(dag)"
+      (Staged.stage (fun () ->
+           ignore (Recursive_counting.maintain db_rc ins_rc);
+           ignore (Recursive_counting.maintain db_rc del_rc)))
+  in
+  Test.make_grouped ~name:"ivm"
+    [ t_e1; t_e1b; t_e2; t_e5; t_e6; t_e8; t_e10; t_e12 ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf "\nBechamel micro suite (ns/run, OLS estimate)\n";
+  Printf.printf "===========================================\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let est =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+        in
+        (name, est, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  print_table
+    [ "benchmark"; "time/run"; "r²" ]
+    (List.map
+       (fun (name, est, r2) ->
+         [ name; fmt_time (est /. 1e9); Printf.sprintf "%.3f" r2 ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    match args with
+    | "--csv" :: dir :: rest ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Harness.csv_dir := Some dir;
+      rest
+    | args -> args
+  in
+  let known = List.map fst Experiments.all in
+  let bad = List.filter (fun a -> a <> "micro" && not (List.mem a known)) args in
+  if bad <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\nknown: %s micro\n"
+      (String.concat ", " bad) (String.concat " " known);
+    exit 1
+  end;
+  let wanted name = args = [] || List.mem name args in
+  Printf.printf
+    "Reproduction benches — Gupta, Mumick & Subrahmanian, \"Maintaining Views \
+     Incrementally\" (SIGMOD 1993)\n";
+  List.iter
+    (fun (name, run) -> if wanted name then run ())
+    Experiments.all;
+  if args = [] || List.mem "micro" args then run_micro ()

@@ -1,0 +1,272 @@
+(* ivm-shell: an interactive materialized-view database.
+
+   Load a Datalog program (rules + facts) or an SQL script, then stream
+   updates against the base relations; every materialized view is kept
+   exact by the configured maintenance algorithm.
+
+     $ dune exec bin/ivm_shell.exe -- examples.dl
+     ivm> +link(a, b).
+     ivm> -link(b, c).
+     ivm> show hop
+     ivm> addrule far(X,Y) :- hop(X,Z), hop(Z,Y).
+     ivm> audit
+
+   Commands:
+     +FACT.              insert a base fact          (e.g. +link(a,b).)
+     -FACT.              delete a base fact
+     show [PRED]         print one or all relations
+     program             print the current rules
+     addrule RULE        add a rule, maintain views incrementally
+     delrule RULE        remove a rule, maintain views incrementally
+     audit               compare maintained views against recomputation
+     stats               cumulative evaluator work counters
+     help                this text
+     quit                exit *)
+
+module Vm = Ivm.View_manager
+module Changes = Ivm.Changes
+module Relation = Ivm_relation.Relation
+module Tuple = Ivm_relation.Tuple
+module Parser = Ivm_datalog.Parser
+module Program = Ivm_datalog.Program
+module Stats = Ivm_eval.Stats
+
+let help_text =
+  "  +fact.           insert a base fact (e.g. +link(a,b).)\n\
+  \  -fact.           delete a base fact\n\
+  \  ?QUERY           run an ad-hoc query (e.g. ?hop(a, X), link(X, Y))\n\
+  \  show [pred]      print one or all relations\n\
+  \  program          print the current rules\n\
+  \  addrule RULE     add a rule incrementally\n\
+  \  delrule RULE     remove a rule incrementally\n\
+  \  audit            check views against recomputation\n\
+  \  stats            evaluator work counters\n\
+  \  explain          program structure, strata, sizes\n\
+  \  save FILE        dump rules+facts to a reloadable file\n\
+  \  help             this text\n\
+  \  quit             exit"
+
+let show_relation vm name =
+  Format.printf "%s = %a@." name Relation.pp (Vm.relation vm name)
+
+let show_all vm =
+  let program = Vm.program vm in
+  List.iter
+    (fun p -> show_relation vm p)
+    (Program.base_preds program @ Program.derived_in_stratum_order program)
+
+let parse_fact src =
+  match Parser.parse_program src with
+  | [ Ivm_datalog.Ast.Sfact (pred, vals) ] -> (pred, Tuple.of_list vals)
+  | _ -> failwith "expected a single ground fact, e.g. link(a,b)."
+
+let apply_and_report vm changes =
+  let deltas = Vm.apply vm changes in
+  if deltas = [] then Format.printf "(no view changed)@."
+  else
+    List.iter
+      (fun (view, delta) ->
+        Format.printf "Δ%s = %a@." view Relation.pp delta)
+      deltas
+
+let sql_keywords = [ "select"; "insert"; "delete"; "update"; "create" ]
+
+let looks_like_sql line =
+  match String.index_opt line ' ' with
+  | Some i -> List.mem (String.lowercase_ascii (String.sub line 0 i)) sql_keywords
+  | None -> false
+
+let execute ?sql vm line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if (match sql with Some _ -> looks_like_sql line | None -> false) then begin
+    match sql with
+    | Some session ->
+      Format.printf "%a" Ivm_sql.Sql_session.pp_outcome
+        (Ivm_sql.Sql_session.exec session line)
+    | None -> assert false
+  end
+  else if line = "help" then print_endline help_text
+  else if line = "program" then
+    Format.printf "%a@." Ivm_datalog.Pretty.pp_program (Program.rules (Vm.program vm))
+  else if line = "audit" then begin
+    match Vm.audit vm with
+    | Ok () -> Format.printf "ok: views match recomputation@."
+    | Error msg -> Format.printf "MISMATCH:@.%s@." msg
+  end
+  else if line = "stats" then
+    Format.printf "%a@." Stats.pp_snapshot (Stats.snapshot ())
+  else if line = "explain" then begin
+    let program = Vm.program vm in
+    Format.printf "algorithm: %s (resolves to %s), semantics: %s@."
+      (Vm.algorithm_name (Vm.algorithm vm))
+      (Vm.algorithm_name (Vm.resolve vm))
+      (match Vm.semantics vm with
+      | Ivm_eval.Database.Set_semantics -> "set"
+      | Ivm_eval.Database.Duplicate_semantics -> "duplicate");
+    List.iter
+      (fun p ->
+        let info = Program.pred_info program p in
+        Format.printf "  %-16s stratum %d%s  |%s| = %d%s@." p
+          info.Program.stratum
+          (if info.Program.is_base then " (base)    "
+           else if info.Program.recursive then " recursive "
+           else "           ")
+          p
+          (Relation.cardinal (Vm.relation vm p))
+          (if info.Program.is_base then ""
+           else Printf.sprintf "  (%d rules)" (List.length info.Program.defining_rules)))
+      (Program.base_preds program @ Program.derived_in_stratum_order program)
+  end
+  else if String.length line > 5 && String.sub line 0 5 = "save " then begin
+    let path = String.trim (String.sub line 5 (String.length line - 5)) in
+    Out_channel.with_open_text path (fun oc ->
+        let ppf = Format.formatter_of_out_channel oc in
+        Ivm_eval.Database.dump ppf (Vm.database vm);
+        Format.pp_print_flush ppf ());
+    Format.printf "saved to %s@." path
+  end
+  else if line = "show" then show_all vm
+  else if String.length line > 5 && String.sub line 0 5 = "show " then
+    show_relation vm (String.trim (String.sub line 5 (String.length line - 5)))
+  else if String.length line > 8 && String.sub line 0 8 = "addrule " then begin
+    Vm.add_rule_text vm (String.sub line 8 (String.length line - 8));
+    Format.printf "rule added; views maintained@."
+  end
+  else if String.length line > 8 && String.sub line 0 8 = "delrule " then begin
+    Vm.remove_rule_text vm (String.sub line 8 (String.length line - 8));
+    Format.printf "rule removed; views maintained@."
+  end
+  else if line.[0] = '?' then begin
+    let q = String.sub line 1 (String.length line - 1) in
+    let result = Ivm_eval.Query.run_text (Vm.database vm) q in
+    Format.printf "%a@." Ivm_eval.Query.pp result
+  end
+  else if line.[0] = '+' then begin
+    let pred, tup = parse_fact (String.sub line 1 (String.length line - 1)) in
+    apply_and_report vm (Changes.insertions (Vm.program vm) pred [ tup ])
+  end
+  else if line.[0] = '-' then begin
+    let pred, tup = parse_fact (String.sub line 1 (String.length line - 1)) in
+    apply_and_report vm (Changes.deletions (Vm.program vm) pred [ tup ])
+  end
+  else Format.printf "unknown command (try 'help')@."
+
+let protect ?sql vm line =
+  try execute ?sql vm line with
+  | Ivm_sql.Sql_session.Session_error msg -> Format.printf "sql error: %s@." msg
+  | Ivm_sql.Sql_parser.Parse_error msg | Ivm_sql.Sql_translate.Translate_error msg ->
+    Format.printf "sql error: %s@." msg
+  | Ivm_sql.Sql_lexer.Lex_error msg -> Format.printf "sql error: %s@." msg
+  | Failure msg -> Format.printf "error: %s@." msg
+  | Parser.Parse_error msg | Ivm_datalog.Lexer.Lex_error msg ->
+    Format.printf "parse error: %s@." msg
+  | Changes.Invalid_changes msg -> Format.printf "invalid change: %s@." msg
+  | Ivm.Counting.Recursive_program msg -> Format.printf "error: %s@." msg
+  | Ivm.Rule_changes.Unknown_rule msg -> Format.printf "no such rule: %s@." msg
+  | Program.Program_error msg -> Format.printf "program error: %s@." msg
+  | Ivm_datalog.Safety.Unsafe msg -> Format.printf "unsafe rule: %s@." msg
+  | Ivm_datalog.Depgraph.Not_stratifiable msg ->
+    Format.printf "not stratifiable: %s@." msg
+  | Invalid_argument msg -> Format.printf "error: %s@." msg
+
+let repl ?sql vm interactive =
+  if interactive then begin
+    print_endline "ivm — incremental view maintenance shell (try 'help')";
+    Format.printf "algorithm: %s, %d rules loaded@."
+      (Vm.algorithm_name (Vm.algorithm vm))
+      (List.length (Program.rules (Vm.program vm)))
+  end;
+  try
+    while true do
+      if interactive then begin
+        print_string "ivm> ";
+        flush stdout
+      end;
+      let line = input_line stdin in
+      if String.trim line = "quit" || String.trim line = "exit" then raise Exit;
+      protect ?sql vm line
+    done
+  with End_of_file | Exit -> ()
+
+(* ---------------- cmdliner wiring ---------------- *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Program to load: Datalog rules and facts, or \
+                                 (with $(b,--sql)) an SQL script.")
+
+let sql_flag =
+  Arg.(value & flag & info [ "sql" ] ~doc:"Treat $(docv) as an SQL script.")
+
+let semantics_arg =
+  let enum_conv =
+    Arg.enum
+      [ ("set", Ivm_eval.Database.Set_semantics);
+        ("duplicate", Ivm_eval.Database.Duplicate_semantics) ]
+  in
+  Arg.(
+    value
+    & opt enum_conv Ivm_eval.Database.Set_semantics
+    & info [ "s"; "semantics" ] ~docv:"SEM"
+        ~doc:"View semantics: $(b,set) or $(b,duplicate).")
+
+let algorithm_arg =
+  let enum_conv =
+    Arg.enum
+      [ ("auto", Vm.Auto); ("counting", Vm.Counting); ("dred", Vm.Dred);
+        ("recursive-counting", Vm.Recursive_counting);
+        ("recompute", Vm.Recompute) ]
+  in
+  Arg.(
+    value
+    & opt enum_conv Vm.Auto
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:"Maintenance algorithm: $(b,auto), $(b,counting), $(b,dred), \
+              $(b,recursive-counting) or $(b,recompute).")
+
+let verbose_flag =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Log maintenance internals (per-stratum \
+                                    delta sizes, DRed overestimates).")
+
+let command_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "e"; "execute" ] ~docv:"CMD"
+        ~doc:"Execute a shell command non-interactively (repeatable); the \
+              REPL is skipped.")
+
+let run file sql semantics algorithm verbose commands =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let session, vm =
+    match file with
+    | Some path ->
+      let src = In_channel.with_open_text path In_channel.input_all in
+      if sql then
+        let session = Ivm_sql.Sql_session.of_script ~semantics ~algorithm src in
+        (Some session, Ivm_sql.Sql_session.manager session)
+      else (None, Vm.of_source ~semantics ~algorithm src)
+    | None -> (None, Vm.of_source ~semantics ~algorithm "")
+  in
+  if commands = [] then repl ?sql:session vm (Unix.isatty Unix.stdin)
+  else List.iter (protect ?sql:session vm) commands
+
+let cmd =
+  let doc = "incrementally maintained materialized views (SIGMOD'93 counting + DRed)" in
+  Cmd.v
+    (Cmd.info "ivm-shell" ~doc)
+    Term.(
+      const run $ file_arg $ sql_flag $ semantics_arg $ algorithm_arg
+      $ verbose_flag $ command_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/active_rules.ml: Array Format Ivm Ivm_eval Ivm_relation List

@@ -1,0 +1,1 @@
+examples/bill_of_materials.ml: Format Ivm Ivm_datalog Ivm_relation

@@ -1,0 +1,1 @@
+examples/integrity_constraints.ml: Format Ivm Ivm_eval Ivm_relation List String

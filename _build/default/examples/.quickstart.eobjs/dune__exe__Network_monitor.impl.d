@@ -1,0 +1,1 @@
+examples/network_monitor.ml: Array Format Ivm Ivm_datalog Ivm_eval Ivm_relation Ivm_workload List Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Ivm Ivm_eval Ivm_relation List

@@ -1,0 +1,1 @@
+examples/sql_views.ml: Format Ivm Ivm_eval Ivm_relation Ivm_sql List

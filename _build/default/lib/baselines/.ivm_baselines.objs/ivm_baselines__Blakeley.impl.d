@@ -1,0 +1,1 @@
+lib/baselines/blakeley.ml: Format Ivm Ivm_datalog Ivm_eval List

@@ -1,0 +1,1 @@
+lib/baselines/blakeley.mli: Ivm Ivm_datalog Ivm_eval

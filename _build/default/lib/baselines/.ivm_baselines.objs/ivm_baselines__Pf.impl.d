@@ -1,0 +1,1 @@
+lib/baselines/pf.ml: Ivm Ivm_eval Ivm_relation List

@@ -1,0 +1,1 @@
+lib/baselines/pf.mli: Ivm Ivm_eval

@@ -1,0 +1,1 @@
+lib/baselines/recompute.ml: Ivm Ivm_datalog Ivm_eval Ivm_relation List

@@ -1,0 +1,1 @@
+lib/baselines/recompute.mli: Ivm Ivm_eval

@@ -1,0 +1,24 @@
+(** The Propagation/Filtration algorithm of Harrison & Dietrich [HD92],
+    reconstructed from the paper's §2 characterization: changes are
+    propagated in minimal fragments — per base predicate, or per tuple —
+    each fragment paying a full deletion/rederivation pass, so shared
+    downstream derivations are rederived "again and again".  Reuses the
+    (correct) delete-and-rederive machinery per fragment, so the final
+    state equals DRed's; bench E6 compares the work. *)
+
+module Database = Ivm_eval.Database
+module Changes = Ivm.Changes
+
+type granularity =
+  | Per_predicate  (** one propagation pass per changed base predicate *)
+  | Per_tuple  (** one pass per changed tuple — "each small change" *)
+
+type stats = {
+  passes : int;
+  overdeleted : int;  (** Σ sizes of per-pass deletion overestimates *)
+  rederived : int;  (** Σ tuples rederived across passes *)
+}
+
+(** Apply [changes] with fragmented propagation (default {!Per_tuple}).
+    Set semantics only. *)
+val maintain : ?granularity:granularity -> Database.t -> Changes.t -> stats

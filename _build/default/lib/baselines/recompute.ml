@@ -1,0 +1,30 @@
+(** Full recomputation — the baseline the paper's introduction argues
+    against: "Recomputing the view from scratch is too wasteful in most
+    cases" (Section 1), though not always — if an entire base relation is
+    deleted, recomputation can win (the "heuristic of inertia" crossover,
+    exercised by bench E9). *)
+
+module Relation = Ivm_relation.Relation
+module Program = Ivm_datalog.Program
+module Database = Ivm_eval.Database
+module Seminaive = Ivm_eval.Seminaive
+module Changes = Ivm.Changes
+
+(** Apply the base changes, then rebuild every materialized view from
+    scratch with the evaluator appropriate to the database's semantics
+    (recursive programs under duplicate semantics go through
+    {!Ivm.Recursive_counting}). *)
+let maintain (db : Database.t) (changes : Changes.t) : unit =
+  List.iter
+    (fun (pred, delta) ->
+      (* the base relation changes outside delta-tracked maintenance *)
+      Database.invalidate_agg_indexes db pred;
+      let stored = Database.relation db pred in
+      Relation.iter (fun tup c -> Relation.add stored tup c) delta)
+    (Changes.normalize_base db changes);
+  let program = Database.program db in
+  if
+    Database.semantics db = Database.Duplicate_semantics
+    && not (Program.nonrecursive program)
+  then Ivm.Recursive_counting.evaluate db
+  else Seminaive.evaluate db

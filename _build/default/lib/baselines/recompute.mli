@@ -1,0 +1,12 @@
+(** Full recomputation — the baseline the paper's introduction argues
+    against ("recomputing the view from scratch is too wasteful in most
+    cases", §1), except past the inertia crossover (bench E9). *)
+
+module Database = Ivm_eval.Database
+module Changes = Ivm.Changes
+
+(** Apply the base changes, then rebuild every materialized view from
+    scratch (recursive programs under duplicate semantics go through
+    {!Ivm.Recursive_counting}).  Registered aggregate indexes over the
+    changed relations are invalidated. *)
+val maintain : Database.t -> Changes.t -> unit

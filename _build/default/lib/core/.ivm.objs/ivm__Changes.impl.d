@@ -1,0 +1,1 @@
+lib/core/changes.ml: Format Hashtbl Ivm_datalog Ivm_eval Ivm_relation List String

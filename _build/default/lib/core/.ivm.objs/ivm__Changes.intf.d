@@ -1,0 +1,1 @@
+lib/core/changes.mli: Format Ivm_datalog Ivm_eval Ivm_relation

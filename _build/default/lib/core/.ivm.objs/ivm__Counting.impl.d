@@ -1,0 +1,1 @@
+lib/core/counting.ml: Changes Delta Hashtbl Ivm_datalog Ivm_eval Ivm_relation List Logs Printf

@@ -1,0 +1,1 @@
+lib/core/counting.mli: Changes Ivm_eval Ivm_relation

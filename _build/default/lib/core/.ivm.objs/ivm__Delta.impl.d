@@ -1,0 +1,1 @@
+lib/core/delta.ml: Array Hashtbl Ivm_datalog Ivm_eval Ivm_relation List Printf String

@@ -1,0 +1,1 @@
+lib/core/delta.mli: Hashtbl Ivm_eval Ivm_relation

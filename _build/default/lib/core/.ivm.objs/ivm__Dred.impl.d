@@ -1,0 +1,1 @@
+lib/core/dred.ml: Array Changes Hashtbl Ivm_datalog Ivm_eval Ivm_relation List Logs Printf String

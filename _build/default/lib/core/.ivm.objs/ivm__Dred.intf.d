@@ -1,0 +1,1 @@
+lib/core/dred.mli: Changes Ivm_eval Ivm_relation

@@ -1,0 +1,1 @@
+lib/core/recursive_counting.ml: Array Changes Delta Hashtbl Ivm_datalog Ivm_eval Ivm_relation List Printf

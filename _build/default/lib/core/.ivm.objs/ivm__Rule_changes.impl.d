@@ -1,0 +1,1 @@
+lib/core/rule_changes.ml: Changes Ivm_datalog Ivm_eval Ivm_relation List Printf

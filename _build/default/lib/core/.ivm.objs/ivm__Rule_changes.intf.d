@@ -1,0 +1,1 @@
+lib/core/rule_changes.mli: Changes Ivm_datalog Ivm_eval

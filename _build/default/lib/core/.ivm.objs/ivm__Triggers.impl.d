@@ -1,0 +1,1 @@
+lib/core/triggers.ml: Changes Ivm_relation List View_manager

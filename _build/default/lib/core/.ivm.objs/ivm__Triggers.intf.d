@@ -1,0 +1,1 @@
+lib/core/triggers.mli: Changes Ivm_relation View_manager

@@ -1,0 +1,1 @@
+lib/core/view_manager.ml: Changes Counting Dred Ivm_datalog Ivm_eval Ivm_relation List Printf Recursive_counting Rule_changes String

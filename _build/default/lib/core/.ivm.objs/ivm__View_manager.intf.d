@@ -1,0 +1,1 @@
+lib/core/view_manager.mli: Changes Format Ivm_datalog Ivm_eval Ivm_relation

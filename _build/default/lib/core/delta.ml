@@ -1,0 +1,238 @@
+(** Delta-rule machinery shared by the counting algorithm and DRed:
+
+    - the maintenance {!ctx} tracks, per predicate, the full count delta
+      accumulated this round; "old" views read the stored relations, "new"
+      views read old ⊎ delta through an overlay (no copying);
+    - {!neg_delta} is Definition 6.1: [Δ(¬Q)] computed from [Δ(Q)], [Q]
+      and [Qν] alone — the delta literal can stay first in the join order
+      without evaluating the positive subgoals of the rule;
+    - {!agg_delta} caches Algorithm 6.1's [Δ(T)] per GROUPBY spec;
+    - {!delta_rule_inputs} wires one delta rule of Definition 4.1:
+      positions before the delta read new views, the delta position
+      enumerates the change, positions after read old views. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Relation_view = Ivm_relation.Relation_view
+module Program = Ivm_datalog.Program
+module Database = Ivm_eval.Database
+module Compile = Ivm_eval.Compile
+module Rule_eval = Ivm_eval.Rule_eval
+module Grouping = Ivm_eval.Grouping
+
+type version = Old | New
+
+type ctx = {
+  db : Database.t;
+  full : (string, Relation.t) Hashtbl.t;
+      (** per predicate: the count delta accumulated this maintenance round
+          (base deltas at entry, derived deltas as they are computed) *)
+  propagated : (string, Relation.t) Hashtbl.t;
+      (** the delta enumerated at delta positions: equal to [full] under
+          duplicate semantics; under set semantics the ±1 set transition
+          (boxed statement 2 of Algorithm 4.1) *)
+  neg_deltas : (string, Relation.t) Hashtbl.t;  (** Definition 6.1 cache *)
+  agg_deltas : (string, Relation.t) Hashtbl.t;  (** Algorithm 6.1 cache *)
+  grouped : (string, Relation.t) Hashtbl.t;  (** old/new grouped relations *)
+}
+
+let create (db : Database.t) : ctx =
+  {
+    db;
+    full = Hashtbl.create 16;
+    propagated = Hashtbl.create 16;
+    neg_deltas = Hashtbl.create 8;
+    agg_deltas = Hashtbl.create 8;
+    grouped = Hashtbl.create 8;
+  }
+
+let empty_rel ctx pred =
+  Relation.create (Program.arity (Database.program ctx.db) pred)
+
+let full_delta ctx pred =
+  match Hashtbl.find_opt ctx.full pred with
+  | Some r -> r
+  | None -> empty_rel ctx pred
+
+let propagated_delta ctx pred =
+  match Hashtbl.find_opt ctx.propagated pred with
+  | Some r -> r
+  | None -> empty_rel ctx pred
+
+let has_delta ctx pred =
+  match Hashtbl.find_opt ctx.propagated pred with
+  | Some r -> not (Relation.is_empty r)
+  | None -> false
+
+(** [set_delta ctx pred ~full] records [pred]'s delta for this round and
+    derives the propagated version per the database's semantics. *)
+let set_delta ctx pred ~full =
+  Hashtbl.replace ctx.full pred full;
+  let stored = Database.relation ctx.db pred in
+  let set_propagation =
+    Database.semantics ctx.db = Database.Set_semantics
+    || Database.is_distinct ctx.db pred
+  in
+  let prop =
+    if not set_propagation then full
+    else
+      (* set(Pν) − set(P): only sign transitions propagate. *)
+      let out = Relation.create (Relation.arity full) in
+      Relation.iter
+        (fun tup c ->
+          let before = Relation.count stored tup in
+          let after = before + c in
+          if before <= 0 && after > 0 then Relation.add out tup 1
+          else if before > 0 && after <= 0 then Relation.add out tup (-1))
+        full;
+      out
+  in
+  Hashtbl.replace ctx.propagated pred prop
+
+let old_view ctx pred = Database.view ctx.db pred
+
+let new_view ctx pred =
+  match Hashtbl.find_opt ctx.full pred with
+  | Some delta -> Relation_view.overlay (Database.relation ctx.db pred) delta
+  | None -> Database.view ctx.db pred
+
+let view ctx version pred =
+  match version with Old -> old_view ctx pred | New -> new_view ctx pred
+
+(** Definition 6.1.  [Δ(¬Q)] holds [t] with count +1 when [t] was deleted
+    outright from [Q] (so [¬q(t)] became true) and with −1 when [t] was
+    inserted into a previously-empty [Q] slot.  Only tuples of [Δ(Q)] can
+    appear. *)
+let neg_delta ctx pred =
+  match Hashtbl.find_opt ctx.neg_deltas pred with
+  | Some r -> r
+  | None ->
+    let out = empty_rel ctx pred in
+    let stored = Database.relation ctx.db pred in
+    let delta = full_delta ctx pred in
+    Relation.iter
+      (fun tup c ->
+        let before = Relation.count stored tup in
+        let after = before + c in
+        if before > 0 && after <= 0 then Relation.add out tup 1
+        else if before <= 0 && after > 0 then Relation.add out tup (-1))
+      delta;
+    Hashtbl.replace ctx.neg_deltas pred out;
+    out
+
+(** The grouped relation [T] of [spec] over the old or new version of its
+    source, cached per spec signature. *)
+let grouped ctx version (spec : Compile.agg_spec) =
+  let tag = (match version with Old -> "old|" | New -> "new|") ^ spec.gsignature in
+  match Hashtbl.find_opt ctx.grouped tag with
+  | Some r -> r
+  | None ->
+    let mult = Database.mult_for ctx.db spec.gsource.cpred in
+    let r = Grouping.compute ~mult (view ctx version spec.gsource.cpred) spec in
+    Hashtbl.replace ctx.grouped tag r;
+    r
+
+(** Algorithm 6.1: [Δ(T)] for one GROUPBY spec, cached.  When the database
+    carries a persistent aggregate index for the spec
+    ({!Database.register_agg_index}), the delta comes from the per-group
+    accumulators in [O(|Δ| log)]; otherwise touched groups are recomputed
+    from the source relation (index-assisted). *)
+let agg_delta ctx (spec : Compile.agg_spec) =
+  match Hashtbl.find_opt ctx.agg_deltas spec.gsignature with
+  | Some r -> r
+  | None ->
+    let pred = spec.gsource.cpred in
+    let r =
+      match Database.agg_index ctx.db spec with
+      | Some idx ->
+        (* the index consumes the propagated regime: count deltas under
+           duplicates, ±1 set transitions under set semantics *)
+        Ivm_eval.Agg_index.delta_preview idx (propagated_delta ctx pred)
+      | None ->
+        let mult = Database.mult_for ctx.db pred in
+        Grouping.delta ~mult ~old_view:(old_view ctx pred)
+          ~new_view:(new_view ctx pred) ~delta_u:(full_delta ctx pred) spec
+    in
+    Hashtbl.replace ctx.agg_deltas spec.gsignature r;
+    r
+
+(** Does the delta of the relation behind body literal [lit] warrant
+    evaluating a delta rule seeded there? *)
+let lit_delta_nonempty ctx (lit : Compile.clit) =
+  match lit with
+  | Compile.Catom a -> has_delta ctx a.cpred
+  | Compile.Cneg a -> not (Relation.is_empty (neg_delta ctx a.cpred))
+  | Compile.Cagg (spec, _) -> not (Relation.is_empty (agg_delta ctx spec))
+  | Compile.Ccmp _ -> false
+
+(** Inputs for the [i]-th delta rule of Definition 4.1 (extended to
+    negation per Section 6.1 cases 1–3 and to aggregation per
+    Section 6.2). *)
+let delta_rule_inputs ctx (cr : Compile.t) ~(pos : int) : int -> Rule_eval.subgoal_input =
+ fun j ->
+    let lit = cr.clits.(j) in
+    if j = pos then
+      match lit with
+      | Compile.Catom a ->
+        Rule_eval.Enumerate
+          (Relation_view.concrete (propagated_delta ctx a.cpred),
+           Rule_eval.identity_count)
+      | Compile.Cneg a ->
+        Rule_eval.Enumerate
+          (Relation_view.concrete (neg_delta ctx a.cpred), Rule_eval.identity_count)
+      | Compile.Cagg (spec, _) ->
+        Rule_eval.Enumerate
+          (Relation_view.concrete (agg_delta ctx spec), Rule_eval.identity_count)
+      | Compile.Ccmp _ -> assert false
+    else
+      let version = if j < pos then New else Old in
+      match lit with
+      | Compile.Catom a ->
+        Rule_eval.Enumerate (view ctx version a.cpred, Database.mult_for ctx.db a.cpred)
+      | Compile.Cneg a -> Rule_eval.Filter_absent (view ctx version a.cpred)
+      | Compile.Cagg (spec, _) ->
+        Rule_eval.Enumerate
+          (Relation_view.concrete (grouped ctx version spec), Rule_eval.identity_count)
+      | Compile.Ccmp _ -> assert false
+
+(** Evaluate every delta rule of [cr] (one per changeable body literal with
+    a non-empty delta), accumulating into [out]. *)
+let apply_delta_rules ctx (cr : Compile.t) ~(out : Relation.t) : unit =
+  Array.iteri
+    (fun i lit ->
+      if lit_delta_nonempty ctx lit then
+        let inputs = delta_rule_inputs ctx cr ~pos:i in
+        Rule_eval.eval ~seed:i ~inputs ~emit:(fun tup c -> Relation.add out tup c) cr)
+    cr.clits
+
+(** Commit all accumulated full deltas into the stored relations.  Returns
+    the sorted non-empty (pred, full delta) list.
+    @raise Invalid_argument if a committed count would go negative — the
+    caller violated Lemma 4.1's precondition. *)
+let commit ctx : (string * Relation.t) list =
+  let applied = ref [] in
+  Hashtbl.iter
+    (fun pred delta ->
+      if not (Relation.is_empty delta) then begin
+        let stored = Database.relation ctx.db pred in
+        Relation.iter
+          (fun tup c ->
+            let c' = Relation.count stored tup + c in
+            if c' < 0 then
+              invalid_arg
+                (Printf.sprintf
+                   "maintenance drove count of %s%s negative (%d); deletions \
+                    must be a subset of the database"
+                   pred (Tuple.to_string tup) c');
+            Relation.set_count stored tup c')
+          delta;
+        applied := (pred, delta) :: !applied
+      end)
+    ctx.full;
+  (* Registered aggregate indexes consume the propagated regime. *)
+  let transitions =
+    Hashtbl.fold (fun pred delta acc -> (pred, delta) :: acc) ctx.propagated []
+  in
+  Database.refresh_agg_indexes ctx.db transitions;
+  List.sort (fun (p, _) (q, _) -> String.compare p q) !applied

@@ -1,0 +1,82 @@
+(** Delta-rule machinery shared by the counting algorithm and its
+    recursive extension: the per-round maintenance context, Definition
+    6.1's [Δ(¬Q)], Algorithm 6.1's [Δ(T)], and the wiring of one delta
+    rule of Definition 4.1 (positions before the delta read new views, the
+    delta position enumerates the change, positions after read old
+    views). *)
+
+module Relation = Ivm_relation.Relation
+module Relation_view = Ivm_relation.Relation_view
+module Database = Ivm_eval.Database
+module Compile = Ivm_eval.Compile
+module Rule_eval = Ivm_eval.Rule_eval
+
+type version = Old | New
+
+type ctx = {
+  db : Database.t;
+  full : (string, Relation.t) Hashtbl.t;
+      (** per predicate: the full count delta of this maintenance round *)
+  propagated : (string, Relation.t) Hashtbl.t;
+      (** what delta positions enumerate: [full] under duplicate
+          semantics, the ±1 set transition under set semantics (the boxed
+          statement 2 of Algorithm 4.1) *)
+  neg_deltas : (string, Relation.t) Hashtbl.t;  (** Definition 6.1 cache *)
+  agg_deltas : (string, Relation.t) Hashtbl.t;  (** Algorithm 6.1 cache *)
+  grouped : (string, Relation.t) Hashtbl.t;  (** old/new grouped relations *)
+}
+
+val create : Database.t -> ctx
+
+(** The accumulated full delta of a predicate (empty if unchanged). *)
+val full_delta : ctx -> string -> Relation.t
+
+(** The delta enumerated at delta positions. *)
+val propagated_delta : ctx -> string -> Relation.t
+
+val has_delta : ctx -> string -> bool
+
+(** Record a predicate's delta for this round; derives the propagated
+    version from the database's semantics against the (uncommitted)
+    stored relation. *)
+val set_delta : ctx -> string -> full:Relation.t -> unit
+
+(** The stored (pre-maintenance) relation. *)
+val old_view : ctx -> string -> Relation_view.t
+
+(** [old ⊎ Δ] as a lazy overlay; collapses to the stored relation when the
+    predicate has no delta. *)
+val new_view : ctx -> string -> Relation_view.t
+
+val view : ctx -> version -> string -> Relation_view.t
+
+(** Definition 6.1: [Δ(¬Q)] — [t] with count +1 when deleted outright from
+    [Q], −1 when inserted into a previously-false slot; computable from
+    [Δ(Q)], [Q], [Qν] alone, so the delta literal can stay first in the
+    join order. *)
+val neg_delta : ctx -> string -> Relation.t
+
+(** The grouped relation [T] of a GROUPBY spec over the old or new version
+    of its source, cached per spec signature. *)
+val grouped : ctx -> version -> Compile.agg_spec -> Relation.t
+
+(** Algorithm 6.1: [Δ(T)], touching only the groups occurring in the
+    source's delta; cached. *)
+val agg_delta : ctx -> Compile.agg_spec -> Relation.t
+
+(** Is there a non-empty delta behind this body literal? *)
+val lit_delta_nonempty : ctx -> Compile.clit -> bool
+
+(** Inputs for the delta rule seeded at body position [pos]
+    (Definition 4.1, extended to negation and aggregation). *)
+val delta_rule_inputs : ctx -> Compile.t -> pos:int -> int -> Rule_eval.subgoal_input
+
+(** Evaluate every applicable delta rule of the compiled rule,
+    [⊎]-accumulating into [out]. *)
+val apply_delta_rules : ctx -> Compile.t -> out:Relation.t -> unit
+
+(** Commit all accumulated deltas into the stored relations; returns the
+    non-empty (predicate, delta) pairs, sorted.
+    @raise Invalid_argument if a count would go negative (the caller
+    violated Lemma 4.1's precondition). *)
+val commit : ctx -> (string * Relation.t) list

@@ -1,0 +1,576 @@
+(** DRed — Delete and Rederive (Section 7): incremental maintenance of
+    (general) recursive views with stratified negation and aggregation,
+    under set semantics.
+
+    The program's derived predicates are partitioned into maintenance units
+    — SCCs of mutually recursive predicates — processed in dependency
+    order ("stratum by stratum").  For each unit, given the deletions
+    [Del] and insertions [Add] accumulated from base changes and lower
+    units:
+
+    + {b Delete} an overestimate: semi-naive evaluation of the δ⁻-rules
+      [δ⁻(p) :- s1 & … & δ⁻(si) & … & sn], where non-delta subgoals read
+      the {e old} materialized relations.  A deletion reaches [δ⁻(si)]
+      through a positive subgoal from [Del], through a negated subgoal from
+      [Add] (a newly-true [q] falsifies [¬q]), and through a GROUPBY
+      subgoal from the old tuples of changed groups (Algorithm 6.1).
+    + {b Rederive}: [δ⁺(p) :- δ⁻(p) & s1ν & … & snν] — every overdeleted
+      tuple that still has a derivation in the {e new} database is put
+      back.  Within a recursive unit the fixpoint lets rederived tuples
+      support further rederivations.
+    + {b Insert}: semi-naive evaluation of the Δ⁺-rules over the new
+      relations, seeded by [Add] of lower strata, by [Del] through negated
+      subgoals, and by the new tuples of changed groups.
+
+    By Theorem 7.1 the result contains a tuple iff it has a derivation in
+    the updated database.  Stored counts are treated as set membership:
+    deleting a tuple cancels its whole stored count, so DRed composes with
+    materializations produced by either evaluation mode. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Relation_view = Ivm_relation.Relation_view
+module Ast = Ivm_datalog.Ast
+module Program = Ivm_datalog.Program
+module Database = Ivm_eval.Database
+module Compile = Ivm_eval.Compile
+module Rule_eval = Ivm_eval.Rule_eval
+module Grouping = Ivm_eval.Grouping
+
+let log_src = Logs.Src.create "ivm.dred" ~doc:"DRed maintenance"
+
+module Log = (val Logs.src_log log_src)
+
+exception Duplicate_semantics_unsupported
+
+type report = {
+  base_deltas : (string * Relation.t) list;
+  view_deltas : (string * Relation.t) list;
+      (** per derived predicate: ±1 set transitions actually applied *)
+  overdeleted : (string * int) list;
+      (** per predicate: size of the step-1 overestimate (for the
+          fragmentation benches) *)
+  rederived : (string * int) list;  (** per predicate: tuples put back in step 2 *)
+}
+
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  db : Database.t;
+  delta : (string, Relation.t) Hashtbl.t;
+      (** live per-predicate count delta; overlays read it as it grows *)
+  trans : (string, Relation.t * Relation.t) Hashtbl.t;
+      (** finalized (Del, Add) set transitions, per predicate *)
+  grouped : (string, Relation.t) Hashtbl.t;
+  agg_deltas : (string, Relation.t) Hashtbl.t;
+}
+
+let arity_of ctx pred = Program.arity (Database.program ctx.db) pred
+
+let delta_of ctx pred =
+  match Hashtbl.find_opt ctx.delta pred with
+  | Some r -> r
+  | None ->
+    let r = Relation.create (arity_of ctx pred) in
+    Hashtbl.replace ctx.delta pred r;
+    r
+
+let old_view ctx pred = Database.view ctx.db pred
+
+(** Live overlay: reflects subsequent growth of the predicate's delta. *)
+let new_view ctx pred =
+  Relation_view.Overlay
+    { base = Database.relation ctx.db pred; delta = delta_of ctx pred }
+
+(** Finalize a predicate's (Del, Add) set transitions from its delta. *)
+let finalize ctx pred =
+  let stored = Database.relation ctx.db pred in
+  let del = Relation.create (arity_of ctx pred) in
+  let add = Relation.create (arity_of ctx pred) in
+  Relation.iter
+    (fun tup c ->
+      let before = Relation.count stored tup in
+      let after = before + c in
+      if before > 0 && after <= 0 then Relation.add del tup 1
+      else if before <= 0 && after > 0 then Relation.add add tup 1)
+    (delta_of ctx pred);
+  Hashtbl.replace ctx.trans pred (del, add)
+
+let transitions ctx pred =
+  match Hashtbl.find_opt ctx.trans pred with
+  | Some v -> v
+  | None ->
+    (* Predicates untouched by the changes have empty transitions. *)
+    let e = Relation.create (arity_of ctx pred) in
+    (e, e)
+
+let del_of ctx pred = fst (transitions ctx pred)
+let add_of ctx pred = snd (transitions ctx pred)
+
+let grouped ctx ~version (spec : Compile.agg_spec) =
+  let tag = version ^ "|" ^ spec.gsignature in
+  match Hashtbl.find_opt ctx.grouped tag with
+  | Some r -> r
+  | None ->
+    let view =
+      match version with
+      | "old" -> old_view ctx spec.gsource.cpred
+      | _ -> new_view ctx spec.gsource.cpred
+    in
+    let r = Grouping.compute ~mult:Rule_eval.set_count view spec in
+    Hashtbl.replace ctx.grouped tag r;
+    r
+
+(** Algorithm 6.1 over the finalized source delta; split by the caller into
+    deleted (negative) and inserted (positive) grouped tuples. *)
+let agg_delta ctx (spec : Compile.agg_spec) =
+  match Hashtbl.find_opt ctx.agg_deltas spec.gsignature with
+  | Some r -> r
+  | None ->
+    let pred = spec.gsource.cpred in
+    let r =
+      match Database.agg_index ctx.db spec with
+      | Some idx ->
+        (* feed the ±1 set transitions of the finalized source *)
+        let del, add = transitions ctx pred in
+        Ivm_eval.Agg_index.delta_preview idx (Relation.union (Relation.negate del) add)
+      | None ->
+        Grouping.delta ~mult:Rule_eval.set_count ~old_view:(old_view ctx pred)
+          ~new_view:(new_view ctx pred) ~delta_u:(delta_of ctx pred) spec
+    in
+    Hashtbl.replace ctx.agg_deltas spec.gsignature r;
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Step 1: the deletion overestimate                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** One δ⁻-rule application: seed position [i] with [source], all other
+    subgoals reading the {e old} database. *)
+let run_deletion_rule ctx cr ~pos ~source ~emit =
+  let inputs j =
+    if j = pos then
+      Rule_eval.Enumerate (Relation_view.concrete source, Rule_eval.set_count)
+    else
+      match cr.Compile.clits.(j) with
+      | Compile.Catom a -> Rule_eval.Enumerate (old_view ctx a.cpred, Rule_eval.set_count)
+      | Compile.Cneg a -> Rule_eval.Filter_absent (old_view ctx a.cpred)
+      | Compile.Cagg (spec, _) ->
+        Rule_eval.Enumerate
+          (Relation_view.concrete (grouped ctx ~version:"old" spec),
+           Rule_eval.identity_count)
+      | Compile.Ccmp _ -> assert false
+  in
+  Rule_eval.eval ~seed:pos ~inputs ~emit cr
+
+(** Step 1 for one unit: returns the overestimate δ⁻ per predicate, with
+    the unit deltas already reflecting the deletions. *)
+let delete_overestimate ctx unit_preds =
+  let program = Database.program ctx.db in
+  let in_unit p = List.mem p unit_preds in
+  let dminus = Hashtbl.create 4 in
+  let pending = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace dminus p (Relation.create (arity_of ctx p));
+      Hashtbl.replace pending p (Relation.create (arity_of ctx p)))
+    unit_preds;
+  let next_pending = Hashtbl.create 4 in
+  List.iter
+    (fun p -> Hashtbl.replace next_pending p (Relation.create (arity_of ctx p)))
+    unit_preds;
+  let emit_for p tup c =
+    if c > 0 then begin
+      let stored = Database.relation ctx.db p in
+      let dm = Hashtbl.find dminus p in
+      if Relation.mem stored tup && not (Relation.mem dm tup) then begin
+        Relation.add dm tup 1;
+        Relation.add (Hashtbl.find next_pending p) tup 1;
+        (* hide the tuple from the unit's new views *)
+        Relation.add (delta_of ctx p) tup (-Relation.count stored tup)
+      end
+    end
+  in
+  (* Round 0: seeds from outside the unit. *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun rule ->
+          let cr = Database.compile ctx.db rule in
+          Array.iteri
+            (fun i lit ->
+              let source =
+                match lit with
+                | Compile.Catom a when not (in_unit a.cpred) ->
+                  Some (del_of ctx a.cpred)
+                | Compile.Catom _ -> None
+                | Compile.Cneg a -> Some (add_of ctx a.cpred)
+                | Compile.Cagg (spec, _) ->
+                  Some (Relation.negative_part (agg_delta ctx spec))
+                | Compile.Ccmp _ -> None
+              in
+              match source with
+              | Some src when not (Relation.is_empty src) ->
+                run_deletion_rule ctx cr ~pos:i ~source:src ~emit:(emit_for p)
+              | _ -> ())
+            cr.Compile.clits)
+        (Program.rules_for program p))
+    unit_preds;
+  (* Fixpoint rounds: seeds from the unit's own growing overestimate. *)
+  let rotate () =
+    let any = ref false in
+    List.iter
+      (fun p ->
+        let np = Hashtbl.find next_pending p in
+        Hashtbl.replace pending p np;
+        Hashtbl.replace next_pending p (Relation.create (arity_of ctx p));
+        if not (Relation.is_empty np) then any := true)
+      unit_preds;
+    !any
+  in
+  while rotate () do
+    List.iter
+      (fun p ->
+        List.iter
+          (fun rule ->
+            let cr = Database.compile ctx.db rule in
+            Array.iteri
+              (fun i lit ->
+                match lit with
+                | Compile.Catom a when in_unit a.cpred ->
+                  let src = Hashtbl.find pending a.cpred in
+                  if not (Relation.is_empty src) then
+                    run_deletion_rule ctx cr ~pos:i ~source:src ~emit:(emit_for p)
+                | _ -> ())
+              cr.Compile.clits)
+          (Program.rules_for program p))
+      unit_preds
+  done;
+  dminus
+
+(* ------------------------------------------------------------------ *)
+(* Step 2: rederivation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let marker_pred p = "$dred_overestimate$" ^ p
+
+(** The rederivation rule [δ⁺(p) :- δ⁻(p) & s1ν & … & snν] built as an AST
+    rule whose first subgoal is a pseudo-predicate enumerating the
+    still-deleted overestimate.  Head arguments that are expressions get a
+    fresh variable in the marker atom and an equality filter, so
+    rederivation also works for heads like [hop(S,D,C1+C2)]. *)
+let rederive_rule (r : Ast.rule) : Ast.rule =
+  let fresh = ref 0 in
+  let marker_args, filters =
+    List.fold_right
+      (fun e (args, filters) ->
+        match e with
+        | Ast.Eterm (Ast.Var _) | Ast.Eterm (Ast.Const _) -> (e :: args, filters)
+        | e ->
+          incr fresh;
+          let v = Printf.sprintf "$rederive%d" !fresh in
+          ( Ast.Eterm (Ast.Var v) :: args,
+            Ast.Lcmp (Ast.Eterm (Ast.Var v), Ast.Eq, e) :: filters ))
+      r.head.args ([], [])
+  in
+  let marker = { Ast.pred = marker_pred r.head.pred; args = marker_args } in
+  {
+    Ast.head = { r.head with args = marker_args };
+    body = (Ast.Lpos marker :: r.body) @ filters;
+  }
+
+(** Step 2 for one unit: puts rederivable tuples back (their hidden counts
+    are restored in the unit deltas), semi-naively.  The first pass checks
+    every overdeleted tuple for support in the new database; subsequent
+    waves re-check only candidates joinable with the {e previous wave's}
+    putbacks (a rederived tuple can support further rederivations within a
+    recursive unit).  Returns per-predicate putback counts. *)
+let rederive ctx unit_preds (dminus : (string, Relation.t) Hashtbl.t) =
+  let program = Database.program ctx.db in
+  let in_unit p = List.mem p unit_preds in
+  (* pend = δ⁻ tuples not yet put back *)
+  let pend = Hashtbl.create 4 in
+  List.iter
+    (fun p -> Hashtbl.replace pend p (Relation.copy (Hashtbl.find dminus p)))
+    unit_preds;
+  let putbacks = Hashtbl.create 4 in
+  List.iter (fun p -> Hashtbl.replace putbacks p 0) unit_preds;
+  let wave = Hashtbl.create 4 in
+  let next_wave = Hashtbl.create 4 in
+  List.iter
+    (fun p -> Hashtbl.replace next_wave p (Relation.create (arity_of ctx p)))
+    unit_preds;
+  let inputs_for p cr ?(wave_pos = -1) () j =
+    match cr.Compile.clits.(j) with
+    | Compile.Catom a when a.cpred = marker_pred p ->
+      Rule_eval.Enumerate
+        (Relation_view.concrete (Hashtbl.find pend p), Rule_eval.set_count)
+    | Compile.Catom a when j = wave_pos ->
+      Rule_eval.Enumerate
+        (Relation_view.concrete (Hashtbl.find wave a.cpred), Rule_eval.set_count)
+    | Compile.Catom a -> Rule_eval.Enumerate (new_view ctx a.cpred, Rule_eval.set_count)
+    | Compile.Cneg a -> Rule_eval.Filter_absent (new_view ctx a.cpred)
+    | Compile.Cagg (spec, _) ->
+      Rule_eval.Enumerate
+        (Relation_view.concrete (grouped ctx ~version:"new" spec),
+         Rule_eval.identity_count)
+    | Compile.Ccmp _ -> assert false
+  in
+  (* Buffer emissions: applying a putback mutates relations the evaluator
+     may currently be iterating (pend, the unit deltas behind new views). *)
+  let apply_buffer p buf =
+    let pend_p = Hashtbl.find pend p in
+    let nv = new_view ctx p in
+    Relation.iter
+      (fun tup _ ->
+        if Relation.mem pend_p tup && not (Relation_view.holds nv tup) then begin
+          (* restore the hidden stored count *)
+          let stored = Database.relation ctx.db p in
+          Relation.add (delta_of ctx p) tup (Relation.count stored tup);
+          Relation.remove pend_p tup;
+          Relation.add (Hashtbl.find next_wave p) tup 1;
+          Hashtbl.replace putbacks p (Hashtbl.find putbacks p + 1)
+        end)
+      buf
+  in
+  (* Pass 0: support check for every overdeleted tuple. *)
+  List.iter
+    (fun p ->
+      if not (Relation.is_empty (Hashtbl.find pend p)) then
+        List.iter
+          (fun rule ->
+            let rr = rederive_rule rule in
+            let cr = Database.compile ctx.db rr in
+            let buf = Relation.create (arity_of ctx p) in
+            Rule_eval.eval ~seed:0
+              ~inputs:(inputs_for p cr ())
+              ~emit:(fun tup c -> if c > 0 then Relation.add buf tup 1)
+              cr;
+            apply_buffer p buf)
+          (Program.rules_for program p))
+    unit_preds;
+  (* Waves: only candidates supported by the previous wave's putbacks. *)
+  let rotate () =
+    let any = ref false in
+    List.iter
+      (fun p ->
+        let nw = Hashtbl.find next_wave p in
+        Hashtbl.replace wave p nw;
+        Hashtbl.replace next_wave p (Relation.create (arity_of ctx p));
+        if not (Relation.is_empty nw) then any := true)
+      unit_preds;
+    !any
+  in
+  while rotate () do
+    List.iter
+      (fun p ->
+        if not (Relation.is_empty (Hashtbl.find pend p)) then
+          List.iter
+            (fun rule ->
+              let rr = rederive_rule rule in
+              let cr = Database.compile ctx.db rr in
+              (* positions 1.. of the rederive rule hold the original body;
+                 seed at each occurrence of a unit predicate whose last
+                 wave is non-empty *)
+              Array.iteri
+                (fun j lit ->
+                  match lit with
+                  | Compile.Catom a
+                    when j > 0 && in_unit a.cpred
+                         && not (Relation.is_empty (Hashtbl.find wave a.cpred)) ->
+                    let buf = Relation.create (arity_of ctx p) in
+                    Rule_eval.eval ~seed:j
+                      ~inputs:(inputs_for p cr ~wave_pos:j ())
+                      ~emit:(fun tup c -> if c > 0 then Relation.add buf tup 1)
+                      cr;
+                    apply_buffer p buf
+                  | _ -> ())
+                cr.Compile.clits)
+            (Program.rules_for program p))
+      unit_preds
+  done;
+  putbacks
+
+(* ------------------------------------------------------------------ *)
+(* Step 3: insertions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_insertion_rule ctx cr ~pos ~source ~emit =
+  let inputs j =
+    if j = pos then
+      Rule_eval.Enumerate (Relation_view.concrete source, Rule_eval.set_count)
+    else
+      match cr.Compile.clits.(j) with
+      | Compile.Catom a -> Rule_eval.Enumerate (new_view ctx a.cpred, Rule_eval.set_count)
+      | Compile.Cneg a -> Rule_eval.Filter_absent (new_view ctx a.cpred)
+      | Compile.Cagg (spec, _) ->
+        Rule_eval.Enumerate
+          (Relation_view.concrete (grouped ctx ~version:"new" spec),
+           Rule_eval.identity_count)
+      | Compile.Ccmp _ -> assert false
+  in
+  Rule_eval.eval ~seed:pos ~inputs ~emit cr
+
+let insert_new ctx unit_preds =
+  let program = Database.program ctx.db in
+  let in_unit p = List.mem p unit_preds in
+  let pending = Hashtbl.create 4 in
+  let next_pending = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace pending p (Relation.create (arity_of ctx p));
+      Hashtbl.replace next_pending p (Relation.create (arity_of ctx p)))
+    unit_preds;
+  (* Candidate insertions are buffered per rule application: committing
+     them mutates the unit deltas that back the new views the evaluator is
+     iterating. *)
+  let run_buffered p cr ~pos ~source =
+    let buf = Relation.create (arity_of ctx p) in
+    run_insertion_rule ctx cr ~pos ~source ~emit:(fun tup c ->
+        if c > 0 then Relation.add buf tup 1);
+    let nv = new_view ctx p in
+    Relation.iter
+      (fun tup _ ->
+        if not (Relation_view.holds nv tup) then begin
+          Relation.add (delta_of ctx p) tup 1;
+          Relation.add (Hashtbl.find next_pending p) tup 1
+        end)
+      buf
+  in
+  (* Round 0: seeds from outside the unit. *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun rule ->
+          let cr = Database.compile ctx.db rule in
+          Array.iteri
+            (fun i lit ->
+              let source =
+                match lit with
+                | Compile.Catom a when not (in_unit a.cpred) ->
+                  Some (add_of ctx a.cpred)
+                | Compile.Catom _ -> None
+                | Compile.Cneg a -> Some (del_of ctx a.cpred)
+                | Compile.Cagg (spec, _) ->
+                  Some (Relation.positive_part (agg_delta ctx spec))
+                | Compile.Ccmp _ -> None
+              in
+              match source with
+              | Some src when not (Relation.is_empty src) ->
+                run_buffered p cr ~pos:i ~source:src
+              | _ -> ())
+            cr.Compile.clits)
+        (Program.rules_for program p))
+    unit_preds;
+  let rotate () =
+    let any = ref false in
+    List.iter
+      (fun p ->
+        let np = Hashtbl.find next_pending p in
+        Hashtbl.replace pending p np;
+        Hashtbl.replace next_pending p (Relation.create (arity_of ctx p));
+        if not (Relation.is_empty np) then any := true)
+      unit_preds;
+    !any
+  in
+  while rotate () do
+    List.iter
+      (fun p ->
+        List.iter
+          (fun rule ->
+            let cr = Database.compile ctx.db rule in
+            Array.iteri
+              (fun i lit ->
+                match lit with
+                | Compile.Catom a when in_unit a.cpred ->
+                  let src = Hashtbl.find pending a.cpred in
+                  if not (Relation.is_empty src) then
+                    run_buffered p cr ~pos:i ~source:src
+                | _ -> ())
+              cr.Compile.clits)
+          (Program.rules_for program p))
+      unit_preds
+  done
+
+(* ------------------------------------------------------------------ *)
+
+(** Apply [changes] (base-relation deltas with ±1 counts) to [db],
+    maintaining all views with DRed.  Set semantics only (Section 7).
+    @raise Duplicate_semantics_unsupported under duplicate semantics;
+    @raise Changes.Invalid_changes on malformed change sets. *)
+let maintain (db : Database.t) (changes : Changes.t) : report =
+  if Database.semantics db = Database.Duplicate_semantics then
+    raise Duplicate_semantics_unsupported;
+  let program = Database.program db in
+  let normalized = Changes.normalize_base db changes in
+  let ctx =
+    {
+      db;
+      delta = Hashtbl.create 16;
+      trans = Hashtbl.create 16;
+      grouped = Hashtbl.create 8;
+      agg_deltas = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun (pred, delta) ->
+      Hashtbl.replace ctx.delta pred (Relation.copy delta);
+      finalize ctx pred)
+    normalized;
+  let overdeleted = ref [] and rederived = ref [] in
+  List.iter
+    (fun unit_preds ->
+      let dminus = delete_overestimate ctx unit_preds in
+      let putbacks = rederive ctx unit_preds dminus in
+      insert_new ctx unit_preds;
+      List.iter (fun p -> finalize ctx p) unit_preds;
+      Log.debug (fun m ->
+          m "unit {%s}: overdeleted %d, rederived %d"
+            (String.concat "," unit_preds)
+            (List.fold_left
+               (fun acc p -> acc + Relation.cardinal (Hashtbl.find dminus p))
+               0 unit_preds)
+            (List.fold_left
+               (fun acc p -> acc + Hashtbl.find putbacks p)
+               0 unit_preds));
+      List.iter
+        (fun p ->
+          let d = Relation.cardinal (Hashtbl.find dminus p) in
+          if d > 0 then overdeleted := (p, d) :: !overdeleted;
+          let pb = Hashtbl.find putbacks p in
+          if pb > 0 then rederived := (p, pb) :: !rederived)
+        unit_preds)
+    (Program.recursive_units program);
+  (* Commit: apply deltas to the stored relations. *)
+  let view_deltas = ref [] in
+  List.iter
+    (fun p ->
+      let del, add = transitions ctx p in
+      let d = Relation.union (Relation.negate del) add in
+      if not (Relation.is_empty d) then view_deltas := (p, d) :: !view_deltas)
+    (Program.derived_preds program);
+  Hashtbl.iter
+    (fun pred delta ->
+      let stored = Database.relation db pred in
+      Relation.iter
+        (fun tup c ->
+          let c' = Relation.count stored tup + c in
+          Relation.set_count stored tup (max 0 c'))
+        delta)
+    ctx.delta;
+  (* Registered aggregate indexes consume ±1 set transitions. *)
+  let all_transitions =
+    Hashtbl.fold
+      (fun pred _ acc ->
+        let del, add = transitions ctx pred in
+        (pred, Relation.union (Relation.negate del) add) :: acc)
+      ctx.delta []
+  in
+  Database.refresh_agg_indexes db all_transitions;
+  {
+    base_deltas = normalized;
+    view_deltas = List.sort (fun (p, _) (q, _) -> String.compare p q) !view_deltas;
+    overdeleted = List.sort compare !overdeleted;
+    rederived = List.sort compare !rederived;
+  }

@@ -1,0 +1,197 @@
+(** Counting for recursive views — the [GKM92] extension discussed in
+    Section 8: "Counting can be used to maintain recursive views also.
+    However computing counts for recursive views is expensive and
+    furthermore counting may not terminate on some views."
+
+    This module maintains full derivation counts through recursive
+    components by iterating Definition 4.1 delta rules to a fixpoint:
+    each round treats the previous round's deltas as a batch update, with
+    "new" relations including the batch and "old" relations excluding it,
+    so counts stay exact (Theorem 4.1 applied per batch).  On data over
+    which a tuple has infinitely many derivations (a cycle reachable from
+    and to itself), counts diverge; the iteration is capped and
+    {!Divergence} raised — this is the behaviour the paper predicts, and
+    finiteness detection [MS93a] is future work.
+
+    Duplicate semantics only (derivation counting is the point); use
+    {!Dred} for set-semantics recursive maintenance. *)
+
+module Relation = Ivm_relation.Relation
+module Relation_view = Ivm_relation.Relation_view
+module Program = Ivm_datalog.Program
+module Database = Ivm_eval.Database
+module Compile = Ivm_eval.Compile
+module Rule_eval = Ivm_eval.Rule_eval
+
+exception Divergence of string
+
+let default_max_rounds = 10_000
+
+(* One recursive unit: iterate batch updates until the pending deltas
+   drain.  [ctx] carries the finalized deltas of lower strata; [acc]
+   relations are installed as the unit predicates' deltas in [ctx] up
+   front, so ctx's overlays see them grow. *)
+let fix_unit ~max_rounds (ctx : Delta.ctx) unit_preds =
+  let db = ctx.Delta.db in
+  let program = Database.program db in
+  let in_unit p = List.mem p unit_preds in
+  let arity p = Program.arity program p in
+  let acc = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      let r = Relation.create (arity p) in
+      Hashtbl.replace acc p r;
+      (* live: ctx new views of unit preds read the accumulator *)
+      Hashtbl.replace ctx.Delta.full p r)
+    unit_preds;
+  (* Round 0: seed from lower-strata deltas; unit predicates are unchanged
+     in this batch, so plain Definition 4.1 rules apply. *)
+  let pending = Hashtbl.create 4 in
+  (* Evaluate the whole batch before touching any accumulator: all unit
+     predicates must appear unchanged while round 0 runs. *)
+  List.iter
+    (fun p ->
+      let out = Relation.create (arity p) in
+      List.iter
+        (fun rule -> Delta.apply_delta_rules ctx (Database.compile db rule) ~out)
+        (Program.rules_for program p);
+      Hashtbl.replace pending p out)
+    unit_preds;
+  List.iter
+    (fun p ->
+      Relation.union_into ~into:(Hashtbl.find acc p) (Hashtbl.find pending p))
+    unit_preds;
+  let any_pending () =
+    List.exists (fun p -> not (Relation.is_empty (Hashtbl.find pending p))) unit_preds
+  in
+  let rounds = ref 0 in
+  while any_pending () do
+    incr rounds;
+    if !rounds > max_rounds then
+      raise
+        (Divergence
+           (Printf.sprintf
+              "counts of recursive predicate %s did not converge after %d \
+               rounds — the data has cyclic derivations with infinite counts"
+              (List.hd unit_preds) max_rounds));
+    (* S = stored ⊎ acc already includes the pending batch; the batch-old
+       state subtracts it. *)
+    let old_delta = Hashtbl.create 4 in
+    List.iter
+      (fun q ->
+        Hashtbl.replace old_delta q
+          (Relation.union (Hashtbl.find acc q) (Relation.negate (Hashtbl.find pending q))))
+      unit_preds;
+    let next = Hashtbl.create 4 in
+    List.iter (fun p -> Hashtbl.replace next p (Relation.create (arity p))) unit_preds;
+    List.iter
+      (fun p ->
+        let out = Hashtbl.find next p in
+        List.iter
+          (fun rule ->
+            let cr = Database.compile db rule in
+            Array.iteri
+              (fun i lit ->
+                match lit with
+                | Compile.Catom a when in_unit a.cpred ->
+                  let pend = Hashtbl.find pending a.cpred in
+                  if not (Relation.is_empty pend) then begin
+                    let inputs j =
+                      if j = i then
+                        Rule_eval.Enumerate
+                          (Relation_view.concrete pend, Rule_eval.identity_count)
+                      else
+                        match cr.Compile.clits.(j) with
+                        | Compile.Catom b when in_unit b.cpred ->
+                          if j < i then
+                            Rule_eval.Enumerate
+                              ( Relation_view.Overlay
+                                  {
+                                    base = Database.relation db b.cpred;
+                                    delta = Hashtbl.find acc b.cpred;
+                                  },
+                                Rule_eval.identity_count )
+                          else
+                            Rule_eval.Enumerate
+                              ( Relation_view.Overlay
+                                  {
+                                    base = Database.relation db b.cpred;
+                                    delta = Hashtbl.find old_delta b.cpred;
+                                  },
+                                Rule_eval.identity_count )
+                        | Compile.Catom b ->
+                          (* lower strata: unchanged within this batch *)
+                          Rule_eval.Enumerate
+                            (Delta.new_view ctx b.cpred, Database.mult_for db b.cpred)
+                        | Compile.Cneg b ->
+                          Rule_eval.Filter_absent (Delta.new_view ctx b.cpred)
+                        | Compile.Cagg (spec, _) ->
+                          Rule_eval.Enumerate
+                            ( Relation_view.concrete (Delta.grouped ctx Delta.New spec),
+                              Rule_eval.identity_count )
+                        | Compile.Ccmp _ -> assert false
+                    in
+                    Rule_eval.eval ~seed:i ~inputs
+                      ~emit:(fun tup c -> Relation.add out tup c)
+                      cr
+                  end
+                | _ -> ())
+              cr.Compile.clits)
+          (Program.rules_for program p))
+      unit_preds;
+    List.iter
+      (fun p ->
+        let np = Hashtbl.find next p in
+        Hashtbl.replace pending p np;
+        Relation.union_into ~into:(Hashtbl.find acc p) np)
+      unit_preds
+  done;
+  (* Register final deltas (and their set transitions) with the context. *)
+  List.iter (fun p -> Delta.set_delta ctx p ~full:(Hashtbl.find acc p)) unit_preds
+
+(** Incrementally maintain all views — recursive ones included — with full
+    derivation counts.  @raise Divergence when counts cannot converge;
+    @raise Dred.Duplicate_semantics_unsupported never (set semantics is
+    fine too: counts then follow the Section 5.1 convention). *)
+let maintain ?(max_rounds = default_max_rounds) (db : Database.t)
+    (changes : Changes.t) : (string * Relation.t) list =
+  if Database.semantics db = Database.Set_semantics then
+    invalid_arg
+      "Recursive_counting.maintain: derivation counting through recursion \
+       needs duplicate semantics; use Dred for set semantics";
+  let program = Database.program db in
+  let normalized = Changes.normalize_base db changes in
+  let ctx = Delta.create db in
+  List.iter (fun (pred, delta) -> Delta.set_delta ctx pred ~full:delta) normalized;
+  List.iter
+    (fun unit_preds ->
+      match unit_preds with
+      | [ p ] when not (Program.recursive program p) ->
+        let out = Relation.create (Program.arity program p) in
+        List.iter
+          (fun rule -> Delta.apply_delta_rules ctx (Database.compile db rule) ~out)
+          (Program.rules_for program p);
+        Delta.set_delta ctx p ~full:out
+      | unit_preds -> fix_unit ~max_rounds ctx unit_preds)
+    (Program.recursive_units program);
+  Delta.commit ctx
+
+(** Materialize a database whose program may be recursive with full
+    derivation counts: equivalent to maintaining from an empty database
+    with every base fact inserted.  @raise Divergence on cyclic data. *)
+let evaluate ?(max_rounds = default_max_rounds) (db : Database.t) : unit =
+  let program = Database.program db in
+  let base_contents =
+    List.map
+      (fun p ->
+        let r = Database.relation db p in
+        let copy = Relation.copy r in
+        Relation.clear r;
+        (p, copy))
+      (Program.base_preds program)
+  in
+  List.iter
+    (fun p ->
+      Relation.clear (Database.relation db p))
+    (Program.derived_preds program);
+  ignore (maintain ~max_rounds db base_contents)

@@ -1,0 +1,108 @@
+(** Maintenance under {e rule} insertions and deletions (Sections 1 and 7:
+    "The algorithm can also be used when the view denition is itself
+    altered", including insertion/deletion of rules).
+
+    Both directions reduce to ordinary base-relation maintenance through a
+    {e guard predicate}: a rule [p :- body] is equivalent to
+    [p :- body & g] with a 0-ary base predicate [g] holding one fact.
+
+    - {b Adding} a rule: rebuild the program with the guarded rule and [g]
+      empty — every stored materialization is still exact, since the
+      guarded rule derives nothing.  Then {e insert} the fact [g()] with the
+      regular maintenance algorithm (counting or DRed), which computes
+      precisely the derivations the new rule contributes, at every stratum.
+    - {b Removing} a rule: rebuild with the rule guarded and [g()] present
+      (again a no-op on the fixpoint), then {e delete} [g()]; the
+      maintenance algorithm deletes exactly the derivations that depended
+      on the removed rule — with DRed's rederivation putting back tuples
+      the remaining rules still support.
+
+    Afterwards the program is rebuilt without the guard, which does not
+    change any relation.  Removing the last rule of a predicate leaves it
+    as an (empty) base relation in the rebuilt program. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Ast = Ivm_datalog.Ast
+module Program = Ivm_datalog.Program
+module Database = Ivm_eval.Database
+
+exception Unknown_rule of string
+
+type maintainer = Database.t -> Changes.t -> unit
+
+let guard_counter = ref 0
+
+let fresh_guard () =
+  incr guard_counter;
+  Printf.sprintf "$rule_guard_%d$" !guard_counter
+
+let guarded_rule guard (r : Ast.rule) : Ast.rule =
+  { r with body = r.body @ [ Ast.Lpos { pred = guard; args = [] } ] }
+
+(** Rebuild a database over [rules], carrying over the stored contents of
+    every predicate both programs share (relations are moved, not copied —
+    the old database must not be used afterwards). *)
+let rebuild (db : Database.t) (rules : Ast.rule list) ~(extra_base : (string * int) list)
+    : Database.t =
+  let program = Program.make ~extra_base rules in
+  let db' = Database.create ~semantics:(Database.semantics db) program in
+  let old_program = Database.program db in
+  List.iter
+    (fun pred ->
+      if Program.mem_pred old_program pred
+         && Program.arity old_program pred = Program.arity program pred then
+        Database.set_relation db' pred (Database.relation db pred))
+    (Program.base_preds program @ Program.derived_preds program);
+  (* carry DISTINCT marks for views that survive the rebuild *)
+  List.iter
+    (fun v -> if Program.is_derived program v then Database.mark_distinct db' v)
+    (Database.distinct_views db);
+  db'
+
+let unit_tuple = ([||] : Tuple.t)
+
+(** [add_rule db ~maintain rule] returns a new database whose program has
+    [rule], with all views incrementally maintained. *)
+let add_rule (db : Database.t) ~(maintain : maintainer) (rule : Ast.rule) :
+    Database.t =
+  let program = Database.program db in
+  (if Program.mem_pred program rule.head.pred
+      && Program.is_base program rule.head.pred
+      && not (Relation.is_empty (Database.relation db rule.head.pred)) then
+     let p = rule.head.pred in
+     invalid_arg
+       (Printf.sprintf
+          "add_rule: %s is a base relation with stored facts; derived \
+           relations hold exactly their rule derivations" p));
+  let rules = Program.rules (Database.program db) in
+  let guard = fresh_guard () in
+  let db1 = rebuild db (rules @ [ guarded_rule guard rule ]) ~extra_base:[ (guard, 0) ] in
+  maintain db1
+    (Changes.insertions (Database.program db1) guard [ unit_tuple ]);
+  rebuild db1 (rules @ [ rule ]) ~extra_base:[]
+
+(** [remove_rule db ~maintain rule] — [rule] is matched structurally.
+    @raise Unknown_rule when the program has no such rule. *)
+let remove_rule (db : Database.t) ~(maintain : maintainer) (rule : Ast.rule) :
+    Database.t =
+  let rules = Program.rules (Database.program db) in
+  if not (List.exists (Ast.equal_rule rule) rules) then
+    raise (Unknown_rule (Ivm_datalog.Pretty.rule_to_string rule));
+  let rec remove_first = function
+    | [] -> []
+    | r :: rest -> if Ast.equal_rule rule r then rest else r :: remove_first rest
+  in
+  let rules_minus = remove_first rules in
+  let guard = fresh_guard () in
+  (* Keep the removed predicate known even if this was its last rule. *)
+  let head_arity = List.length rule.head.args in
+  let db1 =
+    rebuild db
+      (rules_minus @ [ guarded_rule guard rule ])
+      ~extra_base:[ (guard, 0) ]
+  in
+  Database.load db1 guard [ unit_tuple ];
+  maintain db1 (Changes.deletions (Database.program db1) guard [ unit_tuple ]);
+  rebuild db1 rules_minus ~extra_base:[ (rule.head.pred, head_arity) ]

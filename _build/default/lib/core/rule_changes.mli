@@ -1,0 +1,28 @@
+(** Maintenance under rule insertions and deletions — the paper's view
+    redefinition (Sections 1 and 7) — by reduction to ordinary
+    base-relation maintenance through {e guard predicates}: [p :- body] is
+    equivalent to [p :- body & g] for a 0-ary base predicate [g] holding
+    one fact, so adding a rule is inserting [g()] and removing a rule is
+    deleting [g()], handled by whichever maintenance algorithm manages the
+    database.  The guard is removed from the program afterwards (a no-op
+    on the fixpoint). *)
+
+module Ast = Ivm_datalog.Ast
+module Database = Ivm_eval.Database
+
+exception Unknown_rule of string
+
+(** The maintenance algorithm used to propagate the guard flip. *)
+type maintainer = Database.t -> Changes.t -> unit
+
+(** [add_rule db ~maintain rule] returns a new database over the extended
+    program with every view incrementally maintained.  The input database
+    must not be used afterwards (relations are moved).
+    @raise Invalid_argument when [rule]'s head is a populated base
+    relation. *)
+val add_rule : Database.t -> maintain:maintainer -> Ast.rule -> Database.t
+
+(** [remove_rule db ~maintain rule] — [rule] is matched structurally.
+    Removing a predicate's last rule leaves it as an empty base relation.
+    @raise Unknown_rule when no such rule exists. *)
+val remove_rule : Database.t -> maintain:maintainer -> Ast.rule -> Database.t

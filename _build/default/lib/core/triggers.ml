@@ -1,0 +1,90 @@
+(** Active-database triggers over maintained views — the application the
+    paper's introduction singles out: "active databases (a rule may fire
+    when a particular tuple is inserted into a view)" [SPAM91, RS93].
+
+    A {!t} wraps a {!View_manager}; subscribers register per view and
+    receive exactly the delta the maintenance algorithm computed for it —
+    the incremental algorithms make trigger dispatch free, since the set
+    of inserted/deleted view tuples is their output (Theorem 4.1), never
+    something to re-derive.
+
+    Subscribers fire after the whole batch has been applied and committed,
+    in registration order; a subscriber sees insertions (positive counts)
+    and deletions (negative counts) together, as one delta relation. *)
+
+module Relation = Ivm_relation.Relation
+module Tuple = Ivm_relation.Tuple
+
+type subscriber = {
+  sub_id : int;
+  view : string;
+  callback : Relation.t -> unit;
+}
+
+type t = {
+  manager : View_manager.t;
+  mutable subscribers : subscriber list;  (** in reverse registration order *)
+  mutable next_id : int;
+  mutable history : (string * Relation.t) list list;
+      (** per apply, newest first — the audit trail of view changes *)
+}
+
+type subscription = int
+
+let create (manager : View_manager.t) : t =
+  { manager; subscribers = []; next_id = 0; history = [] }
+
+let manager t = t.manager
+
+(** [subscribe t view f] — [f delta] fires after every batch that changes
+    [view].  Returns a handle for {!unsubscribe}.
+    @raise Ivm_datalog.Program.Program_error on unknown views. *)
+let subscribe (t : t) (view : string) (callback : Relation.t -> unit) :
+    subscription =
+  (* fail fast on unknown predicates *)
+  ignore (View_manager.relation t.manager view);
+  let sub_id = t.next_id in
+  t.next_id <- sub_id + 1;
+  t.subscribers <- { sub_id; view; callback } :: t.subscribers;
+  sub_id
+
+let unsubscribe (t : t) (id : subscription) : unit =
+  t.subscribers <- List.filter (fun s -> s.sub_id <> id) t.subscribers
+
+(** [on_insertion t view f] / [on_deletion t view f] — convenience
+    subscriptions firing once per inserted (resp. deleted) tuple. *)
+let on_insertion t view f =
+  subscribe t view (fun delta ->
+      Relation.iter (fun tup c -> if c > 0 then f tup c) delta)
+
+let on_deletion t view f =
+  subscribe t view (fun delta ->
+      Relation.iter (fun tup c -> if c < 0 then f tup (-c)) delta)
+
+let dispatch t (deltas : (string * Relation.t) list) =
+  t.history <- deltas :: t.history;
+  List.iter
+    (fun s ->
+      match List.assoc_opt s.view deltas with
+      | Some delta when not (Relation.is_empty delta) -> s.callback delta
+      | _ -> ())
+    (List.rev t.subscribers)
+
+(** Apply a change batch through the manager, then fire subscribers with
+    the per-view deltas.  Returns the deltas. *)
+let apply (t : t) changes : (string * Relation.t) list =
+  let deltas = View_manager.apply t.manager changes in
+  dispatch t deltas;
+  deltas
+
+let insert t pred tuples =
+  apply t (Changes.insertions (View_manager.program t.manager) pred tuples)
+
+let delete t pred tuples =
+  apply t (Changes.deletions (View_manager.program t.manager) pred tuples)
+
+let update t pred ~old_tuple ~new_tuple =
+  apply t (Changes.update (View_manager.program t.manager) pred ~old_tuple ~new_tuple)
+
+(** The audit trail: per-batch view deltas, newest first. *)
+let history t = t.history

@@ -1,0 +1,41 @@
+(** Active-database triggers over maintained views — the paper's §1
+    application: "a rule may fire when a particular tuple is inserted into
+    a view" [SPAM91, RS93].  Subscribers receive exactly the delta the
+    maintenance algorithm computed (its natural output, Theorem 4.1), so
+    trigger dispatch costs nothing beyond the maintenance itself. *)
+
+module Relation = Ivm_relation.Relation
+module Tuple = Ivm_relation.Tuple
+
+type t
+type subscription
+
+val create : View_manager.t -> t
+val manager : t -> View_manager.t
+
+(** [subscribe t view f] — [f delta] fires after every applied batch that
+    changes [view]; insertions carry positive counts, deletions negative.
+    Subscribers fire in registration order, after commit.
+    @raise Ivm_datalog.Program.Program_error on unknown views. *)
+val subscribe : t -> string -> (Relation.t -> unit) -> subscription
+
+val unsubscribe : t -> subscription -> unit
+
+(** Fire once per inserted tuple, with its (positive) multiplicity. *)
+val on_insertion : t -> string -> (Tuple.t -> int -> unit) -> subscription
+
+(** Fire once per deleted tuple, with its (positive) multiplicity. *)
+val on_deletion : t -> string -> (Tuple.t -> int -> unit) -> subscription
+
+(** Apply a batch through the manager, then fire subscribers. *)
+val apply : t -> Changes.t -> (string * Relation.t) list
+
+val insert : t -> string -> Tuple.t list -> (string * Relation.t) list
+val delete : t -> string -> Tuple.t list -> (string * Relation.t) list
+
+val update :
+  t -> string -> old_tuple:Tuple.t -> new_tuple:Tuple.t ->
+  (string * Relation.t) list
+
+(** Per-batch view deltas, newest first. *)
+val history : t -> (string * Relation.t) list list

@@ -1,0 +1,206 @@
+(** The library's front door: a materialized-view database plus an
+    incremental maintenance policy.
+
+    A manager owns a {!Ivm_eval.Database} (program + stored relations with
+    counts) and routes every change batch through one of the paper's
+    algorithms:
+
+    - [Counting] — Algorithm 4.1; nonrecursive programs, set or duplicate
+      semantics (Sections 4–6);
+    - [Dred] — Delete/Rederive; any stratified program, set semantics
+      (Section 7);
+    - [Recursive_counting] — the [GKM92] extension: derivation counts
+      through recursion, duplicate semantics, diverges on cyclic data
+      (Section 8);
+    - [Recompute] — the from-scratch baseline the paper argues against
+      ("recomputing the view from scratch is too wasteful in most cases",
+      Section 1);
+    - [Auto] — counting when the program is nonrecursive, DRed otherwise:
+      the paper's own recommendation ("we are proposing the counting
+      algorithm for nonrecursive views, and the DRed algorithm for
+      recursive views").
+
+    Rule insertions/deletions (Section 7's view redefinition) go through
+    {!Rule_changes} with the same policy. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Ast = Ivm_datalog.Ast
+module Parser = Ivm_datalog.Parser
+module Program = Ivm_datalog.Program
+module Database = Ivm_eval.Database
+module Seminaive = Ivm_eval.Seminaive
+
+type algorithm = Counting | Dred | Recursive_counting | Recompute | Auto
+
+let algorithm_name = function
+  | Counting -> "counting"
+  | Dred -> "dred"
+  | Recursive_counting -> "recursive-counting"
+  | Recompute -> "recompute"
+  | Auto -> "auto"
+
+let algorithm_of_string = function
+  | "counting" -> Some Counting
+  | "dred" -> Some Dred
+  | "recursive-counting" -> Some Recursive_counting
+  | "recompute" -> Some Recompute
+  | "auto" -> Some Auto
+  | _ -> None
+
+type t = {
+  mutable db : Database.t;
+  algorithm : algorithm;
+  mutable incremental_aggregates : bool;
+}
+
+let algorithm t = t.algorithm
+
+let resolve t =
+  match t.algorithm with
+  | Auto ->
+    if Program.nonrecursive (Database.program t.db) then Counting else Dred
+  | a -> a
+
+(** Re-evaluate everything from scratch after applying the base changes —
+    the baseline. *)
+let recompute_maintain (db : Database.t) (changes : Changes.t) : unit =
+  List.iter
+    (fun (pred, delta) ->
+      Database.invalidate_agg_indexes db pred;
+      let stored = Database.relation db pred in
+      Relation.iter (fun tup c -> Relation.add stored tup c) delta)
+    (Changes.normalize_base db changes);
+  Seminaive.evaluate db
+
+(** Create a manager from rules and initial base facts; materializes all
+    views eagerly. *)
+let create ?(semantics = Database.Set_semantics) ?(algorithm = Auto)
+    ?(extra_base : (string * int) list = []) ?(distinct : string list = [])
+    ?(facts : (string * Tuple.t list) list = []) (rules : Ast.rule list) : t =
+  let program = Program.make ~extra_base rules in
+  let db = Database.create ~semantics program in
+  List.iter (fun v -> Database.mark_distinct db v) distinct;
+  List.iter (fun (pred, tuples) -> Database.load db pred tuples) facts;
+  let t = { db; algorithm; incremental_aggregates = false } in
+  (match resolve t with
+  | Recursive_counting -> Recursive_counting.evaluate db
+  | Counting | Dred | Recompute | Auto -> Seminaive.evaluate db);
+  t
+
+(** Create from program text (rules and facts together, Datalog syntax). *)
+let of_source ?semantics ?algorithm ?extra_base ?distinct (src : string) : t =
+  let rules, facts = Parser.split (Parser.parse_program src) in
+  let facts =
+    List.map (fun (p, vals) -> (p, [ Tuple.of_list vals ])) facts
+  in
+  create ?semantics ?algorithm ?extra_base ?distinct ~facts rules
+
+let database t = t.db
+let program t = Database.program t.db
+let relation t pred = Database.relation t.db pred
+let semantics t = Database.semantics t.db
+
+(** Apply one batch of base-relation changes with the configured
+    algorithm.  Returns the set transitions per derived predicate. *)
+let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
+  match resolve t with
+  | Counting ->
+    let report = Counting.maintain t.db changes in
+    (match Database.semantics t.db with
+    | Database.Set_semantics -> report.Counting.propagated_deltas
+    | Database.Duplicate_semantics -> report.Counting.view_deltas)
+  | Dred ->
+    let report = Dred.maintain t.db changes in
+    report.Dred.view_deltas
+  | Recursive_counting -> Recursive_counting.maintain t.db changes
+  | Recompute | Auto ->
+    recompute_maintain t.db changes;
+    []
+
+let insert t pred tuples =
+  apply t (Changes.insertions (program t) pred tuples)
+
+let delete t pred tuples =
+  apply t (Changes.deletions (program t) pred tuples)
+
+let update t pred ~old_tuple ~new_tuple =
+  apply t (Changes.update (program t) pred ~old_tuple ~new_tuple)
+
+let maintainer t : Rule_changes.maintainer =
+ fun db changes ->
+  match resolve t with
+  | Counting -> ignore (Counting.maintain db changes)
+  | Dred -> ignore (Dred.maintain db changes)
+  | Recursive_counting -> ignore (Recursive_counting.maintain db changes)
+  | Recompute | Auto -> recompute_maintain db changes
+
+(** Opt every GROUPBY subgoal of the program into persistent incremental
+    aggregation ([DAJ91] accumulators; see {!Ivm_eval.Agg_index}):
+    subsequent maintenance computes aggregate deltas from running group
+    states instead of re-scanning touched groups. *)
+let rec enable_incremental_aggregates (t : t) : unit =
+  t.incremental_aggregates <- true;
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun lit ->
+          match lit with
+          | Ast.Lagg agg ->
+            ignore
+              (Database.register_agg_index t.db
+                 (Ivm_eval.Compile.compile_agg_spec agg))
+          | Ast.Lpos _ | Ast.Lneg _ | Ast.Lcmp _ -> ())
+        rule.Ast.body)
+    (Program.rules (Database.program t.db))
+
+(** Add a rule to the program, incrementally maintaining all views
+    (Section 7, view redefinition). *)
+and add_rule (t : t) (rule : Ast.rule) : unit =
+  t.db <- Rule_changes.add_rule t.db ~maintain:(maintainer t) rule;
+  (* rebuilding the program produced a fresh database: re-register *)
+  if t.incremental_aggregates then enable_incremental_aggregates t
+
+let add_rule_text (t : t) (src : string) : unit = add_rule t (Parser.parse_rule src)
+
+(** Remove a rule (matched structurally), incrementally maintaining all
+    views. *)
+let remove_rule (t : t) (rule : Ast.rule) : unit =
+  t.db <- Rule_changes.remove_rule t.db ~maintain:(maintainer t) rule;
+  if t.incremental_aggregates then enable_incremental_aggregates t
+
+let remove_rule_text (t : t) (src : string) : unit =
+  remove_rule t (Parser.parse_rule src)
+
+(** Audit: recompute every view from scratch and compare with the
+    maintained materializations.  [Ok ()] when they agree (counts included
+    under count-bearing configurations, sets under DRed). *)
+let audit (t : t) : (unit, string) result =
+  let fresh = Database.copy t.db in
+  (match resolve t with
+  | Recursive_counting -> Recursive_counting.evaluate fresh
+  | Counting | Dred | Recompute | Auto -> Seminaive.evaluate fresh);
+  let compare_counts =
+    match resolve t with
+    | Counting | Recursive_counting -> true
+    | Dred | Recompute | Auto -> false
+  in
+  let bad =
+    List.filter_map
+      (fun p ->
+        let a = Database.relation t.db p and b = Database.relation fresh p in
+        let same =
+          if compare_counts then Relation.equal_counted a b
+          else Relation.equal_sets a b
+        in
+        if same then None
+        else
+          Some
+            (Printf.sprintf "%s: maintained %s <> recomputed %s" p
+               (Relation.to_string a) (Relation.to_string b)))
+      (Program.derived_preds (program t))
+  in
+  match bad with [] -> Ok () | msgs -> Error (String.concat "\n" msgs)
+
+let pp ppf t = Database.pp ppf t.db

@@ -1,0 +1,94 @@
+(** The library's front door: a materialized-view database plus an
+    incremental-maintenance policy.
+
+    A manager owns a {!Ivm_eval.Database} (program + stored relations with
+    derivation counts) and routes every change batch through one of the
+    paper's algorithms; [Auto] follows the paper's own recommendation —
+    counting for nonrecursive programs, DRed otherwise (Section 1). *)
+
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Ast = Ivm_datalog.Ast
+module Program = Ivm_datalog.Program
+module Database = Ivm_eval.Database
+
+type algorithm =
+  | Counting  (** Algorithm 4.1; nonrecursive programs, either semantics *)
+  | Dred  (** Section 7; any stratified program, set semantics *)
+  | Recursive_counting
+      (** [GKM92]: counts through recursion, duplicate semantics; diverges
+          (detected) on cyclic data *)
+  | Recompute  (** the from-scratch baseline *)
+  | Auto  (** counting if nonrecursive, else DRed *)
+
+val algorithm_name : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+
+type t
+
+(** Create a manager from rules and initial base facts; materializes all
+    views eagerly.  [extra_base] declares base relations (name, arity) not
+    otherwise mentioned. *)
+val create :
+  ?semantics:Database.semantics ->
+  ?algorithm:algorithm ->
+  ?extra_base:(string * int) list ->
+  ?distinct:string list ->
+  ?facts:(string * Tuple.t list) list ->
+  Ast.rule list ->
+  t
+
+(** Create from Datalog source text (rules and facts together). *)
+val of_source :
+  ?semantics:Database.semantics ->
+  ?algorithm:algorithm ->
+  ?extra_base:(string * int) list ->
+  ?distinct:string list ->
+  string ->
+  t
+
+val database : t -> Database.t
+val program : t -> Program.t
+val relation : t -> string -> Relation.t
+val semantics : t -> Database.semantics
+val algorithm : t -> algorithm
+
+(** The algorithm [Auto] resolves to on the current program. *)
+val resolve : t -> algorithm
+
+(** Apply one batch of base-relation changes.  Returns the per-view deltas
+    (set transitions under set semantics / DRed, count deltas under
+    duplicate semantics); empty for [Recompute]. *)
+val apply : t -> Changes.t -> (string * Relation.t) list
+
+val insert : t -> string -> Tuple.t list -> (string * Relation.t) list
+val delete : t -> string -> Tuple.t list -> (string * Relation.t) list
+
+val update :
+  t -> string -> old_tuple:Tuple.t -> new_tuple:Tuple.t ->
+  (string * Relation.t) list
+
+(** Opt every GROUPBY subgoal of the program into persistent incremental
+    aggregation ([DAJ91] accumulators, {!Ivm_eval.Agg_index}): subsequent
+    maintenance computes aggregate deltas from running group states
+    instead of re-scanning touched groups. *)
+val enable_incremental_aggregates : t -> unit
+
+(** Add a rule to the program, incrementally maintaining all views
+    (Section 7's view redefinition). *)
+val add_rule : t -> Ast.rule -> unit
+
+val add_rule_text : t -> string -> unit
+
+(** Remove a rule (matched structurally), incrementally maintaining all
+    views.  @raise Rule_changes.Unknown_rule if absent. *)
+val remove_rule : t -> Ast.rule -> unit
+
+val remove_rule_text : t -> string -> unit
+
+(** Recompute every view from scratch and compare with the maintained
+    materializations: [Ok ()] when they agree (with counts under
+    count-bearing configurations, as sets under DRed/Recompute). *)
+val audit : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/datalog/ast.ml: Ivm_relation List Set Stdlib String

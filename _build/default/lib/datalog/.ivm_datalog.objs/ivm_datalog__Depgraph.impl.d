@@ -1,0 +1,1 @@
+lib/datalog/depgraph.ml: Array Ast Hashtbl List Printf String

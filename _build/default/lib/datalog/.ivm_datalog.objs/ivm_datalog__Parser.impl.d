@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Array Ast Ivm_relation Lexer List Option Printf

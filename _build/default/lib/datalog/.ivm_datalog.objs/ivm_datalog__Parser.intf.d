@@ -1,0 +1,1 @@
+lib/datalog/parser.mli: Ast Ivm_relation

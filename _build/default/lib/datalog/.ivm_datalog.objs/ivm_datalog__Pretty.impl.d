@@ -1,0 +1,1 @@
+lib/datalog/pretty.ml: Ast Format Ivm_relation

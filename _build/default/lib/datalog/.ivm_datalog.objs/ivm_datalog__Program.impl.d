@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Ast Depgraph Format Hashtbl List Option Parser Pretty Safety String

@@ -1,0 +1,1 @@
+lib/datalog/program.mli: Ast Depgraph Format

@@ -1,0 +1,1 @@
+lib/datalog/safety.ml: Array Ast Format List Pretty Sset

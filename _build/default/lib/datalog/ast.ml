@@ -1,0 +1,135 @@
+(** Abstract syntax of the Datalog dialect of the paper (Section 3):
+    Datalog with stratified negation [VG86, ABW88] and stratified
+    aggregation [Mum91], plus arithmetic expressions and comparison
+    literals, so Example 6.2's [hop(S,D,C1+C2)] and GROUPBY subgoals are
+    expressible directly. *)
+
+module Value = Ivm_relation.Value
+
+type term =
+  | Var of string  (** [X], [Source_node] — initial uppercase or [_]. *)
+  | Const of Value.t
+
+(** Arithmetic expressions, allowed in rule heads and comparison literals. *)
+type expr =
+  | Eterm of term
+  | Eadd of expr * expr
+  | Esub of expr * expr
+  | Emul of expr * expr
+  | Ediv of expr * expr
+  | Eneg of expr
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type agg_fn = Count | Sum | Min | Max | Avg
+
+(** A body or head atom.  Body atoms are restricted to terms by the safety
+    checker; head atoms may carry full expressions. *)
+type atom = { pred : string; args : expr list }
+
+(** [GROUPBY (u(S,D,C), [S,D], M = MIN(C))] — Example 6.2.  The grouped
+    relation it denotes, [T], has columns [group_by @ [result]]. *)
+type aggregate = {
+  agg_source : atom;  (** the grouped subgoal [u(S,D,C)]; args are terms. *)
+  agg_group_by : string list;  (** grouping variables, each in [agg_source]. *)
+  agg_result : string;  (** the variable bound to the aggregate value. *)
+  agg_fn : agg_fn;
+  agg_arg : expr;  (** aggregated expression over [agg_source]'s variables;
+                       ignored for [Count]. *)
+}
+
+type literal =
+  | Lpos of atom
+  | Lneg of atom  (** safe stratified negation, Section 6.1. *)
+  | Lagg of aggregate  (** stratified aggregation, Section 6.2. *)
+  | Lcmp of expr * cmp_op * expr
+      (** comparison filter; [V = expr] with [V] otherwise unbound acts as
+          a binding (computed column). *)
+
+type rule = { head : atom; body : literal list }
+
+(** A parsed program statement: a rule, or a ground fact for a base
+    relation. *)
+type statement = Srule of rule | Sfact of string * Value.t list
+
+(* -------------------------------------------------------------------- *)
+(* Variable utilities                                                    *)
+(* -------------------------------------------------------------------- *)
+
+module Sset = Set.Make (String)
+
+let term_vars = function Var v -> Sset.singleton v | Const _ -> Sset.empty
+
+let rec expr_vars = function
+  | Eterm t -> term_vars t
+  | Eadd (a, b) | Esub (a, b) | Emul (a, b) | Ediv (a, b) ->
+    Sset.union (expr_vars a) (expr_vars b)
+  | Eneg a -> expr_vars a
+
+let atom_vars a =
+  List.fold_left (fun acc e -> Sset.union acc (expr_vars e)) Sset.empty a.args
+
+let aggregate_vars agg =
+  (* Variables the aggregate literal makes visible to the rest of the rule:
+     the grouping variables and the result variable.  Other variables of the
+     source atom are local to the aggregation. *)
+  Sset.add agg.agg_result (Sset.of_list agg.agg_group_by)
+
+let aggregate_local_vars agg =
+  Sset.diff (atom_vars agg.agg_source) (Sset.of_list agg.agg_group_by)
+
+let literal_vars = function
+  | Lpos a | Lneg a -> atom_vars a
+  | Lagg agg -> aggregate_vars agg
+  | Lcmp (a, _, b) -> Sset.union (expr_vars a) (expr_vars b)
+
+let rule_vars r =
+  List.fold_left
+    (fun acc l -> Sset.union acc (literal_vars l))
+    (atom_vars r.head) r.body
+
+(** Predicates referenced by a literal (an aggregate references its grouped
+    predicate). *)
+let literal_pred = function
+  | Lpos a | Lneg a -> Some a.pred
+  | Lagg agg -> Some agg.agg_source.pred
+  | Lcmp _ -> None
+
+let body_preds r = List.filter_map literal_pred r.body
+
+(* -------------------------------------------------------------------- *)
+(* Construction helpers (used pervasively by tests and examples)         *)
+(* -------------------------------------------------------------------- *)
+
+let var v = Eterm (Var v)
+let const c = Eterm (Const c)
+let sym s = const (Value.Str s)
+let num n = const (Value.Int n)
+let atom pred args = { pred; args }
+let pos pred args = Lpos (atom pred args)
+let neg pred args = Lneg (atom pred args)
+let rule head body = { head; body }
+
+let groupby ?(arg = const (Value.Int 0)) ~source ~by ~result fn =
+  Lagg
+    { agg_source = source; agg_group_by = by; agg_result = result;
+      agg_fn = fn; agg_arg = arg }
+
+let agg_fn_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+let cmp_op_name = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(** Structural equality on rules — used when maintaining views across rule
+    insertions and deletions (Section 7). *)
+let equal_rule (a : rule) (b : rule) = Stdlib.compare a b = 0

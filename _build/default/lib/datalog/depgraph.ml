@@ -1,0 +1,200 @@
+(** Predicate dependency graph, strongly connected components, and stratum
+    numbers (Definition 3.1 of the paper).
+
+    Nodes are predicate names.  There is an edge [q → p] when [q] occurs in
+    the body of a rule defining [p]; the edge is {e negative} when the
+    occurrence is under negation or inside a GROUPBY subgoal (both are
+    non-monotonic, Section 6).  A program is stratifiable iff no negative
+    edge connects two predicates of the same strongly connected component.
+
+    Stratum numbers follow the paper's convention: base predicates get
+    stratum 0, and every derived predicate gets a stratum strictly greater
+    than all predicates it depends on (outside its own SCC).  The rule
+    stratum number RSN(r) is the stratum of the head predicate. *)
+
+open Ast
+
+exception Not_stratifiable of string
+
+type edge_sign = Positive | Negative
+
+type t = {
+  preds : string array;  (** all predicate names, deterministic order *)
+  index : (string, int) Hashtbl.t;
+  succs : (int * edge_sign) list array;  (** dependency → dependent *)
+  preds_of : (int * edge_sign) list array;  (** dependent → dependencies *)
+  scc_of : int array;  (** node → SCC id; SCC ids are in topological order
+                           (dependencies have smaller ids) *)
+  sccs : int list array;  (** SCC id → member nodes *)
+  stratum : int array;  (** node → stratum number *)
+}
+
+let literal_deps lit =
+  match lit with
+  | Lpos a -> Some (a.pred, Positive)
+  | Lneg a -> Some (a.pred, Negative)
+  | Lagg agg -> Some (agg.agg_source.pred, Negative)
+  | Lcmp _ -> None
+
+(* Tarjan's strongly connected components.  Returns SCCs in topological
+   order of the condensation, dependencies first. *)
+let tarjan n succs =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun (w, _) ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      succs.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan pops a component only after all components reachable from it
+     have been popped.  Edges run dependency → dependent, so dependents pop
+     first; consing therefore leaves dependencies at the head: [!sccs] is in
+     topological order with dependencies before dependents. *)
+  !sccs
+
+(** Build the graph for a rule set.  [pred_names] must include every
+    predicate (heads, bodies and declared-but-unused base relations). *)
+let make (rules : rule list) (pred_names : string list) : t =
+  let preds = Array.of_list (List.sort_uniq String.compare pred_names) in
+  let n = Array.length preds in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i p -> Hashtbl.replace index p i) preds;
+  let id p =
+    match Hashtbl.find_opt index p with
+    | Some i -> i
+    | None -> invalid_arg ("Depgraph.make: unknown predicate " ^ p)
+  in
+  let succs = Array.make n [] and preds_of = Array.make n [] in
+  let add_edge q p sign =
+    let qi = id q and pi = id p in
+    if not (List.mem (pi, sign) succs.(qi)) then begin
+      succs.(qi) <- (pi, sign) :: succs.(qi);
+      preds_of.(pi) <- (qi, sign) :: preds_of.(pi)
+    end
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun lit ->
+          match literal_deps lit with
+          | Some (q, sign) -> add_edge q r.head.pred sign
+          | None -> ())
+        r.body)
+    rules;
+  let scc_list = tarjan n succs in
+  let n_sccs = List.length scc_list in
+  let sccs = Array.make n_sccs [] in
+  let scc_of = Array.make n (-1) in
+  List.iteri
+    (fun i members ->
+      sccs.(i) <- members;
+      List.iter (fun v -> scc_of.(v) <- i) members)
+    scc_list;
+  (* Stratifiability: no negative edge inside an SCC. *)
+  Array.iteri
+    (fun v edges ->
+      List.iter
+        (fun (w, sign) ->
+          if sign = Negative && scc_of.(v) = scc_of.(w) then
+            raise
+              (Not_stratifiable
+                 (Printf.sprintf
+                    "predicate %s depends negatively on %s within a recursive \
+                     component; the program is not stratifiable"
+                    preds.(w) preds.(v))))
+        edges)
+    succs;
+  (* Stratum numbers: longest path in the condensation.  Heads of rules are
+     derived; a predicate with no defining rule is base (stratum 0). *)
+  let has_rule = Array.make n false in
+  List.iter (fun r -> has_rule.(id r.head.pred) <- true) rules;
+  let scc_stratum = Array.make n_sccs 0 in
+  for s = 0 to n_sccs - 1 do
+    let derived = List.exists (fun v -> has_rule.(v)) sccs.(s) in
+    let max_dep =
+      List.fold_left
+        (fun acc v ->
+          List.fold_left
+            (fun acc (w, _) ->
+              let ws = scc_of.(w) in
+              if ws = s then acc else max acc scc_stratum.(ws))
+            acc preds_of.(v))
+        (-1) sccs.(s)
+    in
+    scc_stratum.(s) <- (if derived then max 1 (max_dep + 1) else 0)
+  done;
+  let stratum = Array.init n (fun v -> scc_stratum.(scc_of.(v))) in
+  { preds; index; succs; preds_of; scc_of; sccs; stratum }
+
+let pred_id g p =
+  match Hashtbl.find_opt g.index p with
+  | Some i -> i
+  | None -> invalid_arg ("Depgraph: unknown predicate " ^ p)
+
+let stratum g p = g.stratum.(pred_id g p)
+
+(** A predicate is recursive when its SCC has several members or it has a
+    self-loop. *)
+let recursive g p =
+  let v = pred_id g p in
+  let s = g.scc_of.(v) in
+  (match g.sccs.(s) with [ _ ] -> false | _ -> true)
+  || List.exists (fun (w, _) -> w = v) g.succs.(v)
+
+(** Members of [p]'s SCC (including [p]). *)
+let scc_members g p =
+  List.map (fun v -> g.preds.(v)) g.sccs.(g.scc_of.(pred_id g p))
+
+let max_stratum g = Array.fold_left max 0 g.stratum
+
+(** All predicates at the given stratum, sorted. *)
+let preds_at g k =
+  Array.to_list g.preds
+  |> List.filter (fun p -> stratum g p = k)
+
+(** SCC ids in topological order restricted to derived components. *)
+let scc_count g = Array.length g.sccs
+let scc_id g p = g.scc_of.(pred_id g p)
+let scc_preds g s = List.map (fun v -> g.preds.(v)) g.sccs.(s)
+
+(** Does [p] (transitively) depend on [q]?  Used to find the views affected
+    by a base-relation change. *)
+let depends_on g ~target:p ~on:q =
+  let n = Array.length g.preds in
+  let seen = Array.make n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter (fun (w, _) -> dfs w) g.succs.(v)
+    end
+  in
+  dfs (pred_id g q);
+  seen.(pred_id g p)

@@ -1,0 +1,46 @@
+(** Predicate dependency graph, strongly connected components, and stratum
+    numbers (Definition 3.1 of the paper).
+
+    Edges run [q → p] when [q] occurs in the body of a rule for [p];
+    occurrences under negation or inside GROUPBY are {e negative} (both
+    non-monotonic, Section 6).  A program is stratifiable iff no negative
+    edge stays within an SCC.  Base predicates get stratum 0; every
+    derived predicate sits strictly above everything it depends on outside
+    its own SCC. *)
+
+open Ast
+
+exception Not_stratifiable of string
+
+type edge_sign = Positive | Negative
+
+type t
+
+(** Build for a rule set.  [pred_names] must include every predicate. *)
+val make : rule list -> string list -> t
+
+(** @raise Invalid_argument on unknown predicates. *)
+val pred_id : t -> string -> int
+
+val stratum : t -> string -> int
+
+(** SCC of size > 1, or a self-loop. *)
+val recursive : t -> string -> bool
+
+(** Members of the predicate's SCC (itself included). *)
+val scc_members : t -> string -> string list
+
+val max_stratum : t -> int
+
+(** Predicates at the given stratum, sorted. *)
+val preds_at : t -> int -> string list
+
+val scc_count : t -> int
+
+(** SCC ids are topological: dependencies have smaller ids. *)
+val scc_id : t -> string -> int
+
+val scc_preds : t -> int -> string list
+
+(** Does [target] transitively depend on [on]? *)
+val depends_on : t -> target:string -> on:string -> bool

@@ -1,0 +1,204 @@
+(** Hand-written lexer for the Datalog dialect.  Tokens carry the line and
+    column at which they start so the parser can point at errors.
+
+    Lexical conventions (the usual Datalog ones):
+    - identifiers starting with a lowercase letter are predicate names or
+      symbolic constants ([link], [a], [tri_hop]);
+    - identifiers starting with an uppercase letter or [_] are variables;
+    - [%] and [#] start a comment that runs to the end of the line;
+    - [:-] separates head from body; both [,] and [&] conjoin body literals
+      (the paper writes [&]);
+    - [not] (or a leading [!]) negates an atom. *)
+
+exception Lex_error of string
+
+type token =
+  | IDENT of string  (** lowercase-initial: predicate or symbol *)
+  | VAR of string  (** uppercase-initial or [_]: variable *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | AMP
+  | TURNSTILE  (** [:-] *)
+  | NOT
+  | BANG
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type spanned = { tok : token; line : int; col : int }
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | VAR s -> Printf.sprintf "variable %S" s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | DOT -> "."
+  | AMP -> "&"
+  | TURNSTILE -> ":-"
+  | NOT -> "not"
+  | BANG -> "!"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z')
+let is_var_start c = (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize a whole input string.  @raise Lex_error on bad input. *)
+let tokenize (src : string) : spanned list =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let tokens = ref [] in
+  let emit tok pos = tokens := { tok; line = !line; col = pos - !bol + 1 } :: !tokens in
+  let fail pos msg =
+    raise
+      (Lex_error
+         (Printf.sprintf "line %d, column %d: %s" !line (pos - !bol + 1) msg))
+  in
+  let rec go i =
+    if i >= n then emit EOF i
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+        incr line;
+        bol := i + 1;
+        go (i + 1)
+      | '%' | '#' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | '(' -> emit LPAREN i; go (i + 1)
+      | ')' -> emit RPAREN i; go (i + 1)
+      | '[' -> emit LBRACKET i; go (i + 1)
+      | ']' -> emit RBRACKET i; go (i + 1)
+      | ',' -> emit COMMA i; go (i + 1)
+      | '.' -> emit DOT i; go (i + 1)
+      | '&' -> emit AMP i; go (i + 1)
+      | '+' -> emit PLUS i; go (i + 1)
+      | '*' -> emit STAR i; go (i + 1)
+      | '/' -> emit SLASH i; go (i + 1)
+      | '-' -> emit MINUS i; go (i + 1)
+      | ':' ->
+        if i + 1 < n && src.[i + 1] = '-' then begin
+          emit TURNSTILE i;
+          go (i + 2)
+        end
+        else fail i "expected ':-'"
+      | '=' -> emit EQ i; go (i + 1)
+      | '!' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin
+          emit NEQ i;
+          go (i + 2)
+        end
+        else begin
+          emit BANG i;
+          go (i + 1)
+        end
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin
+          emit LE i;
+          go (i + 2)
+        end
+        else if i + 1 < n && src.[i + 1] = '>' then begin
+          emit NEQ i;
+          go (i + 2)
+        end
+        else begin
+          emit LT i;
+          go (i + 1)
+        end
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin
+          emit GE i;
+          go (i + 2)
+        end
+        else begin
+          emit GT i;
+          go (i + 1)
+        end
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then fail i "unterminated string literal"
+          else
+            match src.[j] with
+            | '"' -> j + 1
+            | '\\' ->
+              if j + 1 >= n then fail i "unterminated escape"
+              else begin
+                (match src.[j + 1] with
+                | 'n' -> Buffer.add_char buf '\n'
+                | 't' -> Buffer.add_char buf '\t'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '"' -> Buffer.add_char buf '"'
+                | c -> fail (j + 1) (Printf.sprintf "bad escape '\\%c'" c));
+                str (j + 2)
+              end
+            | '\n' -> fail j "newline in string literal"
+            | c ->
+              Buffer.add_char buf c;
+              str (j + 1)
+        in
+        let j = str (i + 1) in
+        emit (STRING (Buffer.contents buf)) i;
+        go j
+      | c when is_digit c ->
+        let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+        let j = digits i in
+        if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
+          let k = digits (j + 1) in
+          emit (FLOAT (float_of_string (String.sub src i (k - i)))) i;
+          go k
+        end
+        else begin
+          emit (INT (int_of_string (String.sub src i (j - i)))) i;
+          go j
+        end
+      | c when is_ident_start c || is_var_start c ->
+        let rec word j = if j < n && is_ident_char src.[j] then word (j + 1) else j in
+        let j = word i in
+        let s = String.sub src i (j - i) in
+        (if s = "not" then emit NOT i
+         else if is_var_start c then emit (VAR s) i
+         else emit (IDENT s) i);
+        go j
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !tokens

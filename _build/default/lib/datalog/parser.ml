@@ -1,0 +1,329 @@
+(** Recursive-descent parser for the Datalog dialect.
+
+    Grammar (statements end with ['.']; [%]/[#] comments):
+    {v
+      statement := atom ( ":-" literal (("," | "&") literal)* )? "."
+      literal   := ("not" | "!") atom
+                 | "groupby" "(" atom "," "[" vars "]" "," VAR "=" aggcall ")"
+                 | atom
+                 | expr cmp expr
+      aggcall   := ("min"|"max"|"sum"|"avg") "(" expr ")" | "count" "(" expr? ")"
+      cmp       := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+      expr      := additive arithmetic over variables and constants
+    v}
+
+    A bodyless statement whose arguments are all ground is a fact
+    ([link(a, b).]); the identifiers [true] and [false] denote booleans. *)
+
+open Ast
+module Value = Ivm_relation.Value
+
+exception Parse_error of string
+
+type state = { toks : Lexer.spanned array; mutable pos : int }
+
+let fail_at (s : state) msg =
+  let { Lexer.tok; line; col } = s.toks.(min s.pos (Array.length s.toks - 1)) in
+  raise
+    (Parse_error
+       (Printf.sprintf "line %d, column %d: %s (found %s)" line col msg
+          (Lexer.token_to_string tok)))
+
+let peek s = s.toks.(s.pos).Lexer.tok
+let peek2 s =
+  if s.pos + 1 < Array.length s.toks then s.toks.(s.pos + 1).Lexer.tok
+  else Lexer.EOF
+
+let advance s = s.pos <- s.pos + 1
+
+let expect s tok what =
+  if peek s = tok then advance s else fail_at s ("expected " ^ what)
+
+(* ---------------------------------------------------------------- *)
+(* Expressions                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let rec parse_expr s = parse_additive s
+
+and parse_additive s =
+  let rec loop acc =
+    match peek s with
+    | Lexer.PLUS ->
+      advance s;
+      loop (Eadd (acc, parse_multiplicative s))
+    | Lexer.MINUS ->
+      advance s;
+      loop (Esub (acc, parse_multiplicative s))
+    | _ -> acc
+  in
+  loop (parse_multiplicative s)
+
+and parse_multiplicative s =
+  let rec loop acc =
+    match peek s with
+    | Lexer.STAR ->
+      advance s;
+      loop (Emul (acc, parse_unary s))
+    | Lexer.SLASH ->
+      advance s;
+      loop (Ediv (acc, parse_unary s))
+    | _ -> acc
+  in
+  loop (parse_unary s)
+
+and parse_unary s =
+  match peek s with
+  | Lexer.MINUS ->
+    advance s;
+    Eneg (parse_unary s)
+  | _ -> parse_primary s
+
+and parse_primary s =
+  match peek s with
+  | Lexer.INT n ->
+    advance s;
+    Eterm (Const (Value.Int n))
+  | Lexer.FLOAT f ->
+    advance s;
+    Eterm (Const (Value.Float f))
+  | Lexer.STRING str ->
+    advance s;
+    Eterm (Const (Value.Str str))
+  | Lexer.VAR v ->
+    advance s;
+    Eterm (Var v)
+  | Lexer.IDENT "true" ->
+    advance s;
+    Eterm (Const (Value.Bool true))
+  | Lexer.IDENT "false" ->
+    advance s;
+    Eterm (Const (Value.Bool false))
+  | Lexer.IDENT name ->
+    advance s;
+    Eterm (Const (Value.Str name))
+  | Lexer.LPAREN ->
+    advance s;
+    let e = parse_expr s in
+    expect s Lexer.RPAREN "')'";
+    e
+  | _ -> fail_at s "expected an expression"
+
+(* ---------------------------------------------------------------- *)
+(* Atoms and literals                                                *)
+(* ---------------------------------------------------------------- *)
+
+let parse_args s =
+  expect s Lexer.LPAREN "'('";
+  if peek s = Lexer.RPAREN then begin
+    advance s;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = parse_expr s in
+      match peek s with
+      | Lexer.COMMA ->
+        advance s;
+        loop (e :: acc)
+      | Lexer.RPAREN ->
+        advance s;
+        List.rev (e :: acc)
+      | _ -> fail_at s "expected ',' or ')' in argument list"
+    in
+    loop []
+  end
+
+let parse_atom s =
+  match peek s with
+  | Lexer.IDENT name ->
+    advance s;
+    if peek s = Lexer.LPAREN then { pred = name; args = parse_args s }
+    else { pred = name; args = [] }
+  | _ -> fail_at s "expected a predicate name"
+
+let parse_var s =
+  match peek s with
+  | Lexer.VAR v ->
+    advance s;
+    v
+  | _ -> fail_at s "expected a variable"
+
+let parse_var_list s =
+  expect s Lexer.LBRACKET "'['";
+  if peek s = Lexer.RBRACKET then begin
+    advance s;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let v = parse_var s in
+      match peek s with
+      | Lexer.COMMA ->
+        advance s;
+        loop (v :: acc)
+      | Lexer.RBRACKET ->
+        advance s;
+        List.rev (v :: acc)
+      | _ -> fail_at s "expected ',' or ']' in grouping list"
+    in
+    loop []
+  end
+
+let parse_agg_fn s =
+  match peek s with
+  | Lexer.IDENT "min" -> advance s; Min
+  | Lexer.IDENT "max" -> advance s; Max
+  | Lexer.IDENT "sum" -> advance s; Sum
+  | Lexer.IDENT "avg" -> advance s; Avg
+  | Lexer.IDENT "count" -> advance s; Count
+  | _ -> fail_at s "expected an aggregate function (min/max/sum/avg/count)"
+
+let parse_aggregate s =
+  (* "groupby" already consumed up to its '('. *)
+  expect s Lexer.LPAREN "'(' after groupby";
+  let source = parse_atom s in
+  expect s Lexer.COMMA "','";
+  let by = parse_var_list s in
+  expect s Lexer.COMMA "','";
+  let result = parse_var s in
+  expect s Lexer.EQ "'='";
+  let fn = parse_agg_fn s in
+  expect s Lexer.LPAREN "'('";
+  let arg =
+    if peek s = Lexer.RPAREN then begin
+      if fn <> Count then fail_at s "aggregate function needs an argument";
+      Eterm (Const (Value.Int 0))
+    end
+    else parse_expr s
+  in
+  expect s Lexer.RPAREN "')'";
+  expect s Lexer.RPAREN "')' closing groupby";
+  Lagg
+    { agg_source = source; agg_group_by = by; agg_result = result;
+      agg_fn = fn; agg_arg = arg }
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Eq
+  | Lexer.NEQ -> Some Neq
+  | Lexer.LT -> Some Lt
+  | Lexer.LE -> Some Le
+  | Lexer.GT -> Some Gt
+  | Lexer.GE -> Some Ge
+  | _ -> None
+
+let parse_literal s =
+  match peek s with
+  | Lexer.NOT | Lexer.BANG ->
+    advance s;
+    Lneg (parse_atom s)
+  | Lexer.IDENT "groupby" when peek2 s = Lexer.LPAREN ->
+    advance s;
+    parse_aggregate s
+  | Lexer.IDENT _ when peek2 s = Lexer.LPAREN -> Lpos (parse_atom s)
+  | _ -> (
+    let e = parse_expr s in
+    match cmp_of_token (peek s) with
+    | Some op ->
+      advance s;
+      let e2 = parse_expr s in
+      Lcmp (e, op, e2)
+    | None -> (
+      (* A bare lowercase identifier with no comparison is a 0-ary atom. *)
+      match e with
+      | Eterm (Const (Value.Str name)) -> Lpos { pred = name; args = [] }
+      | _ -> fail_at s "expected a comparison operator or a body atom"))
+
+(* ---------------------------------------------------------------- *)
+(* Statements                                                        *)
+(* ---------------------------------------------------------------- *)
+
+(** Evaluate an argument expression that contains no variables, for fact
+    arguments like [link(a, -3)]. *)
+let rec const_fold = function
+  | Eterm (Const c) -> Some c
+  | Eterm (Var _) -> None
+  | Eadd (a, b) -> fold2 Value.add a b
+  | Esub (a, b) -> fold2 Value.sub a b
+  | Emul (a, b) -> fold2 Value.mul a b
+  | Ediv (a, b) -> fold2 Value.div a b
+  | Eneg a -> Option.map Value.neg (const_fold a)
+
+and fold2 op a b =
+  match const_fold a, const_fold b with
+  | Some x, Some y -> Some (op x y)
+  | _ -> None
+
+let parse_statement s =
+  let head = parse_atom s in
+  match peek s with
+  | Lexer.DOT ->
+    advance s;
+    let consts = List.map const_fold head.args in
+    if List.for_all Option.is_some consts then
+      Sfact (head.pred, List.map Option.get consts)
+    else Srule { head; body = [] }
+  | Lexer.TURNSTILE ->
+    advance s;
+    let rec body acc =
+      let l = parse_literal s in
+      match peek s with
+      | Lexer.COMMA | Lexer.AMP ->
+        advance s;
+        body (l :: acc)
+      | Lexer.DOT ->
+        advance s;
+        List.rev (l :: acc)
+      | _ -> fail_at s "expected ',', '&' or '.' after a body literal"
+    in
+    Srule { head; body = body [] }
+  | _ -> fail_at s "expected '.' or ':-' after the rule head"
+
+(** Parse a whole program text into statements.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)
+let parse_program (src : string) : statement list =
+  let s = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec loop acc =
+    if peek s = Lexer.EOF then List.rev acc else loop (parse_statement s :: acc)
+  in
+  loop []
+
+(** Split parsed statements into rules and facts (in input order). *)
+let split statements =
+  let rules = List.filter_map (function Srule r -> Some r | Sfact _ -> None) statements in
+  let facts =
+    List.filter_map (function Sfact (p, vs) -> Some (p, vs) | Srule _ -> None) statements
+  in
+  (rules, facts)
+
+(** Parse a source text consisting of rules only. *)
+let parse_rules src =
+  let rules, facts = split (parse_program src) in
+  match facts with
+  | [] -> rules
+  | (p, _) :: _ ->
+    raise (Parse_error (Printf.sprintf "unexpected fact for %s (rules only)" p))
+
+(** Parse one rule. *)
+let parse_rule src =
+  match parse_rules src with
+  | [ r ] -> r
+  | rs -> raise (Parse_error (Printf.sprintf "expected one rule, got %d" (List.length rs)))
+
+(** Parse a bare conjunction of body literals — an ad-hoc query, e.g.
+    ["hop(a, X), link(X, Y), Y != a"].  A trailing '.' is optional. *)
+let parse_body (src : string) : Ast.literal list =
+  let s = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec loop acc =
+    let l = parse_literal s in
+    match peek s with
+    | Lexer.COMMA | Lexer.AMP ->
+      advance s;
+      loop (l :: acc)
+    | Lexer.DOT ->
+      advance s;
+      if peek s = Lexer.EOF then List.rev (l :: acc)
+      else fail_at s "expected end of query after '.'"
+    | Lexer.EOF -> List.rev (l :: acc)
+    | _ -> fail_at s "expected ',', '&' or end of query"
+  in
+  loop []

@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the Datalog dialect (see {!Lexer} for the
+    lexical conventions).
+
+    {v
+      statement := atom ( ":-" literal (("," | "&") literal)* )? "."
+      literal   := ("not" | "!") atom
+                 | "groupby" "(" atom "," "[" vars "]" "," VAR "=" aggcall ")"
+                 | atom
+                 | expr cmp expr
+      aggcall   := ("min"|"max"|"sum"|"avg") "(" expr ")" | "count" "(" ")"
+      cmp       := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    v}
+
+    A bodyless statement whose arguments are all ground is a fact. *)
+
+exception Parse_error of string
+
+(** Parse program text into statements.
+    @raise Parse_error / {!Lexer.Lex_error} on malformed input. *)
+val parse_program : string -> Ast.statement list
+
+(** Split statements into rules and facts, preserving order. *)
+val split : Ast.statement list -> Ast.rule list * (string * Ivm_relation.Value.t list) list
+
+(** Rules-only source text.  @raise Parse_error if it contains facts. *)
+val parse_rules : string -> Ast.rule list
+
+(** Exactly one rule. *)
+val parse_rule : string -> Ast.rule
+
+(** A bare conjunction of body literals — an ad-hoc query like
+    ["hop(a, X), link(X, Y), Y != a"] (trailing '.' optional). *)
+val parse_body : string -> Ast.literal list

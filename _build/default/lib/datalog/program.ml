@@ -1,0 +1,159 @@
+(** A validated Datalog program: rules plus derived metadata — predicate
+    arities, base/derived split, dependency graph, stratum numbers, and the
+    rule stratum numbers (RSN) that drive Algorithm 4.1 and DRed. *)
+
+open Ast
+
+exception Program_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Program_error s)) fmt
+
+type pred_info = {
+  name : string;
+  arity : int;
+  is_base : bool;
+  stratum : int;
+  recursive : bool;
+  defining_rules : rule list;  (** rules with this predicate in the head *)
+}
+
+type t = {
+  rules : rule list;
+  graph : Depgraph.t;
+  preds : (string, pred_info) Hashtbl.t;
+  max_stratum : int;
+}
+
+let pred_arities rules extra_base =
+  let arities : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let note pred arity ctx =
+    match Hashtbl.find_opt arities pred with
+    | None -> Hashtbl.replace arities pred arity
+    | Some a when a = arity -> ()
+    | Some a ->
+      fail "predicate %s used with arities %d and %d (%s)" pred a arity ctx
+  in
+  List.iter
+    (fun r ->
+      let ctx = Pretty.rule_to_string r in
+      note r.head.pred (List.length r.head.args) ctx;
+      List.iter
+        (fun lit ->
+          match lit with
+          | Lpos a | Lneg a -> note a.pred (List.length a.args) ctx
+          | Lagg agg ->
+            note agg.agg_source.pred (List.length agg.agg_source.args) ctx
+          | Lcmp _ -> ())
+        r.body)
+    rules;
+  List.iter (fun (p, a) -> note p a "declared base relation") extra_base;
+  arities
+
+(** Build and validate a program.
+
+    [extra_base] declares base relations (name, arity) that should exist
+    even if no rule or fact mentions them.  Base relations are exactly the
+    predicates with no defining rule.
+    @raise Program_error on arity clashes or a base relation in a head
+    position conflict; @raise Safety.Unsafe on unsafe rules;
+    @raise Depgraph.Not_stratifiable when negation/aggregation occurs inside
+    recursion. *)
+let make ?(extra_base : (string * int) list = []) (rules : rule list) : t =
+  Safety.check_program rules;
+  let arities = pred_arities rules extra_base in
+  let names = Hashtbl.fold (fun p _ acc -> p :: acc) arities [] in
+  let graph = Depgraph.make rules names in
+  let by_head : (string, rule list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_head r.head.pred) in
+      Hashtbl.replace by_head r.head.pred (prev @ [ r ]))
+    rules;
+  let preds = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name arity ->
+      let defining_rules =
+        Option.value ~default:[] (Hashtbl.find_opt by_head name)
+      in
+      Hashtbl.replace preds name
+        {
+          name;
+          arity;
+          is_base = defining_rules = [];
+          stratum = Depgraph.stratum graph name;
+          recursive = Depgraph.recursive graph name;
+          defining_rules;
+        })
+    arities;
+  { rules; graph; preds; max_stratum = Depgraph.max_stratum graph }
+
+(** Parse source text (rules only) and build the program. *)
+let of_source ?extra_base src = make ?extra_base (Parser.parse_rules src)
+
+let pred_info t name =
+  match Hashtbl.find_opt t.preds name with
+  | Some i -> i
+  | None -> fail "unknown predicate %s" name
+
+let mem_pred t name = Hashtbl.mem t.preds name
+let arity t name = (pred_info t name).arity
+let is_base t name = (pred_info t name).is_base
+let is_derived t name = not (is_base t name)
+let stratum t name = (pred_info t name).stratum
+let recursive t name = (pred_info t name).recursive
+let rules_for t name = (pred_info t name).defining_rules
+let rsn t (r : rule) = stratum t r.head.pred
+let rules t = t.rules
+let graph t = t.graph
+let max_stratum t = t.max_stratum
+
+let fold_preds f t init = Hashtbl.fold (fun _ info acc -> f info acc) t.preds init
+
+let base_preds t =
+  fold_preds (fun i acc -> if i.is_base then i.name :: acc else acc) t []
+  |> List.sort String.compare
+
+let derived_preds t =
+  fold_preds (fun i acc -> if i.is_base then acc else i.name :: acc) t []
+  |> List.sort String.compare
+
+(** Derived predicates ordered by (stratum, name): the order in which both
+    initial evaluation and the maintenance algorithms visit them. *)
+let derived_in_stratum_order t =
+  derived_preds t
+  |> List.map (fun p -> (stratum t p, p))
+  |> List.sort compare
+  |> List.map snd
+
+(** Derived predicates of stratum [k]. *)
+let derived_at t k = List.filter (fun p -> stratum t p = k) (derived_preds t)
+
+(** True when no derived predicate is recursive — the domain of the
+    counting algorithm (Section 4). *)
+let nonrecursive t = not (fold_preds (fun i acc -> acc || i.recursive) t false)
+
+(** Partition derived predicates into maintenance units, in dependency
+    order: each unit is one SCC of mutually recursive predicates (a
+    singleton for nonrecursive ones).  DRed processes units in this order
+    ("stratum by stratum", Section 7). *)
+let recursive_units t =
+  let g = t.graph in
+  let units = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let s = Depgraph.scc_id g p in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt units s) in
+      Hashtbl.replace units s (p :: prev))
+    (derived_preds t);
+  Hashtbl.fold (fun s members acc -> (s, List.sort String.compare members) :: acc) units []
+  |> List.sort compare
+  |> List.map snd
+
+(** All derived predicates that transitively depend on any of [changed]. *)
+let affected_views t ~changed =
+  List.filter
+    (fun p ->
+      List.exists (fun q -> mem_pred t q && Depgraph.depends_on t.graph ~target:p ~on:q) changed)
+    (derived_preds t)
+
+let pp ppf t = Pretty.pp_program ppf t.rules

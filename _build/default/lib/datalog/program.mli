@@ -1,0 +1,71 @@
+(** A validated Datalog program: rules plus derived metadata — predicate
+    arities, base/derived split, dependency graph, and the stratum numbers
+    (Definition 3.1) that drive Algorithm 4.1's rule ordering (RSN) and
+    DRed's stratum-by-stratum processing. *)
+
+open Ast
+
+exception Program_error of string
+
+type pred_info = {
+  name : string;
+  arity : int;
+  is_base : bool;  (** no defining rule: an edb relation *)
+  stratum : int;  (** SN; base predicates have stratum 0 *)
+  recursive : bool;  (** in an SCC of size > 1, or self-dependent *)
+  defining_rules : rule list;
+}
+
+type t
+
+(** Build and validate.  [extra_base] declares base relations (name,
+    arity) that exist even if unmentioned.
+    @raise Program_error on arity clashes;
+    @raise Safety.Unsafe on unsafe rules;
+    @raise Depgraph.Not_stratifiable when negation or aggregation occurs
+    inside recursion. *)
+val make : ?extra_base:(string * int) list -> rule list -> t
+
+(** Parse source text (rules only) and build. *)
+val of_source : ?extra_base:(string * int) list -> string -> t
+
+(** @raise Program_error on unknown predicates. *)
+val pred_info : t -> string -> pred_info
+
+val mem_pred : t -> string -> bool
+val arity : t -> string -> int
+val is_base : t -> string -> bool
+val is_derived : t -> string -> bool
+val stratum : t -> string -> int
+val recursive : t -> string -> bool
+val rules_for : t -> string -> rule list
+
+(** Rule stratum number: the stratum of the head predicate. *)
+val rsn : t -> rule -> int
+
+val rules : t -> rule list
+val graph : t -> Depgraph.t
+val max_stratum : t -> int
+val fold_preds : (pred_info -> 'a -> 'a) -> t -> 'a -> 'a
+val base_preds : t -> string list
+val derived_preds : t -> string list
+
+(** Derived predicates ordered by (stratum, name) — the visiting order of
+    initial evaluation and of the counting algorithm. *)
+val derived_in_stratum_order : t -> string list
+
+val derived_at : t -> int -> string list
+
+(** No derived predicate is recursive — the domain of the counting
+    algorithm (Section 4). *)
+val nonrecursive : t -> bool
+
+(** Maintenance units in dependency order: each unit is one SCC of
+    mutually recursive predicates (singletons for nonrecursive ones).
+    DRed processes units in this order (Section 7). *)
+val recursive_units : t -> string list list
+
+(** Derived predicates transitively depending on any of [changed]. *)
+val affected_views : t -> changed:string list -> string list
+
+val pp : Format.formatter -> t -> unit

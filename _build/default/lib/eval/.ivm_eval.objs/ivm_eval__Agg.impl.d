@@ -1,0 +1,1 @@
+lib/eval/agg.ml: Ivm_datalog Ivm_relation Map Option Seq

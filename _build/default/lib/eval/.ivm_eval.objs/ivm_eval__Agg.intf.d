@@ -1,0 +1,1 @@
+lib/eval/agg.mli: Ivm_datalog Ivm_relation Seq

@@ -1,0 +1,1 @@
+lib/eval/agg_index.ml: Agg Array Compile Hashtbl Ivm_relation List Rule_eval

@@ -1,0 +1,1 @@
+lib/eval/agg_index.mli: Compile Ivm_relation

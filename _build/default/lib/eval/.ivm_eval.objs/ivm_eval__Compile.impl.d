@@ -1,0 +1,1 @@
+lib/eval/compile.ml: Array Buffer Ivm_datalog Ivm_relation List Map Printf String

@@ -1,0 +1,1 @@
+lib/eval/compile.mli: Ivm_datalog Ivm_relation

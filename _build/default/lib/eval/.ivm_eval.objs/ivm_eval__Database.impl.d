@@ -1,0 +1,1 @@
+lib/eval/database.ml: Agg_index Compile Format Hashtbl Ivm_datalog Ivm_relation List Printf Rule_eval String

@@ -1,0 +1,1 @@
+lib/eval/database.mli: Agg_index Compile Format Ivm_datalog Ivm_relation

@@ -1,0 +1,1 @@
+lib/eval/grouping.ml: Agg Array Compile Hashtbl Ivm_relation List Rule_eval Stats

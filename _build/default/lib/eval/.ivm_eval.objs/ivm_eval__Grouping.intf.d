@@ -1,0 +1,1 @@
+lib/eval/grouping.mli: Compile Ivm_relation

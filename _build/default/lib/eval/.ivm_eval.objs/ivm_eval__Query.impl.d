@@ -1,0 +1,1 @@
+lib/eval/query.ml: Array Ast Compile Database Format Hashtbl Ivm_datalog Ivm_relation List Parser Program Rule_eval Safety Seminaive String

@@ -1,0 +1,1 @@
+lib/eval/query.mli: Database Format Ivm_datalog Ivm_relation

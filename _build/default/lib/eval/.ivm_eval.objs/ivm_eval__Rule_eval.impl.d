@@ -1,0 +1,1 @@
+lib/eval/rule_eval.ml: Array Compile Ivm_datalog Ivm_relation List Printf Stats

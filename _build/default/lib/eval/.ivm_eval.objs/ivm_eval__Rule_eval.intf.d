@@ -1,0 +1,1 @@
+lib/eval/rule_eval.mli: Compile Ivm_datalog Ivm_relation

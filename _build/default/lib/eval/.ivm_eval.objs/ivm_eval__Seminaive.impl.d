@@ -1,0 +1,1 @@
+lib/eval/seminaive.ml: Array Compile Database Grouping Hashtbl Ivm_datalog Ivm_relation List Printf Rule_eval

@@ -1,0 +1,1 @@
+lib/eval/seminaive.mli: Compile Database Ivm_datalog Ivm_relation Rule_eval

@@ -1,0 +1,75 @@
+(** Incrementally maintainable aggregate accumulators, per [DAJ91] as cited
+    in Section 6.2: COUNT/SUM/AVG keep running sums; MIN/MAX keep a multiset
+    of contributing values so deletions never force a rescan of the group.
+    One {!state} holds one group's accumulator. *)
+
+module Value = Ivm_relation.Value
+open Ivm_datalog.Ast
+
+module Vmap = Map.Make (Value)
+
+type state = {
+  fn : agg_fn;
+  mutable n : int;  (** multiplicity-weighted number of contributions *)
+  mutable sum_int : int;  (** exact sum of integer contributions *)
+  mutable sum_float : float;  (** sum of float contributions *)
+  mutable n_float : int;  (** how many contributions were floats *)
+  mutable values : int Vmap.t;  (** value multiset, kept for Min/Max only *)
+}
+
+let create fn =
+  { fn; n = 0; sum_int = 0; sum_float = 0.; n_float = 0; values = Vmap.empty }
+
+let copy s = { s with fn = s.fn }
+
+let is_empty s = s.n = 0
+
+
+let touch_sum s v mult =
+  match v with
+  | Value.Int x -> s.sum_int <- s.sum_int + (x * mult)
+  | Value.Float x ->
+    s.sum_float <- s.sum_float +. (x *. float_of_int mult);
+    s.n_float <- s.n_float + mult
+  | v -> raise (Value.Type_error ("cannot aggregate over " ^ Value.to_string v))
+
+(** [update s v mult] adds [mult] occurrences of [v] ([mult < 0] removes).
+    @raise Invalid_argument when removing occurrences that were never
+    added (the caller violated Lemma 4.1's guarantee that deletions are a
+    subset of the database). *)
+let update s v mult =
+  if mult <> 0 then begin
+    s.n <- s.n + mult;
+    if s.n < 0 then invalid_arg "Agg.update: group multiplicity went negative";
+    (match s.fn with
+    | Count -> ()
+    | Sum | Avg -> touch_sum s v mult
+    | Min | Max ->
+      let cur = Option.value ~default:0 (Vmap.find_opt v s.values) in
+      let c = cur + mult in
+      if c < 0 then invalid_arg "Agg.update: value multiplicity went negative";
+      s.values <- (if c = 0 then Vmap.remove v s.values else Vmap.add v c s.values))
+  end
+
+(** Current aggregate value; [None] when the group is empty (an empty group
+    contributes no tuple to the grouped relation). *)
+let value s =
+  if s.n = 0 then None
+  else
+    match s.fn with
+    | Count -> Some (Value.Int s.n)
+    | Sum ->
+      Some
+        (if s.n_float > 0 then Value.Float (s.sum_float +. float_of_int s.sum_int)
+         else Value.Int s.sum_int)
+    | Avg ->
+      Some (Value.Float ((s.sum_float +. float_of_int s.sum_int) /. float_of_int s.n))
+    | Min -> Some (fst (Vmap.min_binding s.values))
+    | Max -> Some (fst (Vmap.max_binding s.values))
+
+(** One-shot aggregation of a value sequence (used by full recomputation
+    and by tests as the oracle). *)
+let of_seq fn seq =
+  let s = create fn in
+  Seq.iter (fun (v, mult) -> update s v mult) seq;
+  s

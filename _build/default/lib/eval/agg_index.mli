@@ -1,0 +1,41 @@
+(** Persistent incremental aggregate indexes — the fully incremental
+    reading of Algorithm 6.1 via [DAJ91] accumulators.
+
+    {!Grouping.delta} recomputes each touched group from the stored source
+    (cost: the group's size).  An index keeps one {!Agg.state} per group —
+    running sums for COUNT/SUM/AVG, a value multiset for MIN/MAX — so a
+    touched group costs [O(|Δ| log)] regardless of its size.
+
+    Deltas handed to {!delta_preview}/{!apply_delta} must be in the
+    database's propagated regime: full count deltas under duplicate
+    semantics, ±1 set transitions under set semantics (what the
+    maintenance algorithms propagate); [mult] applies to the initial build
+    only. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Relation_view = Ivm_relation.Relation_view
+
+type t
+
+val spec : t -> Compile.agg_spec
+val source_pred : t -> string
+
+(** The materialized grouped relation [T] (do not mutate). *)
+val grouped : t -> Relation.t
+
+(** Build from the current source relation. *)
+val build : ?mult:(int -> int) -> Relation_view.t -> Compile.agg_spec -> t
+
+(** [Δ(T)] for a source delta, without mutating the index (touched states
+    are cloned). *)
+val delta_preview : t -> Relation.t -> Relation.t
+
+(** Fold a committed source delta into the index; returns [Δ(T)]. *)
+val apply_delta : t -> Relation.t -> Relation.t
+
+val group_count : t -> int
+
+(** Deep copy (used by {!Database.copy}). *)
+val copy : t -> t

@@ -1,0 +1,308 @@
+(** The join engine: evaluates one compiled rule body against caller-chosen
+    relation views and emits head tuples with derivation counts.
+
+    The caller decides, per body literal, what relation stands behind it —
+    this is the whole trick of the paper's rewrites.  A delta rule
+    [Δ(p) :- s1ν & … & Δ(si) & … & sn] (Definition 4.1) is evaluated by
+    passing the new view for literals before [i], the delta relation for
+    literal [i] (the {e seed}), and the old view after; initial
+    materialization passes the stored relations everywhere with no seed.
+
+    Counts multiply across subgoals (Section 3); a per-subgoal count
+    transform implements the set-semantics clamp of Section 5.1 ("we assume
+    that each tuple of stratum [i] or less has a count of one").
+
+    Join order: the seed literal first (deltas are the most restrictive
+    input, as Section 6.1 notes), then remaining enumerable literals
+    greedily by number of bound argument positions (ties to the smaller
+    relation); negation filters, comparisons and equality binders run as
+    soon as their variables are bound. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation_view = Ivm_relation.Relation_view
+open Compile
+
+type count_xform = int -> int
+
+let identity_count c = c
+
+(** The set-semantics clamp: a true tuple counts once. *)
+let set_count c = if c > 0 then 1 else 0
+
+type subgoal_input =
+  | Enumerate of Relation_view.t * count_xform
+      (** join against this relation (positive atoms, grouped relations,
+          or a precomputed [Δ(¬Q)] for a negated delta position) *)
+  | Filter_absent of Relation_view.t
+      (** negated subgoal in a non-delta position: succeeds, with count 1,
+          when the bound tuple does {e not} hold in the view *)
+
+exception Plan_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation over a binding                                 *)
+(* ------------------------------------------------------------------ *)
+
+let term_value binding = function
+  | Cconst c -> c
+  | Cvar s -> (
+    match binding.(s) with
+    | Some v -> v
+    | None -> raise (Plan_error "unbound variable in expression"))
+
+let rec expr_value binding = function
+  | Xterm t -> term_value binding t
+  | Xadd (a, b) -> Value.add (expr_value binding a) (expr_value binding b)
+  | Xsub (a, b) -> Value.sub (expr_value binding a) (expr_value binding b)
+  | Xmul (a, b) -> Value.mul (expr_value binding a) (expr_value binding b)
+  | Xdiv (a, b) -> Value.div (expr_value binding a) (expr_value binding b)
+  | Xneg a -> Value.neg (expr_value binding a)
+
+let cmp_holds op a b =
+  let c = Value.compare a b in
+  match op with
+  | Ivm_datalog.Ast.Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching of atom argument vectors against tuples             *)
+(* ------------------------------------------------------------------ *)
+
+(** [match_pattern binding args tup undo] unifies [tup] with [args],
+    extending [binding] in place.  Returns [true] on success, pushing newly
+    bound slots onto [undo]; on failure the binding may be partially
+    extended — the caller must still unwind [undo]. *)
+let match_pattern binding (args : cterm array) (tup : Tuple.t) undo =
+  let ok = ref true in
+  let i = ref 0 in
+  let n = Array.length args in
+  while !ok && !i < n do
+    (match args.(!i) with
+    | Cconst c -> if not (Value.equal c tup.(!i)) then ok := false
+    | Cvar s -> (
+      match binding.(s) with
+      | Some v -> if not (Value.equal v tup.(!i)) then ok := false
+      | None ->
+        binding.(s) <- Some tup.(!i);
+        undo := s :: !undo));
+    incr i
+  done;
+  !ok
+
+let unwind binding undo = List.iter (fun s -> binding.(s) <- None) undo
+
+(** Probe columns of an atom under the current binding: positions whose
+    value is already known (constants and bound variables), with the key
+    values, in position order. *)
+let probe_key binding (args : cterm array) =
+  let cols = ref [] and key = ref [] in
+  for i = Array.length args - 1 downto 0 do
+    match args.(i) with
+    | Cconst c ->
+      cols := i :: !cols;
+      key := c :: !key
+    | Cvar s -> (
+      match binding.(s) with
+      | Some v ->
+        cols := i :: !cols;
+        key := v :: !key
+      | None -> ())
+  done;
+  (!cols, Tuple.of_list !key)
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type step =
+  | Sjoin of cterm array * Relation_view.t * count_xform
+  | Sneg of cterm array * Relation_view.t
+  | Scmp of cexpr * Ivm_datalog.Ast.cmp_op * cexpr
+  | Sbind of slot * cexpr
+
+let lit_args = function
+  | Catom a | Cneg a -> a.cargs
+  | Cagg (_, args) -> args
+  | Ccmp _ -> [||]
+
+let cterm_slots args =
+  Array.to_list args |> List.filter_map (function Cvar s -> Some s | Cconst _ -> None)
+
+let rec cexpr_slots = function
+  | Xterm (Cvar s) -> [ s ]
+  | Xterm (Cconst _) -> []
+  | Xadd (a, b) | Xsub (a, b) | Xmul (a, b) | Xdiv (a, b) ->
+    cexpr_slots a @ cexpr_slots b
+  | Xneg a -> cexpr_slots a
+
+let build_plan ?seed ~(inputs : int -> subgoal_input) (cr : Compile.t) : step list =
+  let n = Array.length cr.clits in
+  let placed = Array.make n false in
+  let bound = Array.make cr.nslots false in
+  let steps = ref [] in
+  let push s = steps := s :: !steps in
+  let bind_args args =
+    List.iter (fun s -> bound.(s) <- true) (cterm_slots args)
+  in
+  let all_bound slots = List.for_all (fun s -> bound.(s)) slots in
+  let place_join i =
+    placed.(i) <- true;
+    let args = lit_args cr.clits.(i) in
+    (match inputs i with
+    | Enumerate (view, xform) -> push (Sjoin (args, view, xform))
+    | Filter_absent _ ->
+      raise (Plan_error "cannot enumerate a negated subgoal without a delta"));
+    bind_args args
+  in
+  (* Place every filter / binder whose prerequisites are met. *)
+  let rec settle () =
+    let progress = ref false in
+    Array.iteri
+      (fun i lit ->
+        if not placed.(i) then
+          match lit with
+          | Ccmp (Xterm (Cvar s), Eq, e) when (not bound.(s)) && all_bound (cexpr_slots e) ->
+            placed.(i) <- true;
+            push (Sbind (s, e));
+            bound.(s) <- true;
+            progress := true
+          | Ccmp (e, Eq, Xterm (Cvar s)) when (not bound.(s)) && all_bound (cexpr_slots e) ->
+            placed.(i) <- true;
+            push (Sbind (s, e));
+            bound.(s) <- true;
+            progress := true
+          | Ccmp (a, op, b)
+            when all_bound (cexpr_slots a) && all_bound (cexpr_slots b) ->
+            placed.(i) <- true;
+            push (Scmp (a, op, b));
+            progress := true
+          | Cneg a when all_bound (cterm_slots a.cargs) -> (
+            match inputs i with
+            | Filter_absent view ->
+              placed.(i) <- true;
+              push (Sneg (a.cargs, view));
+              progress := true
+            | Enumerate _ -> ())
+          | _ -> ())
+      cr.clits;
+    if !progress then settle ()
+  in
+  (match seed with
+  | Some i -> place_join i
+  | None -> ());
+  settle ();
+  let enumerable i =
+    (not placed.(i))
+    &&
+    match cr.clits.(i) with
+    | Catom _ | Cagg _ -> true
+    | Cneg _ -> ( match inputs i with Enumerate _ -> true | Filter_absent _ -> false)
+    | Ccmp _ -> false
+  in
+  let boundness i =
+    let args = lit_args cr.clits.(i) in
+    Array.fold_left
+      (fun acc t ->
+        match t with
+        | Cconst _ -> acc + 1
+        | Cvar s -> if bound.(s) then acc + 1 else acc)
+      0 args
+  in
+  let size i =
+    match inputs i with
+    | Enumerate (view, _) -> Relation_view.cardinal_estimate view
+    | Filter_absent _ -> max_int
+  in
+  let rec joins () =
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if enumerable i then
+        let score = (boundness i, size i) in
+        match !best with
+        | Some (_, (b, sz)) when (b, -sz) >= (fst score, -snd score) -> ()
+        | _ -> best := Some (i, score)
+    done;
+    match !best with
+    | Some (i, _) ->
+      place_join i;
+      settle ();
+      joins ()
+    | None -> ()
+  in
+  joins ();
+  (* Everything must be placed now; otherwise the rule was unsafe. *)
+  Array.iteri
+    (fun i p ->
+      if not p then
+        raise
+          (Plan_error
+             (Printf.sprintf "literal %d of rule %s could not be planned" i
+                (Ivm_datalog.Pretty.rule_to_string cr.source))))
+    placed;
+  List.rev !steps
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate the body of [cr], calling [emit head_tuple count] once per
+    derivation (the caller accumulates with [⊎]).  [seed], when given, is
+    the body-literal index enumerated first — the delta position.  Literals
+    whose input relation is empty short-circuit the whole evaluation. *)
+let eval ?seed ~(inputs : int -> subgoal_input) ~emit (cr : Compile.t) : unit =
+  Stats.add_rule_application ();
+  (* Short-circuit: an empty enumerable input means no derivations. *)
+  let empty_input = ref false in
+  Array.iteri
+    (fun i lit ->
+      match lit with
+      | Ccmp _ -> ()
+      | Catom _ | Cagg _ | Cneg _ -> (
+        match inputs i with
+        | Enumerate (view, _) ->
+          if Relation_view.cardinal_estimate view = 0 then empty_input := true
+        | Filter_absent _ -> ()))
+    cr.clits;
+  if not !empty_input then begin
+    let plan = Array.of_list (build_plan ?seed ~inputs cr) in
+    let binding = Array.make cr.nslots None in
+    let nsteps = Array.length plan in
+    let rec run k cnt =
+      if cnt <> 0 then
+        if k = nsteps then begin
+          let head = Array.map (expr_value binding) cr.chead in
+          Stats.add_derivation ();
+          emit head cnt
+        end
+        else
+          match plan.(k) with
+          | Sjoin (args, view, xform) ->
+            let cols, key = probe_key binding args in
+            Stats.add_probe ();
+            Relation_view.probe view cols key (fun tup c ->
+                Stats.add_scanned ();
+                let c = xform c in
+                if c <> 0 then begin
+                  let undo = ref [] in
+                  if match_pattern binding args tup undo then run (k + 1) (cnt * c);
+                  unwind binding !undo
+                end)
+          | Sneg (args, view) ->
+            let tup = Array.map (term_value binding) args in
+            Stats.add_probe ();
+            if not (Relation_view.holds view tup) then run (k + 1) cnt
+          | Scmp (a, op, b) ->
+            if cmp_holds op (expr_value binding a) (expr_value binding b) then
+              run (k + 1) cnt
+          | Sbind (s, e) ->
+            binding.(s) <- Some (expr_value binding e);
+            run (k + 1) cnt;
+            binding.(s) <- None
+    in
+    run 0 1
+  end

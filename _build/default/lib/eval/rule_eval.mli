@@ -1,0 +1,67 @@
+(** The join engine: evaluates one compiled rule body against
+    caller-chosen relation views and emits head tuples with derivation
+    counts.
+
+    The caller decides, per body literal, what relation stands behind it —
+    the whole trick of the paper's rewrites.  A delta rule
+    [Δ(p) :- s1ν & … & Δ(si) & … & sn] (Definition 4.1) passes the new
+    view before position [i], the delta relation at [i] (the {e seed}),
+    and the old view after; initial materialization passes stored
+    relations everywhere.
+
+    Counts multiply across subgoals (Section 3); the per-subgoal count
+    transform implements the set-semantics clamp of Section 5.1.
+
+    Join order: seed first (the delta is the most restrictive input,
+    Section 6.1), then enumerable literals greedily by bound argument
+    positions (ties to the smaller relation); negation filters,
+    comparisons and equality binders run as soon as their variables are
+    bound. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation_view = Ivm_relation.Relation_view
+
+type count_xform = int -> int
+
+val identity_count : count_xform
+
+(** The set-semantics clamp: a true tuple counts once. *)
+val set_count : count_xform
+
+type subgoal_input =
+  | Enumerate of Relation_view.t * count_xform
+      (** join against this relation (positive atoms, grouped relations,
+          or a precomputed [Δ(¬Q)] for a negated delta position) *)
+  | Filter_absent of Relation_view.t
+      (** negated subgoal in a non-delta position: succeeds, with count 1,
+          when the bound tuple does not hold in the view *)
+
+exception Plan_error of string
+
+(** Value of a compiled expression under a binding.
+    @raise Plan_error on an unbound variable. *)
+val expr_value : Value.t option array -> Compile.cexpr -> Value.t
+
+val cmp_holds : Ivm_datalog.Ast.cmp_op -> Value.t -> Value.t -> bool
+
+(** Unify a tuple against an argument pattern, extending [binding] in
+    place; newly bound slots are pushed on [undo].  On [false] the caller
+    must still {!unwind}. *)
+val match_pattern :
+  Value.t option array -> Compile.cterm array -> Tuple.t -> int list ref -> bool
+
+val unwind : Value.t option array -> int list -> unit
+
+(** Evaluate the body of a compiled rule, calling [emit head count] once
+    per derivation (the caller accumulates with [⊎]).  [seed] is the body
+    literal enumerated first — the delta position.  Empty enumerable
+    inputs short-circuit the evaluation.
+    @raise Plan_error when a literal cannot be planned (unsafe rule or a
+    negated literal without input). *)
+val eval :
+  ?seed:int ->
+  inputs:(int -> subgoal_input) ->
+  emit:(Tuple.t -> int -> unit) ->
+  Compile.t ->
+  unit

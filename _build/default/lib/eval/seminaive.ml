@@ -1,0 +1,203 @@
+(** Initial bottom-up materialization: naive single-pass for nonrecursive
+    predicates (their strata are below them, so one evaluation of each rule
+    suffices), semi-naive iteration [Ull89] inside recursive components.
+
+    Counts: a nonrecursive predicate stores its derivation counts (under
+    set semantics these are counts relative to lower strata counted once —
+    Section 5.1; under duplicate semantics full multiplicities).  Recursive
+    predicates are materialized with set semantics and count 1 per tuple —
+    the paper's counting algorithm is proposed for nonrecursive views only,
+    and duplicate semantics on recursion may not terminate (Section 8). *)
+
+module Relation = Ivm_relation.Relation
+module Relation_view = Ivm_relation.Relation_view
+module Program = Ivm_datalog.Program
+open Compile
+
+exception Recursive_duplicates of string
+
+(** Shared per-round cache of grouped relations, keyed by spec signature
+    and a caller-chosen version tag ("old"/"new"/…). *)
+module Agg_cache = struct
+  type t = (string, Relation.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let grouped (cache : t) ~version ~mult view (spec : agg_spec) =
+    let key = version ^ "|" ^ spec.gsignature in
+    match Hashtbl.find_opt cache key with
+    | Some r -> r
+    | None ->
+      let r = Grouping.compute ~mult view spec in
+      Hashtbl.add cache key r;
+      r
+end
+
+(** Subgoal inputs resolving every predicate through [resolve], computing
+    grouped relations through [cache] under version [version]. *)
+let make_inputs ~(resolve : string -> Relation_view.t)
+    ~(mult_for : string -> int -> int) ~cache ~version (cr : Compile.t) :
+    int -> Rule_eval.subgoal_input =
+ fun i ->
+  match cr.clits.(i) with
+  | Catom a -> Rule_eval.Enumerate (resolve a.cpred, mult_for a.cpred)
+  | Cneg a -> Rule_eval.Filter_absent (resolve a.cpred)
+  | Cagg (spec, _) ->
+    let t =
+      Agg_cache.grouped cache ~version
+        ~mult:(mult_for spec.gsource.cpred)
+        (resolve spec.gsource.cpred) spec
+    in
+    Rule_eval.Enumerate (Relation_view.concrete t, Rule_eval.identity_count)
+  | Ccmp _ -> assert false
+
+(** Evaluate all rules of one nonrecursive predicate against the current
+    database state; returns its full materialization. *)
+let eval_nonrecursive db ~cache pred =
+  let program = Database.program db in
+  let out = Relation.create (Program.arity program pred) in
+  List.iter
+    (fun rule ->
+      let cr = Database.compile db rule in
+      let inputs =
+        make_inputs ~resolve:(Database.view db) ~mult_for:(Database.mult_for db)
+          ~cache ~version:"cur" cr
+      in
+      Rule_eval.eval ~inputs ~emit:(fun tup c -> Relation.add out tup c) cr)
+    (Program.rules_for program pred);
+  out
+
+(** Semi-naive fixpoint for one recursive unit (an SCC of mutually
+    recursive predicates), set semantics.  Relations outside the unit are
+    read from the database (their strata are already materialized). *)
+let eval_recursive_unit db ~cache (unit_preds : string list) :
+    (string * Relation.t) list =
+  let program = Database.program db in
+  if Database.semantics db = Database.Duplicate_semantics then
+    raise
+      (Recursive_duplicates
+         (Printf.sprintf
+            "predicate %s is recursive: duplicate (counting) semantics may \
+             not terminate on recursive views (Section 8); use set semantics"
+            (List.hd unit_preds)));
+  let in_unit p = List.mem p unit_preds in
+  let totals : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+  let deltas : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace totals p (Relation.create (Program.arity program p));
+      Hashtbl.replace deltas p (Relation.create (Program.arity program p)))
+    unit_preds;
+  let resolve_base p =
+    if in_unit p then Relation_view.concrete (Hashtbl.find totals p)
+    else Database.view db
+      p
+  in
+  let mult = Rule_eval.set_count in
+  let mult_for _ = mult in
+  (* Round 0: all rules against current totals (empty for unit preds). *)
+  let candidates : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun p -> Hashtbl.replace candidates p (Relation.create (Program.arity program p)))
+    unit_preds;
+  List.iter
+    (fun p ->
+      let out = Hashtbl.find candidates p in
+      List.iter
+        (fun rule ->
+          let cr = Database.compile db rule in
+          let inputs =
+            make_inputs ~resolve:resolve_base ~mult_for ~cache ~version:"cur" cr
+          in
+          Rule_eval.eval ~inputs ~emit:(fun tup c -> Relation.add out tup c) cr)
+        (Program.rules_for program p))
+    unit_preds;
+  let absorb () =
+    (* Move genuinely new tuples from candidates into deltas and totals. *)
+    let changed = ref false in
+    List.iter
+      (fun p ->
+        let total = Hashtbl.find totals p in
+        let delta = Relation.create (Program.arity program p) in
+        Relation.iter
+          (fun tup c ->
+            if c > 0 && not (Relation.mem total tup) then begin
+              Relation.add delta tup 1;
+              Relation.add total tup 1;
+              changed := true
+            end)
+          (Hashtbl.find candidates p);
+        Hashtbl.replace deltas p delta;
+        Relation.clear (Hashtbl.find candidates p))
+      unit_preds;
+    !changed
+  in
+  let continue_ = ref (absorb ()) in
+  while !continue_ do
+    (* Delta rules: one evaluation per occurrence of a unit predicate in a
+       body, with positions before the delta reading the new totals and
+       positions after reading the previous totals (totals minus delta). *)
+    List.iter
+      (fun p ->
+        let out = Hashtbl.find candidates p in
+        List.iter
+          (fun rule ->
+            let cr = Database.compile db rule in
+            Array.iteri
+              (fun i lit ->
+                match lit with
+                | Catom a when in_unit a.cpred ->
+                  let delta_rel = Hashtbl.find deltas a.cpred in
+                  if not (Relation.is_empty delta_rel) then begin
+                    let resolve_pos j q =
+                      if not (in_unit q) then Database.view db q
+                      else if j < i then Relation_view.concrete (Hashtbl.find totals q)
+                      else
+                        (* old totals = totals ⊎ (−delta) *)
+                        Relation_view.overlay (Hashtbl.find totals q)
+                          (Relation.negate (Hashtbl.find deltas q))
+                    in
+                    let inputs j =
+                      match cr.clits.(j) with
+                      | Catom b when j = i ->
+                        ignore b;
+                        Rule_eval.Enumerate
+                          (Relation_view.concrete delta_rel, Rule_eval.set_count)
+                      | Catom b -> Rule_eval.Enumerate (resolve_pos j b.cpred, mult)
+                      | Cneg b -> Rule_eval.Filter_absent (resolve_pos j b.cpred)
+                      | Cagg (spec, _) ->
+                        let t =
+                          Agg_cache.grouped cache ~version:"cur" ~mult
+                            (resolve_pos j spec.gsource.cpred) spec
+                        in
+                        Rule_eval.Enumerate
+                          (Relation_view.concrete t, Rule_eval.identity_count)
+                      | Ccmp _ -> assert false
+                    in
+                    Rule_eval.eval ~seed:i ~inputs
+                      ~emit:(fun tup c -> Relation.add out tup c)
+                      cr
+                  end
+                | _ -> ())
+              cr.clits)
+          (Program.rules_for program p))
+      unit_preds;
+    continue_ := absorb ()
+  done;
+  List.map (fun p -> (p, Hashtbl.find totals p)) unit_preds
+
+(** Materialize every derived predicate of the database's program from its
+    base relations (overwrites previous materializations). *)
+let evaluate (db : Database.t) : unit =
+  let program = Database.program db in
+  let cache = Agg_cache.create () in
+  List.iter
+    (fun unit_preds ->
+      match unit_preds with
+      | [ p ] when not (Program.recursive program p) ->
+        Database.set_relation db p (eval_nonrecursive db ~cache p)
+      | unit_preds ->
+        List.iter
+          (fun (p, rel) -> Database.set_relation db p rel)
+          (eval_recursive_unit db ~cache unit_preds))
+    (Program.recursive_units program)

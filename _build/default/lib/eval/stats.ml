@@ -1,0 +1,69 @@
+(** Global work counters.
+
+    The paper's optimality and fragmentation claims (Theorem 4.1; the
+    PF comparison in Section 2) are about {e how many derivations} an
+    algorithm computes, not just wall-clock time.  The evaluator bumps these
+    counters so tests and benches can assert on work done.  Counters are
+    process-global; reset them around the region you measure. *)
+
+type t = {
+  mutable derivations : int;
+      (** tuples emitted by rule bodies (one per successful derivation) *)
+  mutable tuples_scanned : int;
+      (** tuples read while scanning or probing relations *)
+  mutable probes : int;  (** index probe operations *)
+  mutable rule_applications : int;  (** rule (re-)evaluations started *)
+}
+
+let stats = { derivations = 0; tuples_scanned = 0; probes = 0; rule_applications = 0 }
+
+let reset () =
+  stats.derivations <- 0;
+  stats.tuples_scanned <- 0;
+  stats.probes <- 0;
+  stats.rule_applications <- 0
+
+let derivations () = stats.derivations
+let tuples_scanned () = stats.tuples_scanned
+let probes () = stats.probes
+let rule_applications () = stats.rule_applications
+
+let add_derivation () = stats.derivations <- stats.derivations + 1
+let add_scanned () = stats.tuples_scanned <- stats.tuples_scanned + 1
+let add_probe () = stats.probes <- stats.probes + 1
+let add_rule_application () = stats.rule_applications <- stats.rule_applications + 1
+
+type snapshot = {
+  snap_derivations : int;
+  snap_tuples_scanned : int;
+  snap_probes : int;
+  snap_rule_applications : int;
+}
+
+let snapshot () =
+  {
+    snap_derivations = stats.derivations;
+    snap_tuples_scanned = stats.tuples_scanned;
+    snap_probes = stats.probes;
+    snap_rule_applications = stats.rule_applications;
+  }
+
+(** Work done since [earlier]. *)
+let since earlier =
+  {
+    snap_derivations = stats.derivations - earlier.snap_derivations;
+    snap_tuples_scanned = stats.tuples_scanned - earlier.snap_tuples_scanned;
+    snap_probes = stats.probes - earlier.snap_probes;
+    snap_rule_applications = stats.rule_applications - earlier.snap_rule_applications;
+  }
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "derivations=%d scanned=%d probes=%d rules=%d"
+    s.snap_derivations s.snap_tuples_scanned s.snap_probes
+    s.snap_rule_applications
+
+(** Run [f], returning its result and the work it performed. *)
+let measure f =
+  let before = snapshot () in
+  let x = f () in
+  (x, since before)

@@ -1,0 +1,42 @@
+(** Global work counters.
+
+    The paper's optimality and fragmentation claims (Theorem 4.1; the PF
+    comparison of Section 2) concern {e how many derivations} an algorithm
+    computes, not just wall-clock time.  The evaluator bumps these
+    process-global counters; reset them around the region you measure. *)
+
+val reset : unit -> unit
+
+(** Tuples emitted by rule bodies — one per successful derivation. *)
+val derivations : unit -> int
+
+(** Tuples read while scanning or probing relations. *)
+val tuples_scanned : unit -> int
+
+(** Index probe operations. *)
+val probes : unit -> int
+
+(** Rule (re-)evaluations started. *)
+val rule_applications : unit -> int
+
+val add_derivation : unit -> unit
+val add_scanned : unit -> unit
+val add_probe : unit -> unit
+val add_rule_application : unit -> unit
+
+type snapshot = {
+  snap_derivations : int;
+  snap_tuples_scanned : int;
+  snap_probes : int;
+  snap_rule_applications : int;
+}
+
+val snapshot : unit -> snapshot
+
+(** Work done since [earlier]. *)
+val since : snapshot -> snapshot
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** Run [f]; return its result and the work it performed. *)
+val measure : (unit -> 'a) -> 'a * snapshot

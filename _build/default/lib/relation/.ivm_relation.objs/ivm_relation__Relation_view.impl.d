@@ -1,0 +1,1 @@
+lib/relation/relation_view.ml: Relation

@@ -1,0 +1,211 @@
+module Tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* An index maps the projection of a tuple on [cols] to the set of stored
+   tuples having that projection.  Counts live only in the main table. *)
+type index = { cols : int list; buckets : unit Tbl.t Tbl.t }
+
+type t = { arity : int; counts : int Tbl.t; mutable indexes : index list }
+
+let create ?(size = 64) arity = { arity; counts = Tbl.create size; indexes = [] }
+let arity r = r.arity
+let cardinal r = Tbl.length r.counts
+let total_count r = Tbl.fold (fun _ c acc -> acc + c) r.counts 0
+let is_empty r = Tbl.length r.counts = 0
+let count r t = match Tbl.find_opt r.counts t with Some c -> c | None -> 0
+let mem r t = Tbl.mem r.counts t
+
+let index_insert idx t =
+  let key = Tuple.project idx.cols t in
+  let bucket =
+    match Tbl.find_opt idx.buckets key with
+    | Some b -> b
+    | None ->
+      let b = Tbl.create 4 in
+      Tbl.add idx.buckets key b;
+      b
+  in
+  Tbl.replace bucket t ()
+
+let index_remove idx t =
+  let key = Tuple.project idx.cols t in
+  match Tbl.find_opt idx.buckets key with
+  | None -> ()
+  | Some b ->
+    Tbl.remove b t;
+    if Tbl.length b = 0 then Tbl.remove idx.buckets key
+
+let insert_tuple r t =
+  List.iter (fun idx -> index_insert idx t) r.indexes
+
+let remove_tuple r t =
+  List.iter (fun idx -> index_remove idx t) r.indexes
+
+let check_arity r t =
+  if Array.length t <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation: arity mismatch (expected %d, got %d in %s)"
+         r.arity (Array.length t) (Tuple.to_string t))
+
+let set_count r t c =
+  check_arity r t;
+  let was = Tbl.mem r.counts t in
+  if c = 0 then begin
+    if was then begin
+      Tbl.remove r.counts t;
+      remove_tuple r t
+    end
+  end
+  else begin
+    Tbl.replace r.counts t c;
+    if not was then insert_tuple r t
+  end
+
+let add r t c = if c <> 0 then set_count r t (count r t + c)
+
+let remove r t = set_count r t 0
+
+let iter f r = Tbl.iter f r.counts
+let fold f r init = Tbl.fold f r.counts init
+
+exception Found
+
+let exists f r =
+  try
+    Tbl.iter (fun t c -> if f t c then raise Found) r.counts;
+    false
+  with Found -> true
+
+let clear r =
+  Tbl.reset r.counts;
+  r.indexes <- []
+
+let copy r =
+  let copy_index idx =
+    let buckets = Tbl.create (Tbl.length idx.buckets) in
+    Tbl.iter (fun key bucket -> Tbl.add buckets key (Tbl.copy bucket)) idx.buckets;
+    { cols = idx.cols; buckets }
+  in
+  {
+    arity = r.arity;
+    counts = Tbl.copy r.counts;
+    indexes = List.map copy_index r.indexes;
+  }
+
+let union_into ~into r = iter (fun t c -> add into t c) r
+
+let union a b =
+  let r = copy a in
+  r.indexes <- [];
+  union_into ~into:r b;
+  r
+
+let diff a b =
+  let r = copy a in
+  r.indexes <- [];
+  iter (fun t c -> add r t (-c)) b;
+  r
+
+let negate r =
+  let out = create ~size:(cardinal r) r.arity in
+  iter (fun t c -> set_count out t (-c)) r;
+  out
+
+let to_set r =
+  let out = create ~size:(cardinal r) r.arity in
+  iter (fun t c -> if c > 0 then set_count out t 1) r;
+  out
+
+let positive_part r =
+  let out = create ~size:(cardinal r) r.arity in
+  iter (fun t c -> if c > 0 then set_count out t c) r;
+  out
+
+let negative_part r =
+  let out = create r.arity in
+  iter (fun t c -> if c < 0 then set_count out t (-c)) r;
+  out
+
+let set_delta ~old_ ~new_ =
+  let out = create new_.arity in
+  iter (fun t c -> if c > 0 && count old_ t <= 0 then set_count out t 1) new_;
+  iter (fun t c -> if c > 0 && count new_ t <= 0 then set_count out t (-1)) old_;
+  out
+
+let subset_by p a b =
+  (* every tuple of [a] satisfying the relationship [p] w.r.t. [b] *)
+  not (exists (fun t c -> not (p c (count b t))) a)
+
+let equal_sets a b =
+  subset_by (fun ca cb -> ca <= 0 || cb > 0) a b
+  && subset_by (fun cb ca -> cb <= 0 || ca > 0) b a
+
+let equal_counted a b =
+  cardinal a = cardinal b && not (exists (fun t c -> count b t <> c) a)
+
+let ensure_index r cols =
+  if not (List.exists (fun idx -> idx.cols = cols) r.indexes) then begin
+    let idx = { cols; buckets = Tbl.create (max 16 (cardinal r / 4)) } in
+    Tbl.iter (fun t _ -> index_insert idx t) r.counts;
+    r.indexes <- idx :: r.indexes
+  end
+
+let rec natural_prefix n = function
+  | [] -> n = 0
+  | c :: rest -> c = n && natural_prefix (n + 1) rest
+
+let probe r cols key f =
+  if cols = [] then iter f r
+  else if List.length cols = r.arity && natural_prefix 0 cols then begin
+    (* full-tuple membership probe: direct lookup, no index needed *)
+    match Tbl.find_opt r.counts key with
+    | Some c -> f key c
+    | None -> ()
+  end
+  else begin
+    ensure_index r cols;
+    let idx = List.find (fun idx -> idx.cols = cols) r.indexes in
+    match Tbl.find_opt idx.buckets key with
+    | None -> ()
+    | Some bucket ->
+      Tbl.iter
+        (fun t () ->
+          match Tbl.find_opt r.counts t with
+          | Some c -> f t c
+          | None -> ())
+        bucket
+  end
+
+let of_list arity l =
+  let r = create ~size:(List.length l) arity in
+  List.iter (fun (t, c) -> add r t c) l;
+  r
+
+let of_tuples arity l =
+  let r = create ~size:(List.length l) arity in
+  List.iter (fun t -> add r t 1) l;
+  r
+
+let to_sorted_list r =
+  fold (fun t c acc -> (t, c) :: acc) r []
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
+let pp ppf r =
+  let pp_entry ppf (t, c) =
+    let pp_body ppf t =
+      Format.pp_print_seq
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+        Value.pp ppf (Array.to_seq t)
+    in
+    if c = 1 then Format.fprintf ppf "%a" pp_body t
+    else Format.fprintf ppf "%a %d" pp_body t c
+  in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_entry)
+    (to_sorted_list r)
+
+let to_string r = Format.asprintf "%a" pp r

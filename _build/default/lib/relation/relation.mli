@@ -1,0 +1,115 @@
+(** Counted relations — the storage layer of the reproduction.
+
+    A relation is a multiset of tuples represented as a hash map from tuple
+    to a signed {e count}.  Following Section 3 of the paper:
+
+    - a {e stored} (materialized) relation holds, for each tuple [t], the
+      number of distinct derivations [count(t) > 0];
+    - a {e delta} relation [Δ(P)] holds insertions as positive counts and
+      deletions as negative counts ([Δ(P) = {ab 4, mn −2}] means four
+      derivations of [p(a,b)] inserted, two of [p(m,n)] deleted);
+    - the union operator [⊎] ({!union_into}/{!union}) adds counts and drops
+      tuples whose counts cancel to zero;
+    - joins multiply counts (implemented by the rule evaluator, which reads
+      counts through {!probe}/{!iter}).
+
+    Relations carry hash indexes on column subsets, built on demand and
+    maintained incrementally by {!add}, so delta-rule evaluation can probe
+    large stored relations by bound columns instead of scanning. *)
+
+type t
+
+(** [create ?size arity] makes an empty relation of the given arity. *)
+val create : ?size:int -> int -> t
+
+val arity : t -> int
+
+(** Number of distinct tuples with a non-zero count. *)
+val cardinal : t -> int
+
+(** Sum of all counts (signed); for a stored view this is the total number
+    of derivations, i.e. the duplicate-semantics size. *)
+val total_count : t -> int
+
+val is_empty : t -> bool
+
+(** [count r t] is 0 when [t] is absent. *)
+val count : t -> Tuple.t -> int
+
+(** [mem r t] — [t] has a non-zero count. *)
+val mem : t -> Tuple.t -> bool
+
+(** [add r t c] merges [c] into [t]'s count ([⊎] on a single tuple);
+    the tuple is dropped when its count reaches zero.  [add r t 0] is a
+    no-op.  Indexes are maintained.
+    @raise Invalid_argument on an arity mismatch. *)
+val add : t -> Tuple.t -> int -> unit
+
+(** [set_count r t c] overwrites the count ([c = 0] deletes). *)
+val set_count : t -> Tuple.t -> int -> unit
+
+(** [remove r t] deletes the tuple outright, whatever its count. *)
+val remove : t -> Tuple.t -> unit
+
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (Tuple.t -> int -> bool) -> t -> bool
+val clear : t -> unit
+
+(** Deep copy, indexes included — a copy behaves like the live relation,
+    without lazily rebuilding its indexes on first probe. *)
+val copy : t -> t
+
+(** [union_into ~into r] folds [r] into [into] with [⊎]. *)
+val union_into : into:t -> t -> unit
+
+(** Fresh [⊎] of the arguments. *)
+val union : t -> t -> t
+
+(** [diff a b] is [a ⊎ (−1 · b)]: subtracts counts. *)
+val diff : t -> t -> t
+
+(** All counts negated — used to turn an insertion delta into a deletion. *)
+val negate : t -> t
+
+(** [to_set r] clamps positive counts to 1 and drops non-positive tuples:
+    the relation "considered as a set" (statement 2 of Algorithm 4.1). *)
+val to_set : t -> t
+
+(** Tuples with count > 0 kept with their counts (drops deletions). *)
+val positive_part : t -> t
+
+(** Tuples with count < 0, with counts negated to positive (the deletions). *)
+val negative_part : t -> t
+
+(** [set_delta ~old_ ~new_] is [set(new) − set(old)] with ±1 counts —
+    exactly the boxed statement (2) of Algorithm 4.1. *)
+val set_delta : old_:t -> new_:t -> t
+
+(** Equality of the underlying sets ({i count > 0} tuples). *)
+val equal_sets : t -> t -> bool
+
+(** Equality including counts. *)
+val equal_counted : t -> t -> bool
+
+(** [ensure_index r cols] builds (once) a hash index keyed by the listed
+    column positions; subsequent {!add}s keep it current. *)
+val ensure_index : t -> int list -> unit
+
+(** [probe r cols key f] calls [f tuple count] for every tuple whose
+    projection on [cols] equals [key].  Builds the index if missing.
+    [cols = []] degenerates to {!iter}. *)
+val probe : t -> int list -> Tuple.t -> (Tuple.t -> int -> unit) -> unit
+
+val of_list : int -> (Tuple.t * int) list -> t
+
+(** Tuples with count 1 each (duplicates in the list accumulate). *)
+val of_tuples : int -> Tuple.t list -> t
+
+(** Sorted [(tuple, count)] list — deterministic, for tests and printing. *)
+val to_sorted_list : t -> (Tuple.t * int) list
+
+(** Prints as [{ab, ac 2, mn -1}] in tuple order, counts omitted when 1. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,29 @@
+(** Database tuples: immutable arrays of {!Value.t}.
+
+    Treat tuples as immutable once inserted into a relation — the storage
+    layer hashes them, and mutating a stored tuple corrupts the index. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+(** [of_ints [1;2]] builds an all-integer tuple; [of_strs ["a";"b"]] an
+    all-symbol tuple — the common cases in tests mirroring the paper's
+    examples ([link = {ab, mn}]). *)
+
+val of_ints : int list -> t
+val of_strs : string list -> t
+
+(** [project cols t] extracts the listed column positions, in order. *)
+val project : int list -> t -> t
+
+(** Prints as [(a, b, 3)]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,89 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let kind_rank = function
+  | Int _ -> 0
+  | Float _ -> 1
+  | Str _ -> 2
+  | Bool _ -> 3
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | _ -> Int.compare (kind_rank a) (kind_rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash x
+  | Float x ->
+    (* Hash an integral float like the equal integer so that [equal]
+       implies equal hashes (Int 2 = Float 2.0 under [compare]). *)
+    if Float.is_integer x && Float.abs x < 1e18 then Hashtbl.hash (int_of_float x)
+    else Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+
+let needs_quotes s =
+  s = ""
+  || (match s.[0] with 'a' .. 'z' -> false | _ -> true)
+  || String.exists
+       (fun c ->
+         not ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9') || c = '_'))
+       s
+
+let pp ppf = function
+  | Int x -> Format.pp_print_int ppf x
+  | Float x -> Format.fprintf ppf "%g" x
+  | Str s -> if needs_quotes s then Format.fprintf ppf "%S" s else Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let to_string v = Format.asprintf "%a" pp v
+
+let int x = Int x
+let float x = Float x
+let str s = Str s
+let bool b = Bool b
+
+let is_numeric = function Int _ | Float _ -> true | Str _ | Bool _ -> false
+
+let as_number = function
+  | Int x -> float_of_int x
+  | Float x -> x
+  | (Str _ | Bool _) as v -> type_error "expected a number, got %s" (to_string v)
+
+let arith name int_op float_op a b =
+  match a, b with
+  | Int x, Int y -> Int (int_op x y)
+  | Float x, Float y -> Float (float_op x y)
+  | Int x, Float y -> Float (float_op (float_of_int x) y)
+  | Float x, Int y -> Float (float_op x (float_of_int y))
+  | _ -> type_error "%s: non-numeric operand (%s, %s)" name (to_string a) (to_string b)
+
+let add a b = arith "+" ( + ) ( +. ) a b
+let sub a b = arith "-" ( - ) ( -. ) a b
+let mul a b = arith "*" ( * ) ( *. ) a b
+
+let div a b =
+  match b with
+  | Int 0 -> type_error "division by zero"
+  | Float 0. -> type_error "division by zero"
+  | _ -> arith "/" ( / ) ( /. ) a b
+
+let neg = function
+  | Int x -> Int (-x)
+  | Float x -> Float (-.x)
+  | (Str _ | Bool _) as v -> type_error "-: non-numeric operand %s" (to_string v)

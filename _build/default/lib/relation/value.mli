@@ -1,0 +1,51 @@
+(** Constants stored in database tuples.
+
+    The paper's examples use symbolic constants ([link(a,b)]) and numeric
+    costs ([link(s,d,c)]); we support integers, floats, strings (which also
+    represent Datalog symbols) and booleans.  Comparisons between values of
+    the same kind are the natural ones; values of different kinds are ordered
+    by kind so that every pair of values has a deterministic order (needed
+    for MIN/MAX aggregates over mixed columns and for canonical printing). *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [pp] prints values the way the paper writes them: symbols bare,
+    strings bare (quoted only when parsing would be ambiguous), numbers
+    in decimal. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Constructors, for concision in tests and examples. *)
+
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val bool : bool -> t
+
+(** Arithmetic used by head expressions and comparison literals
+    (e.g. [hop(S,D,C1+C2)] in Example 6.2).  Integer arithmetic stays
+    integral; any float operand promotes the result to float.
+    @raise Type_error on non-numeric operands or division by zero. *)
+
+exception Type_error of string
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+
+(** [as_number v] returns [v] as a float for aggregate arithmetic.
+    @raise Type_error if [v] is not numeric. *)
+val as_number : t -> float
+
+val is_numeric : t -> bool

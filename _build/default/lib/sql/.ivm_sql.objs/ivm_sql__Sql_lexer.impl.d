@@ -1,0 +1,1 @@
+lib/sql/sql_lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/sql/sql_parser.ml: Array Ivm_datalog Ivm_relation List Option Printf Sql_ast Sql_lexer

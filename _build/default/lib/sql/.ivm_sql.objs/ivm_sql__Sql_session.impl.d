@@ -1,0 +1,1 @@
+lib/sql/sql_session.ml: Array Format Hashtbl Ivm Ivm_eval Ivm_relation List Printf Sql_ast Sql_parser Sql_translate String

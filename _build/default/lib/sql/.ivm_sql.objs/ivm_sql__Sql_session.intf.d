@@ -1,0 +1,1 @@
+lib/sql/sql_session.mli: Format Ivm Ivm_eval Ivm_relation

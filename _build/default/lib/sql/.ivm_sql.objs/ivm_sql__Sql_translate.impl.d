@@ -1,0 +1,1 @@
+lib/sql/sql_translate.ml: Array Format Hashtbl Ivm Ivm_datalog Ivm_relation List Printf Sql_ast Sql_parser

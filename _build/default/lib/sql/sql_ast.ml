@@ -1,0 +1,61 @@
+(** Abstract syntax for the SQL subset: enough to write Example 1.1's
+
+    {v
+      CREATE VIEW hop(s, d) AS
+        SELECT r1.s, r2.d FROM link r1, link r2 WHERE r1.d = r2.s;
+    v}
+
+    plus UNION, GROUP BY with one aggregate, NOT EXISTS subqueries,
+    arithmetic, and table/fact declarations. *)
+
+module Value = Ivm_relation.Value
+
+type col_ref = { table : string option; column : string }
+
+type sexpr =
+  | Scol of col_ref
+  | Sconst of Value.t
+  | Sadd of sexpr * sexpr
+  | Ssub of sexpr * sexpr
+  | Smul of sexpr * sexpr
+  | Sdiv of sexpr * sexpr
+  | Sneg of sexpr
+
+type agg_fn = Ivm_datalog.Ast.agg_fn
+
+type select_item =
+  | Plain of sexpr
+  | Agg of agg_fn * sexpr option  (** SQL's COUNT-star carries no argument *)
+
+type cmp_op = Ivm_datalog.Ast.cmp_op
+
+type cond =
+  | Cmp of sexpr * cmp_op * sexpr
+  | Not_exists of subquery
+  | And of cond * cond
+
+and subquery = {
+  sub_table : string;
+  sub_alias : string;
+  sub_where : cond option;
+}
+
+type select = {
+  distinct : bool;
+  items : select_item list;
+  from : (string * string) list;  (** (table, alias) *)
+  where : cond option;
+  group_by : col_ref list;
+}
+
+type query = Select of select | Union of query * query
+
+type statement =
+  | Create_table of string * string list  (** name, column names *)
+  | Create_view of string * string list option * query
+      (** name, optional column names, body *)
+  | Insert of string * Value.t list list  (** INSERT INTO t VALUES (...), (...) *)
+  | Delete of string * cond option  (** DELETE FROM t [WHERE …] *)
+  | Update of string * (string * sexpr) list * cond option
+      (** UPDATE t SET col = e, … [WHERE …] *)
+  | Select_stmt of select  (** a top-level ad-hoc query *)

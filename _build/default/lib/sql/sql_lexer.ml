@@ -1,0 +1,141 @@
+(** Lexer for the SQL subset.  Keywords are case-insensitive; identifiers
+    are lower-cased (standard SQL folding).  [--] comments run to end of
+    line; strings use single quotes. *)
+
+exception Lex_error of string
+
+type token =
+  | KW of string  (** upper-cased keyword: SELECT, FROM, … *)
+  | IDENT of string  (** lower-cased identifier *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "AND"; "NOT"; "EXISTS"; "GROUP";
+    "BY"; "UNION"; "CREATE"; "VIEW"; "TABLE"; "AS"; "INSERT"; "INTO";
+    "VALUES"; "MIN"; "MAX"; "SUM"; "COUNT"; "AVG"; "DELETE"; "UPDATE"; "SET";
+  ]
+
+let token_to_string = function
+  | KW s -> s
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let fail i msg =
+    raise (Lex_error (Printf.sprintf "offset %d: %s" i msg))
+  in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' | '\n' -> go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | ';' -> emit SEMI; go (i + 1)
+      | '.' -> emit DOT; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '-' -> emit MINUS; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '=' -> emit EQ; go (i + 1)
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin emit LE; go (i + 2) end
+        else if i + 1 < n && src.[i + 1] = '>' then begin emit NEQ; go (i + 2) end
+        else begin emit LT; go (i + 1) end
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '=' then begin emit GE; go (i + 2) end
+        else begin emit GT; go (i + 1) end
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NEQ; go (i + 2)
+      | '\'' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then fail i "unterminated string"
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go j
+      | c when is_digit c ->
+        let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+        let j = digits i in
+        if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
+          let k = digits (j + 1) in
+          emit (FLOAT (float_of_string (String.sub src i (k - i))));
+          go k
+        end
+        else begin
+          emit (INT (int_of_string (String.sub src i (j - i))));
+          go j
+        end
+      | c when is_ident_start c ->
+        let rec word j = if j < n && is_ident_char src.[j] then word (j + 1) else j in
+        let j = word i in
+        let s = String.sub src i (j - i) in
+        let up = String.uppercase_ascii s in
+        if List.mem up keywords then emit (KW up)
+        else emit (IDENT (String.lowercase_ascii s));
+        go j
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !toks

@@ -1,0 +1,402 @@
+(** Recursive-descent parser for the SQL subset.
+
+    {v
+      statement := CREATE TABLE name "(" cols ")" ";"
+                 | CREATE VIEW name [ "(" cols ")" ] AS query ";"
+                 | INSERT INTO name VALUES tuple ("," tuple)* ";"
+      query     := select (UNION select)*
+      select    := SELECT [DISTINCT] item ("," item)* FROM tbl alias?
+                   ("," tbl alias?)* [WHERE cond] [GROUP BY colrefs]
+      item      := expr | (MIN|MAX|SUM|AVG) "(" expr ")" | COUNT "(" "*" ")"
+      cond      := atom_cond (AND atom_cond)*
+      atom_cond := expr cmp expr | NOT EXISTS "(" SELECT STAR FROM tbl alias?
+                   [WHERE cond] ")"
+    v} *)
+
+open Sql_ast
+module Value = Ivm_relation.Value
+module Lex = Sql_lexer
+
+exception Parse_error of string
+
+type state = { toks : Lex.token array; mutable pos : int }
+
+let peek s = s.toks.(s.pos)
+let advance s = s.pos <- s.pos + 1
+
+let fail s msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found %s)" msg (Lex.token_to_string (peek s))))
+
+let expect s tok what = if peek s = tok then advance s else fail s ("expected " ^ what)
+let expect_kw s kw = expect s (Lex.KW kw) kw
+
+let ident s =
+  match peek s with
+  | Lex.IDENT name ->
+    advance s;
+    name
+  | _ -> fail s "expected an identifier"
+
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr s = parse_additive s
+
+and parse_additive s =
+  let rec loop acc =
+    match peek s with
+    | Lex.PLUS ->
+      advance s;
+      loop (Sadd (acc, parse_multiplicative s))
+    | Lex.MINUS ->
+      advance s;
+      loop (Ssub (acc, parse_multiplicative s))
+    | _ -> acc
+  in
+  loop (parse_multiplicative s)
+
+and parse_multiplicative s =
+  let rec loop acc =
+    match peek s with
+    | Lex.STAR ->
+      advance s;
+      loop (Smul (acc, parse_unary s))
+    | Lex.SLASH ->
+      advance s;
+      loop (Sdiv (acc, parse_unary s))
+    | _ -> acc
+  in
+  loop (parse_unary s)
+
+and parse_unary s =
+  match peek s with
+  | Lex.MINUS ->
+    advance s;
+    Sneg (parse_unary s)
+  | _ -> parse_primary s
+
+and parse_primary s =
+  match peek s with
+  | Lex.INT n ->
+    advance s;
+    Sconst (Value.Int n)
+  | Lex.FLOAT f ->
+    advance s;
+    Sconst (Value.Float f)
+  | Lex.STRING str ->
+    advance s;
+    Sconst (Value.Str str)
+  | Lex.IDENT name ->
+    advance s;
+    if peek s = Lex.DOT then begin
+      advance s;
+      let col = ident s in
+      Scol { table = Some name; column = col }
+    end
+    else Scol { table = None; column = name }
+  | Lex.LPAREN ->
+    advance s;
+    let e = parse_expr s in
+    expect s Lex.RPAREN "')'";
+    e
+  | _ -> fail s "expected an expression"
+
+let agg_of_kw = function
+  | "MIN" -> Some Ivm_datalog.Ast.Min
+  | "MAX" -> Some Ivm_datalog.Ast.Max
+  | "SUM" -> Some Ivm_datalog.Ast.Sum
+  | "AVG" -> Some Ivm_datalog.Ast.Avg
+  | "COUNT" -> Some Ivm_datalog.Ast.Count
+  | _ -> None
+
+let parse_item s =
+  match peek s with
+  | Lex.KW kw when agg_of_kw kw <> None ->
+    let fn = Option.get (agg_of_kw kw) in
+    advance s;
+    expect s Lex.LPAREN "'('";
+    let arg =
+      if peek s = Lex.STAR then begin
+        advance s;
+        None
+      end
+      else Some (parse_expr s)
+    in
+    expect s Lex.RPAREN "')'";
+    Agg (fn, arg)
+  | _ -> Plain (parse_expr s)
+
+let cmp_of_token = function
+  | Lex.EQ -> Some Ivm_datalog.Ast.Eq
+  | Lex.NEQ -> Some Ivm_datalog.Ast.Neq
+  | Lex.LT -> Some Ivm_datalog.Ast.Lt
+  | Lex.LE -> Some Ivm_datalog.Ast.Le
+  | Lex.GT -> Some Ivm_datalog.Ast.Gt
+  | Lex.GE -> Some Ivm_datalog.Ast.Ge
+  | _ -> None
+
+let parse_table_ref s =
+  let table = ident s in
+  match peek s with
+  | Lex.IDENT alias ->
+    advance s;
+    (table, alias)
+  | _ -> (table, table)
+
+let rec parse_cond s =
+  let rec loop acc =
+    match peek s with
+    | Lex.KW "AND" ->
+      advance s;
+      loop (And (acc, parse_atom_cond s))
+    | _ -> acc
+  in
+  loop (parse_atom_cond s)
+
+and parse_atom_cond s =
+  match peek s with
+  | Lex.KW "NOT" ->
+    advance s;
+    expect_kw s "EXISTS";
+    expect s Lex.LPAREN "'('";
+    expect_kw s "SELECT";
+    (if peek s = Lex.STAR then advance s
+     else
+       (* allow SELECT 1 or a column — its value is irrelevant *)
+       ignore (parse_expr s));
+    expect_kw s "FROM";
+    let sub_table, sub_alias = parse_table_ref s in
+    let sub_where =
+      match peek s with
+      | Lex.KW "WHERE" ->
+        advance s;
+        Some (parse_cond s)
+      | _ -> None
+    in
+    expect s Lex.RPAREN "')' closing NOT EXISTS";
+    Not_exists { sub_table; sub_alias; sub_where }
+  | _ -> (
+    let a = parse_expr s in
+    match cmp_of_token (peek s) with
+    | Some op ->
+      advance s;
+      let b = parse_expr s in
+      Cmp (a, op, b)
+    | None -> fail s "expected a comparison operator")
+
+let parse_col_ref s =
+  match parse_expr s with
+  | Scol c -> c
+  | _ -> fail s "expected a column reference"
+
+let rec parse_query s =
+  let sel = parse_select s in
+  match peek s with
+  | Lex.KW "UNION" ->
+    advance s;
+    Union (Select sel, parse_query s)
+  | _ -> Select sel
+
+and parse_select s =
+  expect_kw s "SELECT";
+  let distinct =
+    if peek s = Lex.KW "DISTINCT" then begin
+      advance s;
+      true
+    end
+    else false
+  in
+  let rec items acc =
+    let it = parse_item s in
+    if peek s = Lex.COMMA then begin
+      advance s;
+      items (it :: acc)
+    end
+    else List.rev (it :: acc)
+  in
+  let items = items [] in
+  expect_kw s "FROM";
+  let rec tables acc =
+    let t = parse_table_ref s in
+    if peek s = Lex.COMMA then begin
+      advance s;
+      tables (t :: acc)
+    end
+    else List.rev (t :: acc)
+  in
+  let from = tables [] in
+  let where =
+    match peek s with
+    | Lex.KW "WHERE" ->
+      advance s;
+      Some (parse_cond s)
+    | _ -> None
+  in
+  let group_by =
+    match peek s with
+    | Lex.KW "GROUP" ->
+      advance s;
+      expect_kw s "BY";
+      let rec cols acc =
+        let c = parse_col_ref s in
+        if peek s = Lex.COMMA then begin
+          advance s;
+          cols (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      cols []
+    | _ -> []
+  in
+  { distinct; items; from; where; group_by }
+
+let parse_value s =
+  match peek s with
+  | Lex.INT n ->
+    advance s;
+    Value.Int n
+  | Lex.FLOAT f ->
+    advance s;
+    Value.Float f
+  | Lex.STRING str ->
+    advance s;
+    Value.Str str
+  | Lex.MINUS ->
+    advance s;
+    (match peek s with
+    | Lex.INT n ->
+      advance s;
+      Value.Int (-n)
+    | Lex.FLOAT f ->
+      advance s;
+      Value.Float (-.f)
+    | _ -> fail s "expected a number after '-'")
+  | Lex.IDENT name ->
+    (* bare identifiers in VALUES are symbolic constants, matching the
+       paper's link(a, b) style *)
+    advance s;
+    Value.Str name
+  | _ -> fail s "expected a literal value"
+
+let parse_opt_where s =
+  match peek s with
+  | Lex.KW "WHERE" ->
+    advance s;
+    Some (parse_cond s)
+  | _ -> None
+
+let parse_statement s =
+  match peek s with
+  | Lex.KW "SELECT" ->
+    let sel = parse_select s in
+    expect s Lex.SEMI "';'";
+    Select_stmt sel
+  | Lex.KW "DELETE" ->
+    advance s;
+    expect_kw s "FROM";
+    let table = ident s in
+    let where = parse_opt_where s in
+    expect s Lex.SEMI "';'";
+    Delete (table, where)
+  | Lex.KW "UPDATE" ->
+    advance s;
+    let table = ident s in
+    expect_kw s "SET";
+    let rec assignments acc =
+      let col = ident s in
+      expect s Lex.EQ "'='";
+      let e = parse_expr s in
+      if peek s = Lex.COMMA then begin
+        advance s;
+        assignments ((col, e) :: acc)
+      end
+      else List.rev ((col, e) :: acc)
+    in
+    let sets = assignments [] in
+    let where = parse_opt_where s in
+    expect s Lex.SEMI "';'";
+    Update (table, sets, where)
+  | Lex.KW "CREATE" -> (
+    advance s;
+    match peek s with
+    | Lex.KW "TABLE" ->
+      advance s;
+      let name = ident s in
+      expect s Lex.LPAREN "'('";
+      let rec cols acc =
+        let c = ident s in
+        if peek s = Lex.COMMA then begin
+          advance s;
+          cols (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      let cols = cols [] in
+      expect s Lex.RPAREN "')'";
+      expect s Lex.SEMI "';'";
+      Create_table (name, cols)
+    | Lex.KW "VIEW" ->
+      advance s;
+      let name = ident s in
+      let cols =
+        if peek s = Lex.LPAREN then begin
+          advance s;
+          let rec cols acc =
+            let c = ident s in
+            if peek s = Lex.COMMA then begin
+              advance s;
+              cols (c :: acc)
+            end
+            else List.rev (c :: acc)
+          in
+          let cs = cols [] in
+          expect s Lex.RPAREN "')'";
+          Some cs
+        end
+        else None
+      in
+      expect_kw s "AS";
+      (* tolerate an optional parenthesized query *)
+      let parenthesized = peek s = Lex.LPAREN in
+      if parenthesized then advance s;
+      let q = parse_query s in
+      if parenthesized then expect s Lex.RPAREN "')'";
+      expect s Lex.SEMI "';'";
+      Create_view (name, cols, q)
+    | _ -> fail s "expected TABLE or VIEW after CREATE")
+  | Lex.KW "INSERT" ->
+    advance s;
+    expect_kw s "INTO";
+    let name = ident s in
+    expect_kw s "VALUES";
+    let rec tuples acc =
+      expect s Lex.LPAREN "'('";
+      let rec vals acc =
+        let v = parse_value s in
+        if peek s = Lex.COMMA then begin
+          advance s;
+          vals (v :: acc)
+        end
+        else List.rev (v :: acc)
+      in
+      let tuple = vals [] in
+      expect s Lex.RPAREN "')'";
+      if peek s = Lex.COMMA then begin
+        advance s;
+        tuples (tuple :: acc)
+      end
+      else List.rev (tuple :: acc)
+    in
+    let ts = tuples [] in
+    expect s Lex.SEMI "';'";
+    Insert (name, ts)
+  | _ -> fail s "expected CREATE or INSERT"
+
+(** Parse a script of ';'-terminated statements. *)
+let parse_script (src : string) : statement list =
+  let s = { toks = Array.of_list (Lex.tokenize src); pos = 0 } in
+  let rec loop acc =
+    if peek s = Lex.EOF then List.rev acc else loop (parse_statement s :: acc)
+  in
+  loop []

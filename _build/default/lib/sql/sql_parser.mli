@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the SQL subset (see {!Sql_lexer} for
+    lexical conventions).
+
+    Statements (';'-terminated): [CREATE TABLE t(cols)],
+    [CREATE VIEW v [(cols)] AS query], [INSERT INTO t VALUES (…), …],
+    [DELETE FROM t [WHERE cond]], [UPDATE t SET col = e, … [WHERE cond]],
+    and top-level [SELECT]s.  Queries are SELECT [DISTINCT] items FROM
+    tables [WHERE conjunction] [GROUP BY cols], chained with UNION;
+    conditions are comparisons and [NOT EXISTS (SELECT … FROM t [WHERE])]
+    subqueries. *)
+
+exception Parse_error of string
+
+(** Parse a script of ';'-terminated statements.
+    @raise Parse_error / {!Sql_lexer.Lex_error} on malformed input. *)
+val parse_script : string -> Sql_ast.statement list

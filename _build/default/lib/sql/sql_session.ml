@@ -1,0 +1,213 @@
+(** A live SQL session over an incrementally maintained database: the
+    schema script (CREATE TABLE / CREATE VIEW / INSERT) builds the view
+    manager, and {!exec} then runs statements against it —
+
+    - [INSERT] / [DELETE FROM … WHERE] / [UPDATE … SET … WHERE] become
+      change sets routed through the maintenance algorithm (updates are
+      deletion ⊎ insertion, per the paper);
+    - [CREATE VIEW] at run time goes through rule insertion (Section 7's
+      view redefinition) — existing views are not recomputed;
+    - ad-hoc [SELECT]s evaluate against the materialized relations.
+
+    This is what makes the reproduction a {e database}: the SQL of
+    Example 1.1, maintained live. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Vm = Ivm.View_manager
+module Changes = Ivm.Changes
+module Query = Ivm_eval.Query
+module Database = Ivm_eval.Database
+open Sql_ast
+
+exception Session_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Session_error s)) fmt
+
+type t = {
+  vm : Vm.t;
+  schemas : (string, string list) Hashtbl.t;  (** tables and views *)
+  base_tables : (string, unit) Hashtbl.t;
+}
+
+type outcome =
+  | Done of string  (** a human-readable confirmation *)
+  | Deltas of (string * Relation.t) list  (** per-view changes of a DML *)
+  | Rows of Query.result  (** a SELECT's answers *)
+
+(** Build a session from a schema script (see {!Sql_translate.translate}). *)
+let of_script ?semantics ?algorithm (src : string) : t =
+  let r = Sql_translate.translate src in
+  let vm = Sql_translate.view_manager ?semantics ?algorithm src in
+  let schemas = Hashtbl.create 16 in
+  let base_tables = Hashtbl.create 16 in
+  List.iter
+    (fun (name, cols) ->
+      Hashtbl.replace schemas name cols;
+      Hashtbl.replace base_tables name ())
+    r.Sql_translate.tables;
+  List.iter (fun (name, cols) -> Hashtbl.replace schemas name cols) r.Sql_translate.views;
+  { vm; schemas; base_tables }
+
+let manager t = t.vm
+
+let columns_of t name =
+  match Hashtbl.find_opt t.schemas name with
+  | Some cols -> cols
+  | None -> fail "unknown table or view %s" name
+
+let check_base t name =
+  if not (Hashtbl.mem t.base_tables name) then
+    fail "%s is a view; DML applies to base tables" name
+
+(* ------------------------------------------------------------------ *)
+(* WHERE evaluation over a single stored tuple                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_sexpr lookup = function
+  | Scol c -> lookup c
+  | Sconst v -> v
+  | Sadd (a, b) -> Value.add (eval_sexpr lookup a) (eval_sexpr lookup b)
+  | Ssub (a, b) -> Value.sub (eval_sexpr lookup a) (eval_sexpr lookup b)
+  | Smul (a, b) -> Value.mul (eval_sexpr lookup a) (eval_sexpr lookup b)
+  | Sdiv (a, b) -> Value.div (eval_sexpr lookup a) (eval_sexpr lookup b)
+  | Sneg a -> Value.neg (eval_sexpr lookup a)
+
+let rec eval_cond lookup = function
+  | Cmp (a, op, b) ->
+    Ivm_eval.Rule_eval.cmp_holds op (eval_sexpr lookup a) (eval_sexpr lookup b)
+  | And (a, b) -> eval_cond lookup a && eval_cond lookup b
+  | Not_exists _ -> fail "NOT EXISTS is not supported in DML WHERE clauses"
+
+let row_lookup t table (tup : Tuple.t) (c : col_ref) : Value.t =
+  (match c.table with
+  | Some a when a <> table -> fail "unknown alias %s in DML over %s" a table
+  | _ -> ());
+  let cols = columns_of t table in
+  match List.find_index (String.equal c.column) cols with
+  | Some i -> tup.(i)
+  | None -> fail "table %s has no column %s" table c.column
+
+(** Stored tuples of [table] satisfying [where]. *)
+let matching_rows t table where : Tuple.t list =
+  let stored = Vm.relation t.vm table in
+  Relation.fold
+    (fun tup _ acc ->
+      let lookup c = row_lookup t table tup c in
+      match where with
+      | None -> tup :: acc
+      | Some cond -> if eval_cond lookup cond then tup :: acc else acc)
+    stored []
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let exec_statement t (st : statement) : outcome =
+  match st with
+  | Create_table (name, _) ->
+    fail "CREATE TABLE %s: declare tables in the initial schema script" name
+  | Insert (name, tuples) ->
+    check_base t name;
+    let cols = columns_of t name in
+    List.iter
+      (fun vals ->
+        if List.length vals <> List.length cols then
+          fail "INSERT INTO %s: expected %d values" name (List.length cols))
+      tuples;
+    Deltas
+      (Vm.insert t.vm name (List.map Array.of_list tuples))
+  | Delete (name, where) ->
+    check_base t name;
+    let victims = matching_rows t name where in
+    if victims = [] then Done "0 rows deleted"
+    else Deltas (Vm.delete t.vm name victims)
+  | Update (name, sets, where) ->
+    check_base t name;
+    let cols = columns_of t name in
+    List.iter
+      (fun (col, _) ->
+        if not (List.mem col cols) then
+          fail "UPDATE %s: no column %s" name col)
+      sets;
+    let victims = matching_rows t name where in
+    let changes =
+      List.fold_left
+        (fun acc old_tuple ->
+          let lookup c = row_lookup t name old_tuple c in
+          let new_tuple =
+            Array.of_list
+              (List.mapi
+                 (fun i col ->
+                   match List.assoc_opt col sets with
+                   | Some e -> eval_sexpr lookup e
+                   | None -> old_tuple.(i))
+                 cols)
+          in
+          Changes.merge acc
+            (Changes.update (Vm.program t.vm) name ~old_tuple ~new_tuple))
+        [] victims
+    in
+    if victims = [] then Done "0 rows updated" else Deltas (Vm.apply t.vm changes)
+  | Select_stmt sel ->
+    let env = { Sql_translate.schemas = t.schemas } in
+    let gen = { Sql_translate.aux_count = 0; extra_rules = [] } in
+    let columns = Sql_translate.derived_columns sel in
+    let rule =
+      Sql_translate.translate_select env gen ~view_name:"$select$"
+        ~head_cols:None sel
+    in
+    if gen.Sql_translate.extra_rules <> [] then
+      fail
+        "this SELECT needs auxiliary views (GROUP BY or NOT EXISTS): \
+         CREATE VIEW it instead";
+    Rows (Query.run_rule (Vm.database t.vm) rule ~columns)
+  | Create_view (name, cols, q) ->
+    if Hashtbl.mem t.schemas name then fail "duplicate view %s" name;
+    let env = { Sql_translate.schemas = t.schemas } in
+    let gen = { Sql_translate.aux_count = 0; extra_rules = [] } in
+    let sels = Sql_translate.selects_of q in
+    let view_cols =
+      match cols with
+      | Some cs -> cs
+      | None -> Sql_translate.derived_columns (List.hd sels)
+    in
+    let main_rules =
+      List.map
+        (fun sel ->
+          if List.length sel.items <> List.length view_cols then
+            fail "view %s: UNION branches disagree on column count" name;
+          Sql_translate.translate_select env gen ~view_name:name ~head_cols:cols
+            sel)
+        sels
+    in
+    (* auxiliary views first, then the view's own rules; each addition is
+       maintained incrementally *)
+    List.iter (Vm.add_rule t.vm) (gen.Sql_translate.extra_rules @ main_rules);
+    Hashtbl.replace t.schemas name view_cols;
+    Done (Printf.sprintf "view %s materialized" name)
+
+(** Execute one ';'-terminated statement. *)
+let exec (t : t) (src : string) : outcome =
+  let src = String.trim src in
+  let src =
+    if String.length src > 0 && src.[String.length src - 1] = ';' then src
+    else src ^ ";"
+  in
+  match Sql_parser.parse_script src with
+  | [ st ] -> exec_statement t st
+  | _ -> fail "exec runs exactly one statement; use exec_script"
+
+(** Execute a multi-statement script; returns the outcomes in order. *)
+let exec_script (t : t) (src : string) : outcome list =
+  List.map (exec_statement t) (Sql_parser.parse_script src)
+
+let pp_outcome ppf = function
+  | Done msg -> Format.fprintf ppf "%s@." msg
+  | Deltas [] -> Format.fprintf ppf "(no view changed)@."
+  | Deltas ds ->
+    List.iter
+      (fun (view, delta) -> Format.fprintf ppf "Δ%s = %a@." view Relation.pp delta)
+      ds
+  | Rows r -> Query.pp ppf r

@@ -1,0 +1,39 @@
+(** A live SQL session over an incrementally maintained database: DML
+    becomes change sets through the maintenance algorithm, runtime
+    [CREATE VIEW] goes through rule insertion (Section 7's view
+    redefinition), ad-hoc [SELECT]s run against the materializations. *)
+
+module Relation = Ivm_relation.Relation
+module Vm = Ivm.View_manager
+module Query = Ivm_eval.Query
+
+exception Session_error of string
+
+type t
+
+type outcome =
+  | Done of string  (** a human-readable confirmation *)
+  | Deltas of (string * Relation.t) list  (** per-view changes of a DML *)
+  | Rows of Query.result  (** a SELECT's answers *)
+
+(** Build from a schema script (CREATE TABLE / CREATE VIEW / INSERT). *)
+val of_script :
+  ?semantics:Ivm_eval.Database.semantics ->
+  ?algorithm:Vm.algorithm ->
+  string ->
+  t
+
+val manager : t -> Vm.t
+
+(** Execute one statement (trailing ';' optional):
+    [INSERT INTO … VALUES …], [DELETE FROM … WHERE …],
+    [UPDATE … SET … WHERE …], [SELECT …], [CREATE VIEW …].
+    @raise Session_error on semantic errors (DML on views, unknown
+    columns, CREATE TABLE after setup, aggregate ad-hoc SELECTs);
+    @raise Sql_parser.Parse_error on syntax errors. *)
+val exec : t -> string -> outcome
+
+(** Execute a multi-statement script; outcomes in order. *)
+val exec_script : t -> string -> outcome list
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,415 @@
+(** Translation of the SQL subset to Datalog rules — the equivalence the
+    paper leans on ("Datalog extended with stratified negation and
+    aggregation can be mapped to a class of recursive SQL queries, and vice
+    versa [Mum91]", Section 3).
+
+    One SELECT becomes one rule: FROM entries become positive atoms whose
+    argument variables are the equivalence classes of column equalities in
+    WHERE (so joins probe indexes rather than filter), remaining conditions
+    become comparison literals, NOT EXISTS subqueries become auxiliary
+    projection views used under negation, and GROUP BY with one aggregate
+    item becomes an auxiliary join view wrapped in a GROUPBY literal.
+    UNION branches become additional rules for the same view predicate. *)
+
+open Sql_ast
+module Value = Ivm_relation.Value
+module Ast = Ivm_datalog.Ast
+
+exception Translate_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Translate_error s)) fmt
+
+type result = {
+  rules : Ast.rule list;
+  tables : (string * string list) list;  (** base tables: name, columns *)
+  views : (string * string list) list;  (** views: name, columns *)
+  facts : (string * Value.t list list) list;
+  distinct_views : string list;
+      (** views declared SELECT DISTINCT: per-view set semantics, §5.1 *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Union-find over (alias, column) cells                                *)
+(* ------------------------------------------------------------------ *)
+
+type cells = {
+  ids : (string * string, int) Hashtbl.t;
+  mutable parent : int array;
+  mutable const : Value.t option array;
+  mutable n : int;
+}
+
+let cells_create () =
+  { ids = Hashtbl.create 16; parent = Array.make 16 0; const = Array.make 16 None; n = 0 }
+
+let cell_id cs key =
+  match Hashtbl.find_opt cs.ids key with
+  | Some i -> i
+  | None ->
+    let i = cs.n in
+    if i >= Array.length cs.parent then begin
+      let parent = Array.make (2 * (i + 1)) 0 in
+      Array.blit cs.parent 0 parent 0 i;
+      let const = Array.make (2 * (i + 1)) None in
+      Array.blit cs.const 0 const 0 i;
+      cs.parent <- parent;
+      cs.const <- const
+    end;
+    cs.parent.(i) <- i;
+    cs.n <- i + 1;
+    Hashtbl.replace cs.ids key i;
+    i
+
+let rec find cs i = if cs.parent.(i) = i then i else find cs (cs.parent.(i))
+
+(** Returns [false] when merging two classes pinned to different
+    constants — the condition is unsatisfiable. *)
+let union_cells cs i j =
+  let ri = find cs i and rj = find cs j in
+  if ri = rj then true
+  else begin
+    let ok =
+      match cs.const.(ri), cs.const.(rj) with
+      | Some a, Some b -> Value.equal a b
+      | _ -> true
+    in
+    cs.parent.(ri) <- rj;
+    (match cs.const.(ri), cs.const.(rj) with
+    | Some a, None -> cs.const.(rj) <- Some a
+    | _ -> ());
+    ok
+  end
+
+let pin_const cs i v =
+  let r = find cs i in
+  match cs.const.(r) with
+  | None ->
+    cs.const.(r) <- Some v;
+    true
+  | Some w -> Value.equal v w
+
+(* ------------------------------------------------------------------ *)
+
+type env = { schemas : (string, string list) Hashtbl.t }
+
+let schema env table =
+  match Hashtbl.find_opt env.schemas table with
+  | Some cols -> cols
+  | None -> fail "unknown table or view %s" table
+
+(** Resolve a column reference against the FROM aliases. *)
+let resolve_col ~from_schemas (c : col_ref) : string * string =
+  match c.table with
+  | Some alias ->
+    if not (List.mem_assoc alias from_schemas) then
+      fail "unknown alias %s" alias;
+    if not (List.mem c.column (List.assoc alias from_schemas)) then
+      fail "table %s has no column %s" alias c.column;
+    (alias, c.column)
+  | None -> (
+    match
+      List.filter (fun (_, cols) -> List.mem c.column cols) from_schemas
+    with
+    | [ (alias, _) ] -> (alias, c.column)
+    | [] -> fail "unknown column %s" c.column
+    | _ -> fail "ambiguous column %s (qualify it with an alias)" c.column)
+
+(* ------------------------------------------------------------------ *)
+
+type gen = { mutable aux_count : int; mutable extra_rules : Ast.rule list }
+
+let translate_select env gen ~view_name ~(head_cols : string list option)
+    (sel : select) : Ast.rule =
+  let from_schemas =
+    List.map
+      (fun (table, alias) -> (alias, schema env table))
+      sel.from
+  in
+  (* duplicate alias check *)
+  let aliases = List.map fst from_schemas in
+  if List.length (List.sort_uniq compare aliases) <> List.length aliases then
+    fail "duplicate alias in FROM of view %s" view_name;
+  let cs = cells_create () in
+  (* register every cell so variable numbering is deterministic *)
+  List.iter
+    (fun (alias, cols) -> List.iter (fun c -> ignore (cell_id cs (alias, c))) cols)
+    from_schemas;
+  (* Partition WHERE conjuncts. *)
+  let leftovers = ref [] in
+  let not_exists = ref [] in
+  let satisfiable = ref true in
+  let rec walk = function
+    | None -> ()
+    | Some (And (a, b)) ->
+      walk (Some a);
+      walk (Some b)
+    | Some (Cmp (Scol a, Eq, Scol b)) ->
+      let ca = cell_id cs (resolve_col ~from_schemas a) in
+      let cb = cell_id cs (resolve_col ~from_schemas b) in
+      if not (union_cells cs ca cb) then satisfiable := false
+    | Some (Cmp (Scol a, Eq, Sconst v)) | Some (Cmp (Sconst v, Eq, Scol a)) ->
+      let ca = cell_id cs (resolve_col ~from_schemas a) in
+      if not (pin_const cs ca v) then satisfiable := false
+    | Some (Cmp (a, op, b)) -> leftovers := (a, op, b) :: !leftovers
+    | Some (Not_exists sub) -> not_exists := sub :: !not_exists
+  in
+  walk sel.where;
+  (* Terms per cell. *)
+  let term_of_cell key =
+    let r = find cs (cell_id cs key) in
+    match cs.const.(r) with
+    | Some v -> Ast.Eterm (Ast.Const v)
+    | None -> Ast.Eterm (Ast.Var (Printf.sprintf "V%d" r))
+  in
+  let rec expr_of = function
+    | Scol c -> term_of_cell (resolve_col ~from_schemas c)
+    | Sconst v -> Ast.Eterm (Ast.Const v)
+    | Sadd (a, b) -> Ast.Eadd (expr_of a, expr_of b)
+    | Ssub (a, b) -> Ast.Esub (expr_of a, expr_of b)
+    | Smul (a, b) -> Ast.Emul (expr_of a, expr_of b)
+    | Sdiv (a, b) -> Ast.Ediv (expr_of a, expr_of b)
+    | Sneg a -> Ast.Eneg (expr_of a)
+  in
+  (* Body atoms. *)
+  let atoms =
+    List.map
+      (fun (table, alias) ->
+        let cols = schema env table in
+        Ast.Lpos
+          {
+            Ast.pred = table;
+            args = List.map (fun c -> term_of_cell (alias, c)) cols;
+          })
+      sel.from
+  in
+  let cmps =
+    List.rev_map (fun (a, op, b) -> Ast.Lcmp (expr_of a, op, expr_of b)) !leftovers
+  in
+  let unsat = if !satisfiable then [] else
+    [ Ast.Lcmp (Ast.Eterm (Ast.Const (Value.Int 0)), Ast.Eq,
+                Ast.Eterm (Ast.Const (Value.Int 1))) ] in
+  (* NOT EXISTS → auxiliary projection view + negated atom. *)
+  let neg_lits =
+    List.rev_map
+      (fun sub ->
+        gen.aux_count <- gen.aux_count + 1;
+        let aux = Printf.sprintf "%s_notexists%d" view_name gen.aux_count in
+        let sub_cols = schema env sub.sub_table in
+        let sub_schemas = [ (sub.sub_alias, sub_cols) ] in
+        let svar c = Ast.Eterm (Ast.Var ("S_" ^ c)) in
+        (* split the subquery WHERE into correlations and internal filters *)
+        let correlations = ref [] and internal = ref [] in
+        let is_sub_col c =
+          match c.table with
+          | Some a -> a = sub.sub_alias
+          | None -> List.mem c.column sub_cols
+        in
+        let rec swalk = function
+          | None -> ()
+          | Some (And (a, b)) ->
+            swalk (Some a);
+            swalk (Some b)
+          | Some (Cmp (Scol sc, Eq, (Scol oc as outer))) when is_sub_col sc && not (is_sub_col oc) ->
+            correlations := (sc, expr_of outer) :: !correlations
+          | Some (Cmp ((Scol oc as outer), Eq, Scol sc)) when is_sub_col sc && not (is_sub_col oc) ->
+            correlations := (sc, expr_of outer) :: !correlations
+          | Some (Cmp (a, op, b)) ->
+            (* internal condition over subquery columns only *)
+            let rec sexpr_of = function
+              | Scol c when is_sub_col c ->
+                let _, col = resolve_col ~from_schemas:sub_schemas c in
+                svar col
+              | Scol c -> fail "NOT EXISTS: condition mixes %s with outer columns in an unsupported way" c.column
+              | Sconst v -> Ast.Eterm (Ast.Const v)
+              | Sadd (a, b) -> Ast.Eadd (sexpr_of a, sexpr_of b)
+              | Ssub (a, b) -> Ast.Esub (sexpr_of a, sexpr_of b)
+              | Smul (a, b) -> Ast.Emul (sexpr_of a, sexpr_of b)
+              | Sdiv (a, b) -> Ast.Ediv (sexpr_of a, sexpr_of b)
+              | Sneg a -> Ast.Eneg (sexpr_of a)
+            in
+            internal := Ast.Lcmp (sexpr_of a, op, sexpr_of b) :: !internal
+          | Some (Not_exists _) -> fail "nested NOT EXISTS is not supported"
+        in
+        swalk sub.sub_where;
+        let correlations = List.rev !correlations in
+        let head_args =
+          List.map
+            (fun (sc, _) ->
+              let _, col = resolve_col ~from_schemas:sub_schemas sc in
+              svar col)
+            correlations
+        in
+        let aux_rule =
+          {
+            Ast.head = { Ast.pred = aux; args = head_args };
+            body =
+              Ast.Lpos
+                { Ast.pred = sub.sub_table; args = List.map svar sub_cols }
+              :: List.rev !internal;
+          }
+        in
+        gen.extra_rules <- gen.extra_rules @ [ aux_rule ];
+        Ast.Lneg { Ast.pred = aux; args = List.map snd correlations })
+      !not_exists
+  in
+  let base_body = atoms @ cmps @ unsat @ neg_lits in
+  (* Aggregation? *)
+  let aggs = List.filter (function Agg _ -> true | Plain _ -> false) sel.items in
+  match aggs, sel.group_by with
+  | [], [] ->
+    let head_args =
+      List.map
+        (function
+          | Plain e -> expr_of e
+          | Agg _ -> assert false)
+        sel.items
+    in
+    ignore head_cols;
+    { Ast.head = { Ast.pred = view_name; args = head_args }; body = base_body }
+  | [ Agg (fn, arg) ], group_by ->
+    (* auxiliary join view: group columns then the aggregated expression *)
+    gen.aux_count <- gen.aux_count + 1;
+    let aux = Printf.sprintf "%s_group%d" view_name gen.aux_count in
+    let group_terms = List.map (fun c -> term_of_cell (resolve_col ~from_schemas c)) group_by in
+    let agg_expr =
+      match arg with
+      | Some e -> expr_of e
+      | None -> Ast.Eterm (Ast.Const (Value.Int 0))
+    in
+    let aux_rule =
+      {
+        Ast.head = { Ast.pred = aux; args = group_terms @ [ agg_expr ] };
+        body = base_body;
+      }
+    in
+    gen.extra_rules <- gen.extra_rules @ [ aux_rule ];
+    (* variables of the groupby literal *)
+    let gvars = List.mapi (fun i _ -> Printf.sprintf "G%d" i) group_by in
+    let rvar = "R" in
+    let source =
+      {
+        Ast.pred = aux;
+        args =
+          List.map (fun v -> Ast.Eterm (Ast.Var v)) gvars
+          @ [ Ast.Eterm (Ast.Var "C") ];
+      }
+    in
+    let lit =
+      Ast.Lagg
+        {
+          Ast.agg_source = source;
+          agg_group_by = gvars;
+          agg_result = rvar;
+          agg_fn = fn;
+          agg_arg = Ast.Eterm (Ast.Var "C");
+        }
+    in
+    (* head follows the SELECT item order *)
+    let group_cols_resolved = List.map (fun c -> resolve_col ~from_schemas c) group_by in
+    let head_args =
+      List.map
+        (function
+          | Agg _ -> Ast.Eterm (Ast.Var rvar)
+          | Plain (Scol c) -> (
+            let rc = resolve_col ~from_schemas c in
+            match List.mapi (fun i g -> (i, g)) group_cols_resolved
+                  |> List.find_opt (fun (_, g) -> g = rc)
+            with
+            | Some (i, _) -> Ast.Eterm (Ast.Var (List.nth gvars i))
+            | None ->
+              fail "view %s: column %s is selected but not in GROUP BY"
+                view_name c.column)
+          | Plain _ ->
+            fail "view %s: non-column SELECT items must be aggregates under \
+                  GROUP BY" view_name)
+        sel.items
+    in
+    { Ast.head = { Ast.pred = view_name; args = head_args }; body = [ lit ] }
+  | _ :: _ :: _, _ -> fail "view %s: at most one aggregate item is supported" view_name
+  | [], _ :: _ -> fail "view %s: GROUP BY without an aggregate item" view_name
+  | _ -> fail "view %s: unsupported SELECT shape" view_name
+
+(** Column names a SELECT produces (for views without an explicit column
+    list). *)
+let derived_columns (sel : select) : string list =
+  List.mapi
+    (fun i item ->
+      match item with
+      | Plain (Scol c) -> c.column
+      | Agg (fn, _) -> Ast.agg_fn_name fn
+      | Plain _ -> Printf.sprintf "col%d" i)
+    sel.items
+
+let rec first_select = function Select s -> s | Union (a, _) -> first_select a
+
+let rec selects_of = function
+  | Select s -> [ s ]
+  | Union (a, b) -> selects_of a @ selects_of b
+
+(** Translate a full script.  Returns rules (views and auxiliaries), base
+    table schemas, view schemas, and facts to load. *)
+let translate (src : string) : result =
+  let statements = Sql_parser.parse_script src in
+  let env = { schemas = Hashtbl.create 16 } in
+  let gen = { aux_count = 0; extra_rules = [] } in
+  let tables = ref [] and views = ref [] and facts = ref [] and rules = ref [] in
+  let distinct_views = ref [] in
+  List.iter
+    (fun st ->
+      match st with
+      | Create_table (name, cols) ->
+        if Hashtbl.mem env.schemas name then fail "duplicate table %s" name;
+        Hashtbl.replace env.schemas name cols;
+        tables := (name, cols) :: !tables
+      | Create_view (name, cols, q) ->
+        if Hashtbl.mem env.schemas name then fail "duplicate view %s" name;
+        let sels = selects_of q in
+        let view_cols =
+          match cols with Some cs -> cs | None -> derived_columns (List.hd sels)
+        in
+        List.iter
+          (fun sel ->
+            if List.length sel.items <> List.length view_cols then
+              fail "view %s: UNION branches disagree on column count" name;
+            let r = translate_select env gen ~view_name:name ~head_cols:cols sel in
+            rules := r :: !rules)
+          sels;
+        Hashtbl.replace env.schemas name view_cols;
+        if List.exists (fun sel -> sel.distinct) sels then
+          distinct_views := name :: !distinct_views;
+        views := (name, view_cols) :: !views
+      | Insert (name, tuples) ->
+        let cols = schema env name in
+        List.iter
+          (fun vals ->
+            if List.length vals <> List.length cols then
+              fail "INSERT INTO %s: expected %d values" name (List.length cols))
+          tuples;
+        facts := (name, tuples) :: !facts
+      | Delete _ | Update _ | Select_stmt _ ->
+        fail
+          "DELETE/UPDATE/SELECT are runtime statements: run them through \
+           Sql_session.exec (or the shell), not the schema script")
+    statements;
+  (* auxiliary rules registered under gen + main rules, in order *)
+  {
+    rules = gen.extra_rules @ List.rev !rules;
+    tables = List.rev !tables;
+    views = List.rev !views;
+    facts = List.rev !facts;
+    distinct_views = List.rev !distinct_views;
+  }
+
+(** One-call convenience: translate, build the program, load the facts,
+    materialize, return a manager. *)
+let view_manager ?semantics ?algorithm (src : string) : Ivm.View_manager.t =
+  let r = translate src in
+  let facts =
+    List.map
+      (fun (name, tuples) ->
+        (name, List.map (fun vals -> Array.of_list vals) tuples))
+      r.facts
+  in
+  let extra_base = List.map (fun (t, cols) -> (t, List.length cols)) r.tables in
+  Ivm.View_manager.create ?semantics ?algorithm ~extra_base
+    ~distinct:r.distinct_views ~facts r.rules

@@ -1,0 +1,1 @@
+lib/workload/update_gen.ml: Array Ivm Ivm_datalog Ivm_eval Ivm_relation Prng

@@ -1,0 +1,102 @@
+(** Graph generators for the [link] relation the paper's examples revolve
+    around.  Nodes are integers (as [Value.Int]); edges are 2-tuples, or
+    3-tuples [(src, dst, cost)] for the aggregation workloads.
+
+    Shapes:
+    - {!random} — Erdős–Rényi-style: [m] edges drawn uniformly (no self
+      loops, deduplicated);
+    - {!layered_dag} — nodes arranged in layers, edges only forward one
+      layer; guarantees acyclicity with many alternative derivations —
+      the regime where rederivation (and counting's alternative-derivation
+      tracking) matters;
+    - {!chain} — a path graph: worst case depth for recursion;
+    - {!cycle} — a single directed cycle: every TC tuple depends on every
+      edge, recursive counting diverges here;
+    - {!grid} — 2-D lattice with right/down edges. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+
+type edge = int * int
+
+let node n = Value.Int n
+let edge_tuple (a, b) = [| node a; node b |]
+
+let tuples edges = List.map edge_tuple edges
+
+(** [costed_tuples rng ~max_cost edges] — 3-column tuples with uniform
+    integer costs in [1, max_cost]. *)
+let costed_tuples rng ~max_cost edges =
+  List.map
+    (fun (a, b) -> [| node a; node b; Value.Int (1 + Prng.int rng max_cost) |])
+    edges
+
+let dedup edges = List.sort_uniq compare edges
+
+(** [random rng ~nodes ~edges] — up to [edges] distinct random edges among
+    [nodes] nodes (no self-loops). *)
+let random rng ~nodes ~edges : edge list =
+  if nodes < 2 then invalid_arg "Graph_gen.random: need at least 2 nodes";
+  let rec draw k acc =
+    if k = 0 then acc
+    else
+      let a = Prng.int rng nodes in
+      let b = Prng.int rng nodes in
+      if a = b then draw k acc else draw (k - 1) ((a, b) :: acc)
+  in
+  dedup (draw edges [])
+
+(** [layered_dag rng ~layers ~width ~out_degree] — every node has
+    [out_degree] edges into the next layer.  Node ids: layer ℓ, slot s ↦
+    [ℓ * width + s]. *)
+let layered_dag rng ~layers ~width ~out_degree : edge list =
+  let acc = ref [] in
+  for l = 0 to layers - 2 do
+    for s = 0 to width - 1 do
+      let src = (l * width) + s in
+      for _ = 1 to out_degree do
+        let dst = ((l + 1) * width) + Prng.int rng width in
+        acc := (src, dst) :: !acc
+      done
+    done
+  done;
+  dedup !acc
+
+let chain n : edge list = List.init (n - 1) (fun i -> (i, i + 1))
+
+let cycle n : edge list = List.init n (fun i -> (i, (i + 1) mod n))
+
+(** [scale_free rng ~nodes ~attach] — preferential attachment (Barabási–
+    Albert style): nodes arrive one at a time and draw [attach] edges to
+    earlier nodes with probability proportional to current degree, giving
+    the heavy-tailed fan-outs real link graphs show (a few hubs dominate
+    view sizes). *)
+let scale_free rng ~nodes ~attach : edge list =
+  if nodes < 2 then invalid_arg "Graph_gen.scale_free: need at least 2 nodes";
+  (* endpoints multiset: each edge contributes both ends, so sampling a
+     uniform element is degree-proportional sampling *)
+  let endpoints = ref [ 0; 1 ] in
+  let acc = ref [ (1, 0) ] in
+  for v = 2 to nodes - 1 do
+    let eps = Array.of_list !endpoints in
+    for _ = 1 to attach do
+      let target = eps.(Prng.int rng (Array.length eps)) in
+      if target <> v then begin
+        acc := (v, target) :: !acc;
+        endpoints := v :: target :: !endpoints
+      end
+    done
+  done;
+  dedup !acc
+
+(** [grid ~rows ~cols] — node (r,c) ↦ r*cols + c, edges right and down. *)
+let grid ~rows ~cols : edge list =
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let id = (r * cols) + c in
+      if c + 1 < cols then acc := (id, id + 1) :: !acc;
+      if r + 1 < rows then acc := (id, id + cols) :: !acc
+    done
+  done;
+  !acc

@@ -1,0 +1,37 @@
+(** Graph generators for the [link] relation of the paper's examples.
+    Nodes are integers; edges are 2-tuples or costed 3-tuples. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+
+type edge = int * int
+
+val node : int -> Value.t
+val edge_tuple : edge -> Tuple.t
+val tuples : edge list -> Tuple.t list
+
+(** 3-column tuples with uniform integer costs in [1, max_cost]. *)
+val costed_tuples : Prng.t -> max_cost:int -> edge list -> Tuple.t list
+
+(** Up to [edges] distinct uniform edges over [nodes] nodes, no self
+    loops.  @raise Invalid_argument when [nodes < 2]. *)
+val random : Prng.t -> nodes:int -> edges:int -> edge list
+
+(** Nodes in layers, every node with [out_degree] edges into the next
+    layer (deduplicated): acyclic, with many alternative derivations.
+    Node ids: layer ℓ, slot s ↦ ℓ·width + s. *)
+val layered_dag : Prng.t -> layers:int -> width:int -> out_degree:int -> edge list
+
+(** A path graph 0 → 1 → … → n−1. *)
+val chain : int -> edge list
+
+(** A single directed cycle over n nodes. *)
+val cycle : int -> edge list
+
+(** Preferential attachment (Barabási–Albert style): heavy-tailed
+    fan-outs, a few hubs dominating view sizes.
+    @raise Invalid_argument when [nodes < 2]. *)
+val scale_free : Prng.t -> nodes:int -> attach:int -> edge list
+
+(** 2-D lattice with right and down edges; node (r,c) ↦ r·cols + c. *)
+val grid : rows:int -> cols:int -> edge list

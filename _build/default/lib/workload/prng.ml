@@ -1,0 +1,48 @@
+(** Deterministic splittable PRNG (SplitMix64) so every workload, test and
+    bench is reproducible from a seed, independent of the stdlib [Random]
+    state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) /. 9007199254740992.
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** Independent stream derived from this one. *)
+let split t = { state = next_int64 t }
+
+(** Fisher–Yates shuffle (in place). *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** [sample t k xs] — k distinct elements of [xs] (all of them when
+    [k >= length]). *)
+let sample t k xs =
+  let arr = Array.of_list xs in
+  shuffle t arr;
+  Array.to_list (Array.sub arr 0 (min k (Array.length arr)))
+
+(** [pick t xs] — uniform element of a non-empty list. *)
+let pick t xs = List.nth xs (int t (List.length xs))

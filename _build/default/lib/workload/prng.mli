@@ -1,0 +1,27 @@
+(** Deterministic splittable PRNG (SplitMix64): every workload, test and
+    bench is reproducible from its seed, independent of [Stdlib.Random]
+    state. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [0, bound).  @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Independent stream derived from this one. *)
+val split : t -> t
+
+(** In-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample t k xs] — [k] distinct elements (all when [k ≥ length]). *)
+val sample : t -> int -> 'a list -> 'a list
+
+(** Uniform element of a non-empty list. *)
+val pick : t -> 'a list -> 'a

@@ -1,0 +1,74 @@
+(** The paper's canned view definitions, ready to instantiate over
+    generated graphs. *)
+
+(** Example 1.1 / 4.1: two-link connectivity. *)
+let hop = {|
+  hop(X, Y) :- link(X, Z), link(Z, Y).
+|}
+
+(** Example 4.2: a second stratum over [hop]. *)
+let hop_tri_hop =
+  {|
+    hop(X, Y) :- link(X, Z), link(Z, Y).
+    tri_hop(X, Y) :- hop(X, Z), link(Z, Y).
+  |}
+
+(** Example 6.1: negation — pairs connected in three links but not two. *)
+let only_tri_hop =
+  {|
+    hop(X, Y) :- link(X, Z), link(Z, Y).
+    tri_hop(X, Y) :- hop(X, Z), link(Z, Y).
+    only_tri_hop(X, Y) :- tri_hop(X, Y), not hop(X, Y).
+  |}
+
+(** Example 6.2: costed links and the MIN-cost aggregate view. *)
+let min_cost_hop =
+  {|
+    hop(S, D, C1 + C2) :- link(S, I, C1), link(I, D, C2).
+    min_cost_hop(S, D, M) :- groupby(hop(S, D, C), [S, D], M = min(C)).
+  |}
+
+(** Transitive closure — the canonical recursive view (Section 7). *)
+let transitive_closure =
+  {|
+    path(X, Y) :- link(X, Y).
+    path(X, Y) :- path(X, Z), link(Z, Y).
+|}
+
+(** Right-linear variant (cf. Dong & Topor's chain views, Section 2). *)
+let transitive_closure_right =
+  {|
+    path(X, Y) :- link(X, Y).
+    path(X, Y) :- link(X, Z), path(Z, Y).
+|}
+
+(** Same-generation: nonlinear recursion. *)
+let same_generation =
+  {|
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+|}
+
+(** A deep nonrecursive chain of views: stratum k reaches 2^k links.
+    Used by bench E4 to show the set-semantics optimization stopping
+    propagation at a low stratum. *)
+let view_chain depth =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "reach1(X, Y) :- link(X, Y).\n";
+  for k = 2 to depth do
+    Buffer.add_string buf
+      (Printf.sprintf "reach%d(X, Y) :- reach%d(X, Z), reach%d(Z, Y).\n" k (k - 1)
+         (k - 1))
+  done;
+  Buffer.contents buf
+
+(** Bill of materials: parts contain subparts in given quantities;
+    [uses] is the recursive containment; [part_cost] aggregates the direct
+    component cost per assembly. *)
+let bill_of_materials =
+  {|
+    uses(P, Q) :- contains(P, Q, N).
+    uses(P, Q) :- uses(P, R), contains(R, Q, N).
+    direct_cost(P, T) :- groupby(line_cost(P, Q, C), [P], T = sum(C)).
+    line_cost(P, Q, N * C) :- contains(P, Q, N), base_price(Q, C).
+  |}

@@ -1,0 +1,41 @@
+(** Update-stream generators: draw insertions, deletions and updates
+    against a live database's base relations, always valid (deletions pick
+    stored tuples, insertions avoid duplicates under set semantics). *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Database = Ivm_eval.Database
+module Program = Ivm_datalog.Program
+module Changes = Ivm.Changes
+
+(** [deletions rng db pred k] — a change set deleting [k] random stored
+    tuples of [pred] (fewer if the relation is smaller). *)
+let deletions rng (db : Database.t) pred k : Changes.t =
+  let stored = Database.relation db pred in
+  let all = Relation.fold (fun tup _ acc -> tup :: acc) stored [] in
+  let victims = Prng.sample rng k all in
+  Changes.deletions (Database.program db) pred victims
+
+(** [edge_insertions rng db pred ~nodes k] — [k] random new 2-column edges
+    over integer nodes [0, nodes), avoiding stored duplicates. *)
+let edge_insertions rng (db : Database.t) pred ~nodes k : Changes.t =
+  let stored = Database.relation db pred in
+  let rec draw k acc =
+    if k = 0 then acc
+    else
+      let t = [| Value.Int (Prng.int rng nodes); Value.Int (Prng.int rng nodes) |] in
+      if Value.equal t.(0) t.(1) || Relation.mem stored t then draw k acc
+      else draw (k - 1) (t :: acc)
+  in
+  Changes.insertions (Database.program db) pred (draw k [])
+
+(** A mixed batch: [dels] deletions of stored tuples and [ins] fresh edge
+    insertions on the same predicate. *)
+let mixed rng db pred ~nodes ~dels ~ins : Changes.t =
+  Changes.merge (deletions rng db pred dels) (edge_insertions rng db pred ~nodes ins)
+
+(** Random ground fact over integer columns — for property tests on
+    arbitrary arities. *)
+let random_tuple rng ~arity ~domain =
+  Array.init arity (fun _ -> Value.Int (Prng.int rng domain))

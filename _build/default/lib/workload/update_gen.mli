@@ -1,0 +1,22 @@
+(** Update-stream generators: always-valid change sets against a live
+    database's base relations (deletions pick stored tuples; insertions
+    avoid duplicates). *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Database = Ivm_eval.Database
+module Changes = Ivm.Changes
+
+(** Delete [k] random stored tuples (fewer if the relation is smaller). *)
+val deletions : Prng.t -> Database.t -> string -> int -> Changes.t
+
+(** Insert [k] fresh random 2-column edges over nodes [0, nodes). *)
+val edge_insertions :
+  Prng.t -> Database.t -> string -> nodes:int -> int -> Changes.t
+
+(** [dels] deletions ⊎ [ins] fresh insertions on one predicate. *)
+val mixed :
+  Prng.t -> Database.t -> string -> nodes:int -> dels:int -> ins:int -> Changes.t
+
+(** Random ground tuple over integer columns. *)
+val random_tuple : Prng.t -> arity:int -> domain:int -> Tuple.t

@@ -1,0 +1,1 @@
+test/test_agg_index.ml: Alcotest Database Ivm Ivm_baselines Ivm_datalog Ivm_eval List Program Relation Relation_view Seminaive Tuple Util Value

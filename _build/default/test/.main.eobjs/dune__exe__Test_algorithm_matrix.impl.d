@@ -1,0 +1,1 @@
+test/test_algorithm_matrix.ml: Alcotest Database Ivm Ivm_baselines Ivm_eval Ivm_workload List Parser Program Relation Seminaive Tuple Util

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Database Ivm Ivm_baselines Ivm_datalog Ivm_eval Ivm_workload List Printf Program Relation Seminaive Tuple Util

@@ -1,0 +1,1 @@
+test/test_changes.ml: Alcotest Database Ivm List Parser Program Relation Tuple Util

@@ -1,0 +1,1 @@
+test/test_compositions.ml: Alcotest Array Database Ivm Relation Tuple Util Value

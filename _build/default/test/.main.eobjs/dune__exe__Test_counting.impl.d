@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Array Database Ivm List Program Relation Seminaive Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Ivm_datalog List Parser Program String Util Value

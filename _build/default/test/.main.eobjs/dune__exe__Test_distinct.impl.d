@@ -1,0 +1,1 @@
+test/test_distinct.ml: Alcotest Database Ivm Ivm_sql List Relation Tuple Util Value

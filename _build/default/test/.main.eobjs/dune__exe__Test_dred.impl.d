@@ -1,0 +1,1 @@
+test/test_dred.ml: Alcotest Database Ivm List Program Relation Seminaive Tuple Util Value

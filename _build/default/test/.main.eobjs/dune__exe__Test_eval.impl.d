@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Database Relation Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_eval_edge.ml: Alcotest Buffer Database Ivm List Printf Program Relation Seminaive Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_final_coverage.ml: Alcotest Ast Database Ivm Ivm_baselines Ivm_datalog Ivm_sql List Program Relation String Tuple Util

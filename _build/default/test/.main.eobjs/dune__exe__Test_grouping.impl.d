@@ -1,0 +1,1 @@
+test/test_grouping.ml: Alcotest Ast Ivm_eval List Parser Relation Relation_view Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_misc_coverage.ml: Alcotest Database Format Ivm Ivm_datalog Ivm_eval List Parser Program Relation Relation_view String Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_more_units.ml: Alcotest Ast Database Ivm Ivm_datalog Ivm_eval List Parser Printf Program Relation Seminaive String Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_properties.ml: Database Format Ivm Ivm_baselines Ivm_datalog Ivm_eval Ivm_relation Ivm_sql Ivm_workload List Option Printf Program QCheck QCheck_alcotest Relation Seminaive Tuple Util Value

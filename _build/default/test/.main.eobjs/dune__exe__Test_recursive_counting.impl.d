@@ -1,0 +1,1 @@
+test/test_recursive_counting.ml: Alcotest Database Ivm Ivm_datalog List Program Relation Tuple Util

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest List Relation Relation_view Tuple Util Value

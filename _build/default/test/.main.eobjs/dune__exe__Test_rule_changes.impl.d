@@ -1,0 +1,1 @@
+test/test_rule_changes.ml: Alcotest Database Ivm Ivm_datalog Relation Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Database Ivm Ivm_sql Relation Tuple Util Value

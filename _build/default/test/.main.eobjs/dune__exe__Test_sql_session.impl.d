@@ -1,0 +1,1 @@
+test/test_sql_session.ml: Alcotest Database Ivm Ivm_eval Ivm_sql List Relation Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_triggers_query.ml: Alcotest Database Ivm Ivm_datalog Ivm_eval List Program Relation Tuple Util Value

@@ -1,0 +1,1 @@
+test/test_view_manager.ml: Alcotest Database Ivm List Relation String Tuple Util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Database Fun Hashtbl Ivm Ivm_workload List Option Printf Relation Tuple Util Value

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Ivm_datalog Ivm_eval Ivm_relation List String

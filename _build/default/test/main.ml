@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "ivm"
+    [
+      ("relation", Test_relation.suite);
+      ("datalog", Test_datalog.suite);
+      ("eval", Test_eval.suite);
+      ("eval_edge", Test_eval_edge.suite);
+      ("counting", Test_counting.suite);
+      ("dred", Test_dred.suite);
+      ("rule_changes", Test_rule_changes.suite);
+      ("recursive_counting", Test_recursive_counting.suite);
+      ("baselines", Test_baselines.suite);
+      ("sql", Test_sql.suite);
+      ("sql_session", Test_sql_session.suite);
+      ("agg_index", Test_agg_index.suite);
+      ("grouping", Test_grouping.suite);
+      ("changes", Test_changes.suite);
+      ("view_manager", Test_view_manager.suite);
+      ("workload", Test_workload.suite);
+      ("triggers_query", Test_triggers_query.suite);
+      ("algorithm_matrix", Test_algorithm_matrix.suite);
+      ("compositions", Test_compositions.suite);
+      ("distinct", Test_distinct.suite);
+      ("more_units", Test_more_units.suite);
+      ("misc_coverage", Test_misc_coverage.suite);
+      ("final_coverage", Test_final_coverage.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,96 @@
+(** Change sets: construction, merging, and the Lemma 4.1 normalization. *)
+
+open Util
+module Changes = Ivm.Changes
+
+let program_of src = Program.make (Parser.parse_rules src)
+
+let hop = "hop(X, Y) :- link(X, Z), link(Z, Y)."
+
+let construction () =
+  let p = program_of hop in
+  let c = Changes.insertions p "link" [ Tuple.of_strs [ "a"; "b" ] ] in
+  Alcotest.(check int) "one tuple" 1 (Changes.total_tuples c);
+  let c = Changes.update p "link" ~old_tuple:(Tuple.of_strs [ "a"; "b" ])
+      ~new_tuple:(Tuple.of_strs [ "a"; "c" ]) in
+  Alcotest.(check int) "update = 2 tuples" 2 (Changes.total_tuples c);
+  Alcotest.(check bool) "not empty" false (Changes.is_empty c);
+  Alcotest.(check bool) "empty" true (Changes.is_empty [])
+
+let merge_cancels () =
+  let p = program_of hop in
+  let a = Changes.insertions p "link" [ Tuple.of_strs [ "a"; "b" ] ] in
+  let b = Changes.deletions p "link" [ Tuple.of_strs [ "a"; "b" ] ] in
+  Alcotest.(check bool) "cancelled" true (Changes.is_empty (Changes.merge a b))
+
+let merge_distinct_preds () =
+  let p = program_of "r(X, Y) :- link(X, Y).\nr(X, Y) :- wire(X, Y)." in
+  let a = Changes.insertions p "link" [ Tuple.of_strs [ "a"; "b" ] ] in
+  let b = Changes.insertions p "wire" [ Tuple.of_strs [ "c"; "d" ] ] in
+  let m = Changes.merge a b in
+  Alcotest.(check int) "two preds" 2 (List.length m);
+  Alcotest.(check (list string)) "sorted" [ "link"; "wire" ] (List.map fst m)
+
+let set_mode_normalization () =
+  let db = db_of_source ~semantics:Database.Set_semantics (hop ^ "\nlink(a,b).") in
+  let p = Database.program db in
+  (* re-inserting a present tuple is dropped *)
+  let n =
+    Changes.normalize_base db (Changes.insertions p "link" [ Tuple.of_strs [ "a"; "b" ] ])
+  in
+  Alcotest.(check bool) "re-insert dropped" true (n = []);
+  (* multi-count inserts collapse to 1 *)
+  let n =
+    Changes.normalize_base db
+      (Changes.of_list p [ ("link", [ (Tuple.of_strs [ "x"; "y" ], 5) ]) ])
+  in
+  (match n with
+  | [ (_, d) ] -> Alcotest.(check int) "clamped" 1 (Relation.count d (Tuple.of_strs [ "x"; "y" ]))
+  | _ -> Alcotest.fail "expected one entry")
+
+let duplicate_mode_checks () =
+  let db =
+    db_of_source ~semantics:Database.Duplicate_semantics
+      (hop ^ "\nlink(a,b). link(a,b).")
+  in
+  let p = Database.program db in
+  (* deleting both copies is fine *)
+  let n =
+    Changes.normalize_base db
+      (Changes.of_list p [ ("link", [ (Tuple.of_strs [ "a"; "b" ], -2) ]) ])
+  in
+  Alcotest.(check int) "kept" 1 (List.length n);
+  (* deleting three copies is not *)
+  try
+    ignore
+      (Changes.normalize_base db
+         (Changes.of_list p [ ("link", [ (Tuple.of_strs [ "a"; "b" ], -3) ]) ]));
+    Alcotest.fail "expected Invalid_changes"
+  with Changes.Invalid_changes _ -> ()
+
+let arity_mismatch () =
+  let db = db_of_source (hop ^ "\nlink(a,b).") in
+  let delta = Relation.of_tuples 3 [ Tuple.of_strs [ "a"; "b"; "c" ] ] in
+  try
+    ignore (Changes.normalize_base db [ ("link", delta) ]);
+    Alcotest.fail "expected Invalid_changes"
+  with Changes.Invalid_changes _ -> ()
+
+let printing () =
+  let p = program_of hop in
+  let c =
+    Changes.of_list p
+      [ ("link", [ (Tuple.of_strs [ "a"; "b" ], 1); (Tuple.of_strs [ "c"; "d" ], -2) ]) ]
+  in
+  Alcotest.(check string) "pp" "Δlink = {a,b; c,d -2}\n" (Changes.to_string c)
+
+let suite =
+  [
+    quick "construction" construction;
+    quick "merge cancels opposites" merge_cancels;
+    quick "merge keeps predicates sorted" merge_distinct_preds;
+    quick "set-mode normalization" set_mode_normalization;
+    quick "duplicate-mode multiplicity checks" duplicate_mode_checks;
+    quick "arity mismatch rejected" arity_mismatch;
+    quick "printing" printing;
+  ]

@@ -1,0 +1,204 @@
+(** Feature compositions: multiple aggregates in one rule, negation over
+    aggregates, aggregates over negation, unions of everything — the
+    paper's constructs combined, each maintained and audited. *)
+
+open Util
+module Vm = Ivm.View_manager
+module Changes = Ivm.Changes
+
+let audit_ok vm = Alcotest.(check (result unit string)) "audit" (Ok ()) (Vm.audit vm)
+
+(* two GROUPBY literals joined in one rule *)
+let two_aggregates_one_rule () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics
+      {|
+        out_deg(X, N) :- groupby(link(X, Y), [X], N = count()).
+        balanced(X) :- groupby(link(X, Y), [X], N = count()),
+                       groupby(rlink(X, Z), [X], M = count()),
+                       N = M.
+        rlink(Y, X) :- link(X, Y).
+        link(a,b). link(a,c). link(b,a). link(c,a).
+      |}
+  in
+  (* a: out 2, in 2 → balanced; b: out 1, in 1 → balanced; c same *)
+  Alcotest.(check int) "all balanced" 3 (Relation.cardinal (Vm.relation vm "balanced"));
+  ignore (Vm.insert vm "link" [ Tuple.of_strs [ "a"; "d" ] ]);
+  (* a now out 3, in 2 → unbalanced; d out 0? d has in 1, out 0 → no
+     tuple for d (count groups need at least one tuple) *)
+  Alcotest.(check bool) "a unbalanced" false
+    (Relation.mem (Vm.relation vm "balanced") (Tuple.of_strs [ "a" ]));
+  audit_ok vm
+
+(* negation over an aggregate view *)
+let negation_over_aggregate () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics
+      {|
+        deg(X, N) :- groupby(link(X, Y), [X], N = count()).
+        hub(X) :- deg(X, N), N >= 2.
+        node(X) :- link(X, Y).
+        leaf_only(X) :- node(X), not hub(X).
+        link(a,b). link(a,c). link(b,c).
+      |}
+  in
+  Alcotest.(check bool) "b is leaf-only" true
+    (Relation.mem (Vm.relation vm "leaf_only") (Tuple.of_strs [ "b" ]));
+  (* adding b→d makes b a hub: leaf_only(b) must retract *)
+  ignore (Vm.insert vm "link" [ Tuple.of_strs [ "b"; "d" ] ]);
+  Alcotest.(check bool) "b no longer leaf-only" false
+    (Relation.mem (Vm.relation vm "leaf_only") (Tuple.of_strs [ "b" ]));
+  audit_ok vm
+
+(* aggregate over a negation view *)
+let aggregate_over_negation () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics
+      {|
+        hop(X, Y) :- link(X, Z), link(Z, Y).
+        indirect(X, Y) :- hop(X, Y), not link(X, Y).
+        n_indirect(X, N) :- groupby(indirect(X, Y), [X], N = count()).
+        link(a,b). link(b,c). link(b,d). link(a,c).
+      |}
+  in
+  (* hop(a,·) = {c, d}; link(a,c) exists → indirect(a,·) = {d} *)
+  Alcotest.(check bool) "n_indirect(a,1)" true
+    (Relation.mem (Vm.relation vm "n_indirect") (Tuple.of_list Value.[ str "a"; int 1 ]));
+  (* deleting the direct a→c makes (a,c) indirect: count rises to 2 *)
+  ignore (Vm.delete vm "link" [ Tuple.of_strs [ "a"; "c" ] ]);
+  Alcotest.(check bool) "n_indirect(a,2)" true
+    (Relation.mem (Vm.relation vm "n_indirect") (Tuple.of_list Value.[ str "a"; int 2 ]));
+  audit_ok vm
+
+(* union of a join branch and an aggregate-filtered branch *)
+let union_mixed_branches () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics
+      {|
+        interesting(X) :- link(X, Y), special(Y).
+        interesting(X) :- groupby(link(X, Y), [X], N = count()), N > 2.
+        link(a,b). link(a,c). link(a,d). link(b,s).
+        special(s).
+      |}
+  in
+  (* a: 3 out-edges → branch 2; b: link(b,s) & special(s) → branch 1 *)
+  Alcotest.(check int) "two interesting" 2
+    (Relation.cardinal (Vm.relation vm "interesting"));
+  ignore (Vm.delete vm "link" [ Tuple.of_strs [ "a"; "d" ] ]);
+  Alcotest.(check bool) "a drops out" false
+    (Relation.mem (Vm.relation vm "interesting") (Tuple.of_strs [ "a" ]));
+  audit_ok vm
+
+(* DRed with the same compositions over recursion *)
+let dred_aggregate_negation_composition () =
+  let vm =
+    Vm.of_source ~algorithm:Vm.Dred
+      {|
+        path(X, Y) :- link(X, Y).
+        path(X, Y) :- path(X, Z), link(Z, Y).
+        reach_count(X, N) :- groupby(path(X, Y), [X], N = count()).
+        sink(X) :- node(X), not has_out(X).
+        has_out(X) :- link(X, Y).
+        node(X) :- link(X, Y).
+        node(Y) :- link(X, Y).
+        link(a,b). link(b,c). link(c,d).
+      |}
+  in
+  Alcotest.(check bool) "d is a sink" true
+    (Relation.mem (Vm.relation vm "sink") (Tuple.of_strs [ "d" ]));
+  ignore (Vm.insert vm "link" [ Tuple.of_strs [ "d"; "a" ] ]);
+  Alcotest.(check bool) "d no longer a sink" false
+    (Relation.mem (Vm.relation vm "sink") (Tuple.of_strs [ "d" ]));
+  (* the cycle makes everything reach everything: counts = 4 *)
+  Alcotest.(check bool) "reach_count(a,4)" true
+    (Relation.mem (Vm.relation vm "reach_count") (Tuple.of_list Value.[ str "a"; int 4 ]));
+  audit_ok vm
+
+(* a 4-stratum tower: aggregate of a negation of an aggregate *)
+let four_stratum_tower () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics
+      {|
+        deg(X, N) :- groupby(link(X, Y), [X], N = count()).
+        node(X) :- link(X, Y).
+        node(Y) :- link(X, Y).
+        quiet(X) :- node(X), not loud(X).
+        loud(X) :- deg(X, N), N >= 2.
+        n_quiet(C) :- groupby(quiet(X), [], C = count()).
+        link(a,b). link(a,c). link(b,c).
+      |}
+  in
+  (* duplicate semantics throughout: node(b) and node(c) each have two
+     derivations, loud = {a}, so quiet = {b·2, c·2} and COUNT sums the
+     multiplicities: n_quiet = 4 *)
+  Alcotest.(check bool) "n_quiet 4" true
+    (Relation.mem (Vm.relation vm "n_quiet") (Tuple.of_list [ Value.int 4 ]));
+  ignore (Vm.insert vm "link" [ Tuple.of_strs [ "b"; "d" ] ]);
+  (* b becomes loud; d appears with one derivation: quiet = {c·2, d·1} *)
+  Alcotest.(check bool) "n_quiet 3" true
+    (Relation.mem (Vm.relation vm "n_quiet") (Tuple.of_list [ Value.int 3 ]));
+  ignore (Vm.delete vm "link" [ Tuple.of_strs [ "a"; "c" ] ]);
+  audit_ok vm
+
+(* comparisons against aggregate results flowing into arithmetic heads *)
+let arithmetic_over_aggregates () =
+  let vm =
+    Vm.of_source
+      {|
+        total(X, T) :- groupby(cost(X, C), [X], T = sum(C)).
+        doubled(X, D) :- total(X, T), D = T * 2.
+        over(X) :- total(X, T), T > 10.
+        cost(a, 4). cost(a, 5). cost(b, 20).
+      |}
+  in
+  Alcotest.(check bool) "doubled" true
+    (Relation.mem (Vm.relation vm "doubled") (Tuple.of_list Value.[ str "a"; int 18 ]));
+  Alcotest.(check bool) "over(b)" true
+    (Relation.mem (Vm.relation vm "over") (Tuple.of_strs [ "b" ]));
+  ignore (Vm.insert vm "cost" [ Tuple.of_list Value.[ str "a"; int 7 ] ]);
+  Alcotest.(check bool) "over(a) now" true
+    (Relation.mem (Vm.relation vm "over") (Tuple.of_strs [ "a" ]));
+  Alcotest.(check bool) "doubled updated" true
+    (Relation.mem (Vm.relation vm "doubled") (Tuple.of_list Value.[ str "a"; int 32 ]));
+  audit_ok vm
+
+(* a GROUPBY literal joined with other subgoals on its group key: deltas
+   arriving through either side must maintain the join *)
+let aggregate_joined_on_group_key () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics
+      {|
+        watched(X) :- watchlist(X).
+        alert(X, N) :- watched(X), groupby(link(X, Y), [X], N = count()), N > 1.
+        watchlist(a). watchlist(b).
+        link(a,b). link(a,c). link(b,c). link(z,q). link(z,r).
+      |}
+  in
+  (* a: watched, degree 2 → alert; b: degree 1 → no; z: not watched *)
+  Alcotest.(check int) "one alert" 1 (Relation.cardinal (Vm.relation vm "alert"));
+  (* delta through the aggregate side *)
+  ignore (Vm.insert vm "link" [ Tuple.of_strs [ "b"; "d" ] ]);
+  Alcotest.(check bool) "b alerts now" true
+    (Relation.mem (Vm.relation vm "alert") (Tuple.of_list Value.[ str "b"; int 2 ]));
+  (* delta through the guard side *)
+  ignore (Vm.insert vm "watchlist" [ Tuple.of_strs [ "z" ] ]);
+  Alcotest.(check bool) "z alerts now" true
+    (Relation.mem (Vm.relation vm "alert") (Tuple.of_list Value.[ str "z"; int 2 ]));
+  ignore (Vm.delete vm "watchlist" [ Tuple.of_strs [ "a" ] ]);
+  Alcotest.(check bool) "a retracted" false
+    (Relation.exists (fun t _ -> Value.equal t.(0) (Value.str "a"))
+       (Vm.relation vm "alert"));
+  audit_ok vm
+
+let suite =
+  [
+    quick "aggregate joined on its group key" aggregate_joined_on_group_key;
+    quick "two aggregates in one rule" two_aggregates_one_rule;
+    quick "negation over an aggregate" negation_over_aggregate;
+    quick "aggregate over a negation" aggregate_over_negation;
+    quick "union of mixed branches" union_mixed_branches;
+    quick "DRed: aggregates + negation over recursion"
+      dred_aggregate_negation_composition;
+    quick "four-stratum tower" four_stratum_tower;
+    quick "arithmetic over aggregate results" arithmetic_over_aggregates;
+  ]

@@ -1,0 +1,220 @@
+(** Unit tests for the Datalog front end: lexer/parser, stratification,
+    safety. *)
+
+open Util
+module Ast = Ivm_datalog.Ast
+module Lexer = Ivm_datalog.Lexer
+module Pretty = Ivm_datalog.Pretty
+module Depgraph = Ivm_datalog.Depgraph
+module Safety = Ivm_datalog.Safety
+
+(* ---------------- parser ---------------- *)
+
+let parse_rule_shapes () =
+  let r = Parser.parse_rule "hop(X, Y) :- link(X, Z), link(Z, Y)." in
+  Alcotest.(check string) "roundtrip" "hop(X, Y) :- link(X, Z), link(Z, Y)."
+    (Pretty.rule_to_string r);
+  let r = Parser.parse_rule "p(X) :- q(X) & r(X)." in
+  Alcotest.(check int) "& conjunction" 2 (List.length r.Ast.body);
+  let r = Parser.parse_rule "p(X) :- q(X), not r(X)." in
+  (match r.Ast.body with
+  | [ Ast.Lpos _; Ast.Lneg a ] -> Alcotest.(check string) "neg pred" "r" a.Ast.pred
+  | _ -> Alcotest.fail "expected neg literal");
+  let r = Parser.parse_rule "p(X) :- q(X), !r(X)." in
+  (match r.Ast.body with
+  | [ _; Ast.Lneg _ ] -> ()
+  | _ -> Alcotest.fail "bang negation");
+  let r = Parser.parse_rule "p(X, C) :- q(X, A, B), C = A + B * 2." in
+  (match r.Ast.body with
+  | [ _; Ast.Lcmp (_, Ast.Eq, Ast.Eadd (_, Ast.Emul _)) ] -> ()
+  | _ -> Alcotest.fail "precedence")
+
+let parse_aggregates () =
+  let r =
+    Parser.parse_rule
+      "min_cost_hop(S, D, M) :- groupby(hop(S, D, C), [S, D], M = min(C))."
+  in
+  (match r.Ast.body with
+  | [ Ast.Lagg agg ] ->
+    Alcotest.(check (list string)) "group vars" [ "S"; "D" ] agg.Ast.agg_group_by;
+    Alcotest.(check string) "result" "M" agg.Ast.agg_result;
+    Alcotest.(check bool) "fn" true (agg.Ast.agg_fn = Ast.Min)
+  | _ -> Alcotest.fail "expected aggregate");
+  let r = Parser.parse_rule "n(C) :- groupby(p(X), [], C = count())." in
+  (match r.Ast.body with
+  | [ Ast.Lagg agg ] -> Alcotest.(check (list string)) "empty group" [] agg.Ast.agg_group_by
+  | _ -> Alcotest.fail "expected aggregate")
+
+let parse_facts_and_comments () =
+  let statements =
+    Parser.parse_program
+      {|
+        % a comment
+        link(a, b).   # another comment
+        link(b, -3).
+        cost(a, 2.5).
+        flag(true).
+        name("Hello w").
+      |}
+  in
+  Alcotest.(check int) "five facts" 5 (List.length statements);
+  match statements with
+  | Ast.Sfact ("link", [ Value.Str "a"; Value.Str "b" ])
+    :: Ast.Sfact ("link", [ Value.Str "b"; Value.Int (-3) ])
+    :: Ast.Sfact ("cost", [ Value.Str "a"; Value.Float 2.5 ])
+    :: Ast.Sfact ("flag", [ Value.Bool true ])
+    :: Ast.Sfact ("name", [ Value.Str "Hello w" ]) :: [] -> ()
+  | _ -> Alcotest.fail "fact shapes"
+
+let parse_errors () =
+  let fails src =
+    try
+      ignore (Parser.parse_program src);
+      Alcotest.failf "expected failure on %S" src
+    with Parser.Parse_error _ | Lexer.Lex_error _ -> ()
+  in
+  fails "p(X) :- q(X)";
+  (* missing dot *)
+  fails "p(X) : - q(X).";
+  fails "p(X) :- q(X,).";
+  fails "p(X) :- .";
+  fails "p('a).";
+  fails "p(X) :- q(X) r(X)."
+
+(* ---------------- stratification ---------------- *)
+
+let mk_graph src =
+  let rules = Parser.parse_rules src in
+  let program = Program.make rules in
+  (rules, program)
+
+let strata_numbers () =
+  let _, p =
+    mk_graph
+      {|
+        hop(X, Y) :- link(X, Z), link(Z, Y).
+        tri_hop(X, Y) :- hop(X, Z), link(Z, Y).
+        only(X, Y) :- tri_hop(X, Y), not hop(X, Y).
+      |}
+  in
+  Alcotest.(check int) "base" 0 (Program.stratum p "link");
+  Alcotest.(check int) "hop" 1 (Program.stratum p "hop");
+  Alcotest.(check int) "tri_hop" 2 (Program.stratum p "tri_hop");
+  Alcotest.(check int) "only" 3 (Program.stratum p "only");
+  Alcotest.(check bool) "nonrecursive" true (Program.nonrecursive p)
+
+let strata_recursive () =
+  let _, p =
+    mk_graph
+      {|
+        odd(X, Y) :- link(X, Y).
+        odd(X, Y) :- even(X, Z), link(Z, Y).
+        even(X, Y) :- odd(X, Z), link(Z, Y).
+        above(X) :- odd(X, Y), not link(X, Y).
+      |}
+  in
+  Alcotest.(check bool) "odd recursive" true (Program.recursive p "odd");
+  Alcotest.(check bool) "even recursive" true (Program.recursive p "even");
+  Alcotest.(check int) "same stratum" (Program.stratum p "odd") (Program.stratum p "even");
+  Alcotest.(check bool) "above higher" true
+    (Program.stratum p "above" > Program.stratum p "odd");
+  match Program.recursive_units p with
+  | [ [ "even"; "odd" ]; [ "above" ] ] -> ()
+  | units ->
+    Alcotest.failf "unexpected units %s"
+      (String.concat "|" (List.map (String.concat ",") units))
+
+let not_stratifiable () =
+  try
+    ignore
+      (mk_graph {|
+          p(X) :- q(X), not r(X).
+          r(X) :- p(X).
+        |});
+    Alcotest.fail "expected Not_stratifiable"
+  with Depgraph.Not_stratifiable _ -> ()
+
+let aggregation_in_recursion_rejected () =
+  try
+    ignore
+      (mk_graph
+         {|
+           total(X, S) :- groupby(total_in(X, Y, C), [X], S = sum(C)).
+           total_in(X, Y, C) :- edge(X, Y, C).
+           total_in(X, Y, C) :- edge(X, Z, C1), total(Z, C2), C = C1 + C2, same(Z, Y).
+         |});
+    Alcotest.fail "expected Not_stratifiable"
+  with Depgraph.Not_stratifiable _ -> ()
+
+let depends_on () =
+  let _, p =
+    mk_graph
+      {|
+        hop(X, Y) :- link(X, Z), link(Z, Y).
+        far(X, Y) :- hop(X, Z), hop(Z, Y).
+        other(X) :- thing(X).
+      |}
+  in
+  let g = Program.graph p in
+  Alcotest.(check bool) "far on link" true (Depgraph.depends_on g ~target:"far" ~on:"link");
+  Alcotest.(check bool) "other not on link" false
+    (Depgraph.depends_on g ~target:"other" ~on:"link");
+  Alcotest.(check (list string))
+    "affected views" [ "far"; "hop" ]
+    (Program.affected_views p ~changed:[ "link" ])
+
+(* ---------------- safety ---------------- *)
+
+let safety_rejects () =
+  let fails src =
+    try
+      ignore (Program.make (Parser.parse_rules src));
+      Alcotest.failf "expected Unsafe for %s" src
+    with Safety.Unsafe _ -> ()
+  in
+  (* unbound head variable *)
+  fails "p(X, Y) :- q(X).";
+  (* unbound negated variable *)
+  fails "p(X) :- q(X), not r(X, Y).";
+  (* unbound comparison *)
+  fails "p(X) :- q(X), Y < 3.";
+  (* arithmetic in body atom *)
+  fails "p(X) :- q(X + 1).";
+  (* group variable not in source *)
+  fails "p(X, M) :- q(X), groupby(r(Y), [X], M = count()).";
+  (* result also in source *)
+  fails "p(X, M) :- groupby(r(X, M), [X], M = min(M)).";
+  (* aggregation local variable escaping *)
+  fails "p(X, C, M) :- groupby(r(X, C), [X], M = min(C)), q(C).";
+  (* cannot evaluate Y = X + 1 when X unbound *)
+  fails "p(Y) :- Y = X + 1."
+
+let safety_accepts () =
+  let ok src = ignore (Program.make (Parser.parse_rules src)) in
+  ok "p(X, Y) :- q(X), r(Y).";
+  ok "p(X) :- q(X, Y), Y = X.";
+  ok "p(Z) :- q(X, Y), Z = X + Y.";
+  ok "p(X) :- q(X), not r(X).";
+  ok "p(X, M) :- groupby(r(X, C), [X], M = min(C)), q(X)."
+
+let arity_clash () =
+  try
+    ignore (Program.make (Parser.parse_rules "p(X) :- q(X, Y).\nr(X) :- q(X)."));
+    Alcotest.fail "expected Program_error"
+  with Program.Program_error _ -> ()
+
+let suite =
+  [
+    quick "parse rule shapes" parse_rule_shapes;
+    quick "parse aggregates" parse_aggregates;
+    quick "parse facts and comments" parse_facts_and_comments;
+    quick "parse errors" parse_errors;
+    quick "stratum numbers (Def 3.1)" strata_numbers;
+    quick "recursive strata and units" strata_recursive;
+    quick "not stratifiable rejected" not_stratifiable;
+    quick "aggregation inside recursion rejected" aggregation_in_recursion_rejected;
+    quick "dependency queries" depends_on;
+    quick "safety rejects unsafe rules" safety_rejects;
+    quick "safety accepts safe rules" safety_accepts;
+    quick "arity clash rejected" arity_clash;
+  ]

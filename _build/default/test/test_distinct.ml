@@ -1,0 +1,139 @@
+(** Per-view DISTINCT semantics inside a duplicate-semantics database —
+    §5.1: "it is possible for a query to require set semantics (by using
+    the DISTINCT operator)".  A DISTINCT view counts once per true tuple
+    for its readers, and only its set transitions cascade. *)
+
+open Util
+module Vm = Ivm.View_manager
+module Changes = Ivm.Changes
+module Counting = Ivm.Counting
+
+let source =
+  {|
+    hop(X, Y) :- link(X, Z), link(Z, Y).
+    tri_hop(X, Y) :- hop(X, Z), link(Z, Y).
+    link(a,b). link(a,d). link(d,c). link(b,c). link(c,h). link(f,g).
+  |}
+
+(* The paper's Example 4.2 data: hop(a,c) has two derivations.  Without
+   DISTINCT, tri_hop(a,h) counts 2; with hop DISTINCT, it counts 1. *)
+let reader_counts () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics source
+  in
+  check_rel "plain: tri_hop 2" (rel_of_pairs "ah 2") (Vm.relation vm "tri_hop");
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics
+      ~distinct:[ "hop" ] source
+  in
+  check_rel "distinct hop: tri_hop 1" (rel_of_pairs "ah") (Vm.relation vm "tri_hop")
+
+(* Example 5.1 replayed through DISTINCT instead of global set semantics:
+   deleting link(a,b) leaves hop(a,c) with a derivation, so nothing
+   cascades to tri_hop. *)
+let cascade_stops_at_distinct () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics ~distinct:[ "hop" ]
+      ~algorithm:Vm.Counting source
+  in
+  let deltas = Vm.delete vm "link" [ Tuple.of_strs [ "a"; "b" ] ] in
+  Alcotest.(check bool)
+    "hop delta present" true
+    (List.mem_assoc "hop" deltas);
+  Alcotest.(check bool)
+    "no tri_hop delta" false
+    (List.mem_assoc "tri_hop" deltas);
+  (* hop's own stored count dropped 2 → 1 but the tuple is still true *)
+  Alcotest.(check int)
+    "hop(a,c) count" 1
+    (Relation.count (Vm.relation vm "hop") (Tuple.of_strs [ "a"; "c" ]))
+
+(* maintenance with DISTINCT equals recomputation with DISTINCT *)
+let matches_recompute () =
+  let mk () =
+    Vm.of_source ~semantics:Database.Duplicate_semantics ~distinct:[ "hop" ]
+      ~algorithm:Vm.Counting source
+  in
+  let vm = mk () in
+  ignore
+    (Vm.apply vm
+       (Changes.of_list (Vm.program vm)
+          [
+            ( "link",
+              [
+                (Tuple.of_strs [ "a"; "b" ], -1);
+                (Tuple.of_strs [ "d"; "f" ], 1);
+                (Tuple.of_strs [ "a"; "f" ], 1);
+              ] );
+          ]));
+  Alcotest.(check (result unit string)) "audit" (Ok ()) (Vm.audit vm)
+
+(* DISTINCT survives rule changes *)
+let survives_rule_changes () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics ~distinct:[ "hop" ]
+      ~algorithm:Vm.Counting source
+  in
+  Vm.add_rule_text vm "wide(X) :- hop(X, Y).";
+  Alcotest.(check bool)
+    "still distinct" true
+    (Database.is_distinct (Vm.database vm) "hop");
+  (* hop(a,c) has two derivations but is one distinct tuple: wide(a) = 1 *)
+  Alcotest.(check int)
+    "wide(a) counts distinct hops" 1
+    (Relation.count (Vm.relation vm "wide") (Tuple.of_strs [ "a" ]));
+  Alcotest.(check (result unit string)) "audit" (Ok ()) (Vm.audit vm)
+
+(* SQL SELECT DISTINCT marks the view *)
+let sql_distinct () =
+  let vm =
+    Ivm_sql.Sql_translate.view_manager ~semantics:Database.Duplicate_semantics
+      {|
+        CREATE TABLE link(s, d);
+        CREATE VIEW hop(s, d) AS
+          SELECT DISTINCT r1.s, r2.d FROM link r1, link r2 WHERE r1.d = r2.s;
+        CREATE VIEW tri_hop(s, d) AS
+          SELECT h.s, l.d FROM hop h, link l WHERE h.d = l.s;
+        INSERT INTO link VALUES (a,b), (a,d), (d,c), (b,c), (c,h), (f,g);
+      |}
+  in
+  Alcotest.(check bool)
+    "marked distinct" true
+    (Database.is_distinct (Vm.database vm) "hop");
+  check_rel "tri_hop counts hop once" (rel_of_pairs "ah") (Vm.relation vm "tri_hop");
+  ignore (Vm.delete vm "link" [ Tuple.of_strs [ "a"; "b" ] ]);
+  Alcotest.(check (result unit string)) "audit after delete" (Ok ()) (Vm.audit vm)
+
+(* aggregates over a DISTINCT view count each tuple once *)
+let aggregate_over_distinct () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics ~distinct:[ "hop" ]
+      {|
+        hop(X, Y) :- link(X, Z), link(Z, Y).
+        fanout(X, N) :- groupby(hop(X, Y), [X], N = count()).
+        link(a,b). link(a,d). link(d,c). link(b,c).
+      |}
+  in
+  (* hop(a,·) = {c (2 ways)} → distinct count 1 *)
+  Alcotest.(check bool)
+    "count over distinct" true
+    (Relation.mem (Vm.relation vm "fanout") (Tuple.of_list Value.[ str "a"; int 1 ]))
+
+(* marking a base relation is rejected *)
+let base_rejected () =
+  let db = db_of_source ~semantics:Database.Duplicate_semantics source in
+  try
+    Database.mark_distinct db "link";
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    quick "readers see DISTINCT tuples once" reader_counts;
+    quick "cascade stops at the DISTINCT view (Ex 5.1)" cascade_stops_at_distinct;
+    quick "incremental == recompute with DISTINCT" matches_recompute;
+    quick "DISTINCT survives rule changes" survives_rule_changes;
+    quick "SQL SELECT DISTINCT" sql_distinct;
+    quick "aggregates over DISTINCT views" aggregate_over_distinct;
+    quick "DISTINCT on base relations rejected" base_rejected;
+  ]

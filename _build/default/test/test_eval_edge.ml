@@ -1,0 +1,169 @@
+(** Evaluator edge cases: self joins, repeated variables, constants in
+    patterns, arithmetic corner cases, deep strata, empty relations. *)
+
+open Util
+
+let self_join_repeated_vars () =
+  let db =
+    db_of_source ~semantics:Database.Duplicate_semantics
+      {|
+        refl(X) :- link(X, X).
+        sym(X, Y) :- link(X, Y), link(Y, X).
+        link(a,a). link(a,b). link(b,a). link(c,d).
+      |}
+  in
+  let expect = Relation.of_tuples 1 [ Tuple.of_strs [ "a" ] ] in
+  check_rel ~counted:false "reflexive" expect (rel db "refl");
+  check_rel ~counted:false "symmetric pairs" (rel_of_pairs "aa; ab; ba")
+    (rel db "sym")
+
+let repeated_head_vars () =
+  let db =
+    db_of_source {|
+      diag(X, X) :- node(X).
+      node(a). node(b).
+    |}
+  in
+  check_rel ~counted:false "diagonal" (rel_of_pairs "aa; bb") (rel db "diag")
+
+let constants_in_body () =
+  let db =
+    db_of_source {|
+      from_a(Y) :- link(a, Y).
+      link(a,b). link(a,c). link(b,d).
+    |}
+  in
+  let expect = Relation.of_tuples 1 [ Tuple.of_strs [ "b" ]; Tuple.of_strs [ "c" ] ] in
+  check_rel ~counted:false "probe on constant" expect (rel db "from_a")
+
+let float_arithmetic () =
+  let db =
+    db_of_source
+      {|
+        scaled(X, S) :- m(X, V), S = V * 2.5.
+        avg_v(A) :- groupby(m(X, V), [], A = avg(V)).
+        m(a, 2). m(b, 3.0).
+      |}
+  in
+  Alcotest.(check bool) "int promoted" true
+    (Relation.mem (rel db "scaled") (Tuple.of_list Value.[ str "a"; float 5.0 ]));
+  Alcotest.(check bool) "avg is float" true
+    (Relation.mem (rel db "avg_v") (Tuple.of_list Value.[ float 2.5 ]))
+
+let division_by_zero_surfaces () =
+  try
+    ignore
+      (db_of_source {|
+          bad(Y) :- m(X), Y = X / 0.
+          m(1).
+        |});
+    Alcotest.fail "expected Type_error"
+  with Value.Type_error _ -> ()
+
+let cross_type_comparisons () =
+  let db =
+    db_of_source
+      {|
+        low(X) :- m(X, V), V < 2.5.
+        m(a, 2). m(b, 3.0). m(c, 2.4).
+      |}
+  in
+  let expect = Relation.of_tuples 1 [ Tuple.of_strs [ "a" ]; Tuple.of_strs [ "c" ] ] in
+  check_rel ~counted:false "int vs float compare" expect (rel db "low")
+
+let deep_strata_chain () =
+  (* 8 strata of alternating join/negation *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "v1(X, Y) :- link(X, Y).\n";
+  for k = 2 to 8 do
+    if k mod 2 = 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "v%d(X, Y) :- v%d(X, Z), link(Z, Y).\n" k (k - 1))
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "v%d(X, Y) :- v%d(X, Y), not v%d(Y, X).\n" k (k - 1) (k - 1))
+  done;
+  Buffer.add_string buf "link(a,b). link(b,c). link(c,d). link(d,e). link(e,f).\n";
+  Buffer.add_string buf "link(f,g). link(g,h). link(h,i).\n";
+  let db = db_of_source (Buffer.contents buf) in
+  Alcotest.(check int) "v8 stratum" 8 (Program.stratum (Database.program db) "v8");
+  (* maintenance through all 8 strata stays exact *)
+  let changes =
+    Ivm.Changes.deletions (Database.program db) "link" [ Tuple.of_strs [ "d"; "e" ] ]
+  in
+  let oracle = Database.copy db in
+  List.iter
+    (fun (pred, delta) ->
+      let stored = Database.relation oracle pred in
+      Relation.iter (fun tup c -> Relation.add stored tup c) delta)
+    (Ivm.Changes.normalize_base oracle changes);
+  Seminaive.evaluate oracle;
+  ignore (Ivm.Counting.maintain db changes);
+  for k = 1 to 8 do
+    let p = Printf.sprintf "v%d" k in
+    check_rel (p ^ " exact") (rel oracle p) (rel db p)
+  done
+
+let empty_base_relations () =
+  let db =
+    db_of_source ~extra_base:[ ("link", 2) ]
+      "hop(X, Y) :- link(X, Z), link(Z, Y)."
+  in
+  Alcotest.(check int) "empty view" 0 (Relation.cardinal (rel db "hop"));
+  (* maintenance on a fully empty database *)
+  ignore
+    (Ivm.Counting.maintain db
+       (Ivm.Changes.insertions (Database.program db) "link"
+          [ Tuple.of_strs [ "a"; "b" ]; Tuple.of_strs [ "b"; "c" ] ]));
+  check_rel ~counted:false "view appears" (rel_of_pairs "ac") (rel db "hop")
+
+let negation_of_empty () =
+  let db =
+    db_of_source ~extra_base:[ ("blocked", 2) ]
+      {|
+        open_link(X, Y) :- link(X, Y), not blocked(X, Y).
+        link(a,b). link(b,c).
+      |}
+  in
+  check_rel ~counted:false "nothing blocked" (rel_of_pairs "ab; bc")
+    (rel db "open_link")
+
+let duplicate_rules_accumulate () =
+  (* the same rule twice doubles every count under duplicate semantics *)
+  let db =
+    db_of_source ~semantics:Database.Duplicate_semantics
+      {|
+        r(X, Y) :- link(X, Y).
+        r(X, Y) :- link(X, Y).
+        link(a,b).
+      |}
+  in
+  check_rel "two derivations" (rel_of_pairs "ab 2") (rel db "r")
+
+let wide_tuples () =
+  let db =
+    db_of_source
+      {|
+        wide(A, B, C, D, E, F) :- t(A, B, C), t(D, E, F).
+        proj(A, F) :- wide(A, B, C, D, E, F).
+        t(1, 2, 3). t(4, 5, 6).
+      |}
+  in
+  Alcotest.(check int) "4 wide tuples" 4 (Relation.cardinal (rel db "wide"));
+  Alcotest.(check bool) "projection" true
+    (Relation.mem (rel db "proj") (Tuple.of_ints [ 1; 6 ]))
+
+let suite =
+  [
+    quick "self joins and repeated variables" self_join_repeated_vars;
+    quick "repeated head variables" repeated_head_vars;
+    quick "constants in body atoms" constants_in_body;
+    quick "float arithmetic and AVG" float_arithmetic;
+    quick "division by zero surfaces" division_by_zero_surfaces;
+    quick "cross-type comparisons" cross_type_comparisons;
+    quick "deep strata chain maintained exactly" deep_strata_chain;
+    quick "empty base relations" empty_base_relations;
+    quick "negation over an empty relation" negation_of_empty;
+    quick "duplicate rules accumulate counts" duplicate_rules_accumulate;
+    quick "wide tuples and projections" wide_tuples;
+  ]

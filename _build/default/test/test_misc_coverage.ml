@@ -1,0 +1,126 @@
+(** Remaining micro-coverage: printing, dependency-graph queries, stats,
+    view semantics corners. *)
+
+open Util
+module Depgraph = Ivm_datalog.Depgraph
+module Pretty = Ivm_datalog.Pretty
+module Stats = Ivm_eval.Stats
+
+let value_quoting () =
+  Alcotest.(check string) "leading digit id is quoted" "\"9lives\""
+    (Value.to_string (Value.str "9lives"));
+  Alcotest.(check string) "empty string quoted" "\"\""
+    (Value.to_string (Value.str ""));
+  Alcotest.(check string) "uppercase quoted" "\"Var\""
+    (Value.to_string (Value.str "Var"));
+  Alcotest.(check string) "underscore ok" "a_b" (Value.to_string (Value.str "a_b"));
+  Alcotest.(check string) "bool" "true" (Value.to_string (Value.bool true))
+
+let statement_printing () =
+  let statements =
+    Parser.parse_program
+      {|
+        p(X) :- q(X, "A b"), X > 1.
+        q(a, "A b").
+        n :- p(a).
+      |}
+  in
+  (* printing every statement re-parses to the same statement list *)
+  let printed =
+    String.concat "\n"
+      (List.map (Format.asprintf "%a" Pretty.pp_statement) statements)
+  in
+  let reparsed = Parser.parse_program printed in
+  Alcotest.(check int) "same statement count" (List.length statements)
+    (List.length reparsed);
+  Alcotest.(check bool) "structurally equal" true (statements = reparsed)
+
+let depgraph_queries () =
+  let program =
+    Program.make
+      (Parser.parse_rules
+         {|
+           odd(X, Y) :- link(X, Y).
+           odd(X, Y) :- even(X, Z), link(Z, Y).
+           even(X, Y) :- odd(X, Z), link(Z, Y).
+           top(X) :- odd(X, X).
+         |})
+  in
+  let g = Program.graph program in
+  Alcotest.(check (list string)) "scc members" [ "even"; "odd" ]
+    (List.sort compare (Depgraph.scc_members g "odd"));
+  Alcotest.(check (list string)) "stratum 0" [ "link" ] (Depgraph.preds_at g 0);
+  Alcotest.(check bool) "scc ids topological" true
+    (Depgraph.scc_id g "link" < Depgraph.scc_id g "odd"
+    && Depgraph.scc_id g "odd" < Depgraph.scc_id g "top");
+  Alcotest.(check int) "three sccs + base" 3 (Depgraph.scc_count g);
+  Alcotest.(check int) "rsn of a rule" (Program.stratum program "top")
+    (Program.rsn program (List.nth (Program.rules program) 3))
+
+let stats_measure () =
+  Stats.reset ();
+  let db = db_of_source {|
+    hop(X, Y) :- link(X, Z), link(Z, Y).
+    link(a,b). link(b,c).
+  |} in
+  ignore db;
+  let (), work = Stats.measure (fun () -> ()) in
+  Alcotest.(check int) "measure isolates" 0 work.Stats.snap_derivations;
+  Alcotest.(check bool) "evaluation counted work" true (Stats.derivations () > 0);
+  let s = Format.asprintf "%a" Stats.pp_snapshot (Stats.snapshot ()) in
+  Alcotest.(check bool) "snapshot prints" true (String.length s > 10)
+
+let view_holds_vs_mem () =
+  let base = Relation.create 2 in
+  let delta = rel_of_pairs "ab -1" in
+  let v = Relation_view.Overlay { base; delta } in
+  let t = Tuple.of_strs [ "a"; "b" ] in
+  Alcotest.(check bool) "mem sees nonzero" true (Relation_view.mem v t);
+  Alcotest.(check bool) "holds requires positive" false (Relation_view.holds v t);
+  Alcotest.(check int) "cardinal estimate" 1 (Relation_view.cardinal_estimate v)
+
+let database_agree_and_pp () =
+  let db = db_of_source {|
+    hop(X, Y) :- link(X, Z), link(Z, Y).
+    link(a,b). link(b,c).
+  |} in
+  let db2 = Database.copy db in
+  Alcotest.(check bool) "copies agree" true (Database.agree db db2);
+  Relation.add (Database.relation db2 "link") (Tuple.of_strs [ "x"; "y" ]) 1;
+  Alcotest.(check bool) "diverged" false (Database.agree db db2);
+  Alcotest.(check bool) "restricted preds still agree" true
+    (Database.agree ~preds:[ "hop" ] db db2);
+  let s = Format.asprintf "%a" Database.pp db in
+  Alcotest.(check bool) "pp prints relations" true
+    (String.length s > 10)
+
+let changes_pp_empty () =
+  Alcotest.(check string) "empty change set prints nothing" ""
+    (Ivm.Changes.to_string []);
+  Alcotest.(check bool) "merge of empties empty" true
+    (Ivm.Changes.is_empty (Ivm.Changes.merge [] []))
+
+let query_pp_forms () =
+  let d = db_of_source {|
+    hop(X, Y) :- link(X, Z), link(Z, Y).
+    link(a,b). link(b,c).
+  |} in
+  let s = Format.asprintf "%a" Ivm_eval.Query.pp (Ivm_eval.Query.run_text d "link(a, b)") in
+  Alcotest.(check string) "boolean true form" "true" (String.trim s);
+  let s =
+    Format.asprintf "%a" Ivm_eval.Query.pp (Ivm_eval.Query.run_text d "hop(a, X)")
+  in
+  Alcotest.(check bool) "columns header" true
+    (String.length s >= 1 && s.[0] = 'X')
+
+let suite =
+  [
+    quick "value quoting rules" value_quoting;
+    quick "statement printing round trip" statement_printing;
+    quick "depgraph queries" depgraph_queries;
+    quick "stats measure and printing" stats_measure;
+    quick "view holds vs mem on negative counts" view_holds_vs_mem;
+    quick "database agree and printing" database_agree_and_pp;
+    quick "empty change sets print empty" changes_pp_empty;
+    quick "query printing forms" query_pp_forms;
+  ]

@@ -1,0 +1,177 @@
+(** Unit tests for the counted-relation storage layer: values, tuples,
+    the [⊎] operator, indexes, and overlay views. *)
+
+open Util
+
+(* ---------------- Value ---------------- *)
+
+let value_compare () =
+  Alcotest.(check bool) "int order" true (Value.compare (Value.int 1) (Value.int 2) < 0);
+  Alcotest.(check bool)
+    "cross numeric equality" true
+    (Value.equal (Value.int 2) (Value.float 2.0));
+  Alcotest.(check bool)
+    "cross numeric order" true
+    (Value.compare (Value.int 2) (Value.float 2.5) < 0);
+  Alcotest.(check bool)
+    "kinds ordered deterministically" true
+    (Value.compare (Value.str "a") (Value.bool true) < 0);
+  Alcotest.(check int)
+    "equal values hash equal" (Value.hash (Value.int 2))
+    (Value.hash (Value.float 2.0))
+
+let value_arith () =
+  Alcotest.(check bool) "int add" true (Value.equal (Value.add (Value.int 2) (Value.int 3)) (Value.int 5));
+  Alcotest.(check bool)
+    "promotion" true
+    (Value.equal (Value.add (Value.int 2) (Value.float 0.5)) (Value.float 2.5));
+  Alcotest.check_raises "division by zero" (Value.Type_error "division by zero")
+    (fun () -> ignore (Value.div (Value.int 1) (Value.int 0)));
+  (try
+     ignore (Value.add (Value.str "a") (Value.int 1));
+     Alcotest.fail "expected Type_error"
+   with Value.Type_error _ -> ())
+
+let value_printing () =
+  Alcotest.(check string) "symbol bare" "abc" (Value.to_string (Value.str "abc"));
+  Alcotest.(check string) "odd string quoted" "\"A b\"" (Value.to_string (Value.str "A b"));
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.int 42));
+  Alcotest.(check string) "float" "2.5" (Value.to_string (Value.float 2.5))
+
+(* ---------------- Tuple ---------------- *)
+
+let tuple_basics () =
+  let t = Tuple.of_ints [ 1; 2; 3 ] in
+  Alcotest.(check int) "arity" 3 (Tuple.arity t);
+  Alcotest.(check bool) "equal" true (Tuple.equal t (Tuple.of_ints [ 1; 2; 3 ]));
+  Alcotest.(check bool)
+    "project" true
+    (Tuple.equal (Tuple.project [ 2; 0 ] t) (Tuple.of_ints [ 3; 1 ]));
+  Alcotest.(check bool)
+    "length-first compare" true
+    (Tuple.compare (Tuple.of_ints [ 9 ]) (Tuple.of_ints [ 1; 1 ]) < 0);
+  Alcotest.(check int)
+    "hash consistent with cross-kind equality"
+    (Tuple.hash (Tuple.of_list [ Value.int 1 ]))
+    (Tuple.hash (Tuple.of_list [ Value.float 1.0 ]))
+
+(* ---------------- Relation ---------------- *)
+
+let rel_counts () =
+  let r = Relation.create 2 in
+  let ab = Tuple.of_strs [ "a"; "b" ] in
+  Relation.add r ab 2;
+  Relation.add r ab 3;
+  Alcotest.(check int) "accumulates" 5 (Relation.count r ab);
+  Relation.add r ab (-5);
+  Alcotest.(check bool) "drops at zero" false (Relation.mem r ab);
+  Alcotest.(check int) "cardinal" 0 (Relation.cardinal r)
+
+let rel_negative_counts () =
+  let r = Relation.create 2 in
+  let ab = Tuple.of_strs [ "a"; "b" ] in
+  Relation.add r ab (-2);
+  Alcotest.(check int) "negative kept (delta)" (-2) (Relation.count r ab);
+  check_rel "negative part" (rel_of_pairs "ab 2") (Relation.negative_part r);
+  Alcotest.(check int) "positive part empty" 0 (Relation.cardinal (Relation.positive_part r))
+
+let rel_arity_mismatch () =
+  let r = Relation.create 2 in
+  try
+    Relation.add r (Tuple.of_strs [ "a" ]) 1;
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let rel_set_ops () =
+  let a = rel_of_pairs "ab 2; cd" in
+  let b = rel_of_pairs "ab -1; ef 3" in
+  check_rel "union" (rel_of_pairs "ab; cd; ef 3") (Relation.union a b);
+  check_rel "diff" (rel_of_pairs "ab 3; cd; ef -3") (Relation.diff a b);
+  check_rel "to_set" (rel_of_pairs "ab; cd") (Relation.to_set a);
+  Alcotest.(check bool)
+    "equal_sets ignores counts" true
+    (Relation.equal_sets (rel_of_pairs "ab 5; cd") (rel_of_pairs "ab; cd"));
+  Alcotest.(check bool)
+    "equal_counted sees counts" false
+    (Relation.equal_counted (rel_of_pairs "ab 5") (rel_of_pairs "ab"))
+
+let rel_set_delta () =
+  let old_ = rel_of_pairs "ab 2; cd" in
+  let new_ = rel_of_pairs "ab 1; ef" in
+  check_rel "set delta" (rel_of_pairs "cd -1; ef") (Relation.set_delta ~old_ ~new_)
+
+let rel_index_probe () =
+  let r = rel_of_pairs "ab; ac; bc; bd 2" in
+  Relation.ensure_index r [ 0 ];
+  let hits = ref [] in
+  Relation.probe r [ 0 ] (Tuple.of_strs [ "b" ]) (fun t c -> hits := (t, c) :: !hits);
+  Alcotest.(check int) "two b-edges" 2 (List.length !hits);
+  (* index follows subsequent mutation *)
+  Relation.add r (Tuple.of_strs [ "b"; "e" ]) 1;
+  Relation.add r (Tuple.of_strs [ "b"; "c" ]) (-1);
+  let hits = ref 0 in
+  Relation.probe r [ 0 ] (Tuple.of_strs [ "b" ]) (fun _ _ -> incr hits);
+  Alcotest.(check int) "after updates" 2 !hits;
+  (* probe on both columns *)
+  let hit = ref 0 in
+  Relation.probe r [ 0; 1 ] (Tuple.of_strs [ "b"; "d" ]) (fun _ c -> hit := c);
+  Alcotest.(check int) "exact probe sees count" 2 !hit
+
+let rel_printing () =
+  Alcotest.(check string)
+    "sorted with counts" "{a,b; a,c 2; m,n -1}"
+    (Relation.to_string
+       (Relation.of_list 2
+          [
+            (Tuple.of_strs [ "a"; "c" ], 2);
+            (Tuple.of_strs [ "m"; "n" ], -1);
+            (Tuple.of_strs [ "a"; "b" ], 1);
+          ]))
+
+(* ---------------- Relation_view ---------------- *)
+
+let view_overlay () =
+  let base = rel_of_pairs "ab 2; cd" in
+  let delta = rel_of_pairs "ab -2; ef" in
+  let v = Relation_view.overlay base delta in
+  Alcotest.(check bool) "ab cancelled" false (Relation_view.mem v (Tuple.of_strs [ "a"; "b" ]));
+  Alcotest.(check int) "ef visible" 1 (Relation_view.count v (Tuple.of_strs [ "e"; "f" ]));
+  Alcotest.(check int) "cd unchanged" 1 (Relation_view.count v (Tuple.of_strs [ "c"; "d" ]));
+  (* iter sees each visible tuple once *)
+  let seen = ref [] in
+  Relation_view.iter (fun t c -> seen := (Tuple.to_string t, c) :: !seen) v;
+  Alcotest.(check int) "two visible tuples" 2 (List.length !seen);
+  check_rel "force materializes" (rel_of_pairs "cd; ef") (Relation_view.force v)
+
+let view_overlay_probe () =
+  let base = rel_of_pairs "ab; ac; bd" in
+  let delta = rel_of_pairs "ab -1; ae" in
+  let v = Relation_view.overlay base delta in
+  let hits = ref [] in
+  Relation_view.probe v [ 0 ] (Tuple.of_strs [ "a" ]) (fun t _ -> hits := t :: !hits);
+  let names = List.sort compare (List.map Tuple.to_string !hits) in
+  Alcotest.(check (list string)) "a-edges" [ "(a, c)"; "(a, e)" ] names
+
+let view_collapse () =
+  let base = rel_of_pairs "ab" in
+  match Relation_view.overlay base (Relation.create 2) with
+  | Relation_view.Concrete _ -> ()
+  | Relation_view.Overlay _ -> Alcotest.fail "empty delta should collapse"
+
+let suite =
+  [
+    quick "value compare/equal/hash" value_compare;
+    quick "value arithmetic" value_arith;
+    quick "value printing" value_printing;
+    quick "tuple basics" tuple_basics;
+    quick "relation count accumulation" rel_counts;
+    quick "relation negative counts" rel_negative_counts;
+    quick "relation arity mismatch" rel_arity_mismatch;
+    quick "relation set operations" rel_set_ops;
+    quick "relation set_delta" rel_set_delta;
+    quick "relation index probing" rel_index_probe;
+    quick "relation printing" rel_printing;
+    quick "overlay view semantics" view_overlay;
+    quick "overlay view probing" view_overlay_probe;
+    quick "overlay collapses when delta empty" view_collapse;
+  ]

@@ -1,0 +1,143 @@
+(** View maintenance under rule insertions and deletions (Section 7). *)
+
+open Util
+module Vm = Ivm.View_manager
+module Parser = Ivm_datalog.Parser
+
+let check_audit vm = Alcotest.(check (result unit string)) "audit" (Ok ()) (Vm.audit vm)
+
+(* Adding a second rule to a nonrecursive view (counting-managed). *)
+let add_rule_nonrecursive () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics ~algorithm:Vm.Counting
+      {|
+        reach(X, Y) :- link(X, Y).
+        link(a,b). link(b,c). wire(b,d). wire(a,b).
+      |}
+      ~extra_base:[ ("wire", 2) ]
+  in
+  Vm.add_rule_text vm "reach(X, Y) :- wire(X, Y).";
+  check_rel "reach has both" (rel_of_pairs "ab 2; bc; bd") (Vm.relation vm "reach");
+  check_audit vm
+
+(* Removing it again restores the original view. *)
+let remove_rule_nonrecursive () =
+  let vm =
+    Vm.of_source ~semantics:Database.Duplicate_semantics ~algorithm:Vm.Counting
+      {|
+        reach(X, Y) :- link(X, Y).
+        reach(X, Y) :- wire(X, Y).
+        link(a,b). link(b,c). wire(b,d). wire(a,b).
+      |}
+  in
+  Vm.remove_rule_text vm "reach(X, Y) :- wire(X, Y).";
+  check_rel "reach from link only" (rel_of_pairs "ab; bc") (Vm.relation vm "reach");
+  check_audit vm
+
+(* Adding the recursive rule to a base-case-only path view: the whole
+   closure must appear. *)
+let add_recursive_rule () =
+  let vm =
+    Vm.of_source ~algorithm:Vm.Dred
+      {|
+        path(X, Y) :- link(X, Y).
+        link(a,b). link(b,c). link(c,d).
+      |}
+  in
+  Vm.add_rule_text vm "path(X, Y) :- path(X, Z), link(Z, Y).";
+  check_rel ~counted:false "closure appears"
+    (rel_of_pairs "ab; bc; cd; ac; bd; ad")
+    (Vm.relation vm "path");
+  check_audit vm
+
+(* Removing the recursive rule of a closure: only base edges remain. *)
+let remove_recursive_rule () =
+  let vm =
+    Vm.of_source ~algorithm:Vm.Dred
+      {|
+        path(X, Y) :- link(X, Y).
+        path(X, Y) :- path(X, Z), link(Z, Y).
+        link(a,b). link(b,c). link(c,d).
+      |}
+  in
+  Vm.remove_rule_text vm "path(X, Y) :- path(X, Z), link(Z, Y).";
+  check_rel ~counted:false "base edges only" (rel_of_pairs "ab; bc; cd")
+    (Vm.relation vm "path");
+  check_audit vm
+
+(* Removing a rule whose derivations overlap with the remaining rule:
+   rederivation must keep shared tuples. *)
+let remove_rule_with_overlap () =
+  let vm =
+    Vm.of_source ~algorithm:Vm.Dred
+      {|
+        reach(X, Y) :- link(X, Y).
+        reach(X, Y) :- wire(X, Y).
+        link(a,b). wire(a,b). wire(c,d).
+      |}
+  in
+  Vm.remove_rule_text vm "reach(X, Y) :- wire(X, Y).";
+  check_rel ~counted:false "shared tuple survives" (rel_of_pairs "ab")
+    (Vm.relation vm "reach");
+  check_audit vm
+
+(* Removing the last rule of a predicate empties it. *)
+let remove_last_rule () =
+  let vm =
+    Vm.of_source ~algorithm:Vm.Dred
+      {|
+        hop(X, Y) :- link(X, Z), link(Z, Y).
+        link(a,b). link(b,c).
+      |}
+  in
+  Vm.remove_rule_text vm "hop(X, Y) :- link(X, Z), link(Z, Y).";
+  Alcotest.(check int) "hop empty" 0 (Relation.cardinal (Vm.relation vm "hop"))
+
+(* A new rule on top of an existing view (new predicate). *)
+let add_dependent_view () =
+  let vm =
+    Vm.of_source ~algorithm:Vm.Dred
+      {|
+        path(X, Y) :- link(X, Y).
+        path(X, Y) :- path(X, Z), link(Z, Y).
+        link(a,b). link(b,c).
+      |}
+  in
+  Vm.add_rule_text vm "closure_size(N) :- groupby(path(X, Y), [], N = count()).";
+  let expect = Relation.of_tuples 1 [ Tuple.of_list [ Value.int 3 ] ] in
+  check_rel ~counted:false "closure_size" expect (Vm.relation vm "closure_size");
+  (* and maintenance keeps flowing through the new rule *)
+  ignore (Vm.insert vm "link" [ Tuple.of_strs [ "c"; "d" ] ]);
+  let expect = Relation.of_tuples 1 [ Tuple.of_list [ Value.int 6 ] ] in
+  check_rel ~counted:false "closure_size after insert" expect
+    (Vm.relation vm "closure_size");
+  check_audit vm
+
+(* Unknown rule removal is reported. *)
+let remove_unknown_rule () =
+  let vm = Vm.of_source {| hop(X, Y) :- link(X, Z), link(Z, Y). link(a,b). |} in
+  try
+    Vm.remove_rule_text vm "hop(X, Y) :- link(Y, X).";
+    Alcotest.fail "expected Unknown_rule"
+  with Ivm.Rule_changes.Unknown_rule _ -> ()
+
+(* Adding a rule whose head is a populated base relation is refused. *)
+let refuse_base_head () =
+  let vm = Vm.of_source {| hop(X, Y) :- link(X, Z), link(Z, Y). link(a,b). |} in
+  try
+    Vm.add_rule_text vm "link(X, Y) :- hop(X, Y).";
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    quick "add rule (nonrecursive, counting)" add_rule_nonrecursive;
+    quick "remove rule (nonrecursive, counting)" remove_rule_nonrecursive;
+    quick "add recursive rule (DRed)" add_recursive_rule;
+    quick "remove recursive rule (DRed)" remove_recursive_rule;
+    quick "remove rule with overlapping derivations" remove_rule_with_overlap;
+    quick "remove last rule empties the view" remove_last_rule;
+    quick "add dependent aggregate view" add_dependent_view;
+    quick "remove unknown rule fails" remove_unknown_rule;
+    quick "refuse rule over populated base relation" refuse_base_head;
+  ]

@@ -1,0 +1,191 @@
+(** The SQL front end: Example 1.1 as written in the paper, plus the rest
+    of the supported surface. *)
+
+open Util
+module Sql = Ivm_sql.Sql_translate
+module Vm = Ivm.View_manager
+
+(* Example 1.1, verbatim shape: CREATE VIEW hop AS SELECT r1.s, r2.d FROM
+   link r1, link r2 WHERE r1.d = r2.s. *)
+let example_1_1_sql () =
+  let vm =
+    Sql.view_manager ~semantics:Database.Duplicate_semantics
+      {|
+        CREATE TABLE link(s, d);
+        CREATE VIEW hop(s, d) AS
+          SELECT r1.s, r2.d FROM link r1, link r2 WHERE r1.d = r2.s;
+        INSERT INTO link VALUES (a,b), (b,c), (b,e), (a,d), (d,c);
+      |}
+  in
+  check_rel "hop via SQL" (rel_of_pairs "ac 2; ae") (Vm.relation vm "hop");
+  (* and it maintains incrementally: the paper's deletion of link(a,b) *)
+  ignore (Vm.delete vm "link" [ Tuple.of_strs [ "a"; "b" ] ]);
+  check_rel "hop after deletion" (rel_of_pairs "ac") (Vm.relation vm "hop")
+
+let where_constants_and_filters () =
+  let vm =
+    Sql.view_manager
+      {|
+        CREATE TABLE toll(src, dst, cost);
+        CREATE VIEW from_a(dst) AS
+          SELECT t.dst FROM toll t WHERE t.src = 'a' AND t.cost < 5;
+        INSERT INTO toll VALUES (a,b,3), (a,c,9), (b,c,2);
+      |}
+  in
+  let expect = Relation.of_tuples 1 [ Tuple.of_strs [ "b" ] ] in
+  check_rel ~counted:false "constant + filter" expect (Vm.relation vm "from_a")
+
+let union_views () =
+  let vm =
+    Sql.view_manager
+      {|
+        CREATE TABLE road(s, d);
+        CREATE TABLE rail(s, d);
+        CREATE VIEW connected(s, d) AS
+          SELECT r.s, r.d FROM road r
+          UNION
+          SELECT t.s, t.d FROM rail t;
+        INSERT INTO road VALUES (a,b);
+        INSERT INTO rail VALUES (b,c);
+      |}
+  in
+  check_rel ~counted:false "union" (rel_of_pairs "ab; bc")
+    (Vm.relation vm "connected")
+
+let group_by_aggregate () =
+  let vm =
+    Sql.view_manager
+      {|
+        CREATE TABLE link(s, d, c);
+        CREATE VIEW hop(s, d, c) AS
+          SELECT r1.s, r2.d, r1.c + r2.c FROM link r1, link r2
+          WHERE r1.d = r2.s;
+        CREATE VIEW min_cost_hop(s, d, m) AS
+          SELECT h.s, h.d, MIN(h.c) FROM hop h GROUP BY h.s, h.d;
+        INSERT INTO link VALUES (a,b,1), (b,c,2), (b,e,5), (a,d,4), (d,c,1);
+      |}
+  in
+  let expect =
+    Relation.of_list 3
+      [
+        (Tuple.of_list Value.[ str "a"; str "c"; int 3 ], 1);
+        (Tuple.of_list Value.[ str "a"; str "e"; int 6 ], 1);
+      ]
+  in
+  check_rel ~counted:false "min_cost_hop via SQL" expect
+    (Vm.relation vm "min_cost_hop");
+  (* incremental maintenance through the SQL-defined aggregate *)
+  ignore
+    (Vm.insert vm "link"
+       [
+         Tuple.of_list Value.[ str "a"; str "f"; int 1 ];
+         Tuple.of_list Value.[ str "f"; str "c"; int 1 ];
+       ]);
+  Alcotest.(check bool)
+    "min updated" true
+    (Relation.mem
+       (Vm.relation vm "min_cost_hop")
+       (Tuple.of_list Value.[ str "a"; str "c"; int 2 ]))
+
+let count_star () =
+  let vm =
+    Sql.view_manager ~semantics:Database.Duplicate_semantics
+      {|
+        CREATE TABLE link(s, d);
+        CREATE VIEW degree(s, n) AS
+          SELECT l.s, COUNT(*) FROM link l GROUP BY l.s;
+        INSERT INTO link VALUES (a,b), (a,c), (b,c);
+      |}
+  in
+  let expect =
+    Relation.of_list 2
+      [
+        (Tuple.of_list Value.[ str "a"; int 2 ], 1);
+        (Tuple.of_list Value.[ str "b"; int 1 ], 1);
+      ]
+  in
+  check_rel ~counted:false "degree" expect (Vm.relation vm "degree")
+
+let not_exists () =
+  let vm =
+    Sql.view_manager ~semantics:Database.Duplicate_semantics
+      {|
+        CREATE TABLE link(s, d);
+        CREATE VIEW hop(s, d) AS
+          SELECT r1.s, r2.d FROM link r1, link r2 WHERE r1.d = r2.s;
+        CREATE VIEW strict_hop(s, d) AS
+          SELECT h.s, h.d FROM hop h
+          WHERE NOT EXISTS (SELECT * FROM link l
+                            WHERE l.s = h.s AND l.d = h.d);
+        INSERT INTO link VALUES (a,b), (b,c), (a,c);
+      |}
+  in
+  (* hop = {ac}; link(a,c) exists, so strict_hop is empty *)
+  Alcotest.(check int)
+    "strict_hop empty" 0
+    (Relation.cardinal (Vm.relation vm "strict_hop"));
+  (* delete the direct edge: (a,c) is now a strict hop; note the deletion
+     also removes hop tuples via r1/r2 — recompute expectation via audit *)
+  ignore (Vm.delete vm "link" [ Tuple.of_strs [ "a"; "c" ] ]);
+  Alcotest.(check bool)
+    "strict_hop(a,c)" true
+    (Relation.mem (Vm.relation vm "strict_hop") (Tuple.of_strs [ "a"; "c" ]));
+  Alcotest.(check (result unit string)) "audit" (Ok ()) (Vm.audit vm)
+
+let view_over_view () =
+  let vm =
+    Sql.view_manager
+      {|
+        CREATE TABLE link(s, d);
+        CREATE VIEW hop(s, d) AS
+          SELECT r1.s, r2.d FROM link r1, link r2 WHERE r1.d = r2.s;
+        CREATE VIEW tri_hop(s, d) AS
+          SELECT h.s, l.d FROM hop h, link l WHERE h.d = l.s;
+        INSERT INTO link VALUES (a,b), (a,d), (d,c), (b,c), (c,h), (f,g);
+      |}
+  in
+  check_rel ~counted:false "tri_hop via SQL" (rel_of_pairs "ah")
+    (Vm.relation vm "tri_hop")
+
+let translation_errors () =
+  let fails src =
+    try
+      ignore (Sql.translate src);
+      Alcotest.fail "expected Translate_error"
+    with Sql.Translate_error _ -> ()
+  in
+  fails {| CREATE VIEW v(a) AS SELECT t.x FROM missing t; |};
+  fails
+    {|
+      CREATE TABLE t(x, y);
+      CREATE VIEW v(a) AS SELECT t.z FROM t t;
+    |};
+  fails
+    {|
+      CREATE TABLE t(x, y);
+      CREATE VIEW v(a, b) AS SELECT q.x, MIN(q.y) FROM t q;
+    |}
+
+let unsatisfiable_where () =
+  let vm =
+    Sql.view_manager
+      {|
+        CREATE TABLE t(x, y);
+        CREATE VIEW v(x) AS SELECT q.x FROM t q WHERE q.y = 1 AND q.y = 2;
+        INSERT INTO t VALUES (a, 1), (b, 2);
+      |}
+  in
+  Alcotest.(check int) "empty view" 0 (Relation.cardinal (Vm.relation vm "v"))
+
+let suite =
+  [
+    quick "example 1.1 in SQL" example_1_1_sql;
+    quick "constants and filters" where_constants_and_filters;
+    quick "UNION" union_views;
+    quick "GROUP BY aggregate" group_by_aggregate;
+    quick "COUNT(*)" count_star;
+    quick "NOT EXISTS" not_exists;
+    quick "view over view" view_over_view;
+    quick "translation errors" translation_errors;
+    quick "unsatisfiable WHERE" unsatisfiable_where;
+  ]

@@ -1,0 +1,136 @@
+(** The live SQL session: DML, ad-hoc SELECTs, and runtime CREATE VIEW
+    over maintained views. *)
+
+open Util
+module Session = Ivm_sql.Sql_session
+module Query = Ivm_eval.Query
+module Vm = Ivm.View_manager
+
+let schema =
+  {|
+    CREATE TABLE link(s, d, c);
+    CREATE VIEW hop(s, d, c) AS
+      SELECT r1.s, r2.d, r1.c + r2.c FROM link r1, link r2 WHERE r1.d = r2.s;
+    INSERT INTO link VALUES (a,b,1), (b,c,2), (c,d,3), (a,c,9);
+  |}
+
+let session () = Session.of_script ~semantics:Database.Duplicate_semantics schema
+
+let rows_of = function
+  | Session.Rows r -> r
+  | _ -> Alcotest.fail "expected rows"
+
+let deltas_of = function
+  | Session.Deltas d -> d
+  | _ -> Alcotest.fail "expected deltas"
+
+let select_basics () =
+  let s = session () in
+  let r = rows_of (Session.exec s "SELECT l.s, l.d FROM link l WHERE l.c < 3") in
+  Alcotest.(check (list string)) "columns" [ "s"; "d" ] r.Query.columns;
+  Alcotest.(check int) "two cheap links" 2 (Relation.cardinal r.Query.rows)
+
+let select_computed () =
+  let s = session () in
+  let r =
+    rows_of (Session.exec s "SELECT l.s, l.c * 10 FROM link l WHERE l.d = 'c'")
+  in
+  Alcotest.(check bool) "computed column" true
+    (Relation.mem r.Query.rows (Tuple.of_list Value.[ str "b"; int 20 ]))
+
+let delete_where () =
+  let s = session () in
+  let ds = deltas_of (Session.exec s "DELETE FROM link WHERE s = 'a' AND c > 5") in
+  (* deleting (a,c,9) kills hop(a,d,12) *)
+  (match List.assoc_opt "hop" ds with
+  | Some d ->
+    Alcotest.(check int) "one hop delta" 1 (Relation.cardinal d);
+    Alcotest.(check int) "deletion" (-1)
+      (Relation.count d (Tuple.of_list Value.[ str "a"; str "d"; int 12 ]))
+  | None -> Alcotest.fail "expected hop delta");
+  Alcotest.(check (result unit string)) "audit" (Ok ())
+    (Vm.audit (Session.manager s))
+
+let delete_no_match () =
+  let s = session () in
+  match Session.exec s "DELETE FROM link WHERE c > 100" with
+  | Session.Done _ -> ()
+  | _ -> Alcotest.fail "expected Done"
+
+let update_set () =
+  let s = session () in
+  ignore (Session.exec s "UPDATE link SET c = c + 10 WHERE s = 'a'");
+  let stored = Vm.relation (Session.manager s) "link" in
+  Alcotest.(check bool) "updated" true
+    (Relation.mem stored (Tuple.of_list Value.[ str "a"; str "b"; int 11 ]));
+  Alcotest.(check bool) "old gone" false
+    (Relation.mem stored (Tuple.of_list Value.[ str "a"; str "b"; int 1 ]));
+  Alcotest.(check (result unit string)) "audit" (Ok ())
+    (Vm.audit (Session.manager s))
+
+let create_view_at_runtime () =
+  let s = session () in
+  (match Session.exec s "CREATE VIEW cheap(s, d) AS SELECT h.s, h.d FROM hop h WHERE h.c < 4" with
+  | Session.Done _ -> ()
+  | _ -> Alcotest.fail "expected Done");
+  let v = Vm.relation (Session.manager s) "cheap" in
+  check_rel ~counted:false "view content" (rel_of_pairs "ac") v;
+  (* the new view is now maintained *)
+  ignore (Session.exec s "INSERT INTO link VALUES (c, e, 1)");
+  let v = Vm.relation (Session.manager s) "cheap" in
+  Alcotest.(check bool) "maintained" true (Relation.mem v (Tuple.of_strs [ "b"; "e" ]))
+
+let runtime_view_with_aggregate () =
+  let s = session () in
+  (match
+     Session.exec s
+       "CREATE VIEW fanout(s, n) AS SELECT l.s, COUNT(*) FROM link l GROUP BY l.s"
+   with
+  | Session.Done _ -> ()
+  | _ -> Alcotest.fail "expected Done");
+  let v = Vm.relation (Session.manager s) "fanout" in
+  Alcotest.(check bool) "a has 2" true
+    (Relation.mem v (Tuple.of_list Value.[ str "a"; int 2 ]));
+  ignore (Session.exec s "DELETE FROM link WHERE s = 'a' AND d = 'c'");
+  let v = Vm.relation (Session.manager s) "fanout" in
+  Alcotest.(check bool) "a drops to 1" true
+    (Relation.mem v (Tuple.of_list Value.[ str "a"; int 1 ]))
+
+let errors () =
+  let s = session () in
+  let fails stmt =
+    try
+      ignore (Session.exec s stmt);
+      Alcotest.failf "expected Session_error for %s" stmt
+    with Session.Session_error _ -> ()
+  in
+  fails "DELETE FROM hop WHERE s = 'a'";
+  (* views are not updatable *)
+  fails "UPDATE link SET nope = 1 WHERE s = 'a'";
+  fails "CREATE TABLE late(x, y)";
+  fails "SELECT l.s, MIN(l.c) FROM link l GROUP BY l.s";
+  (* aggregate SELECT must be a view *)
+  fails "DELETE FROM missing WHERE s = 'a'"
+
+let multi_statement_script () =
+  let s = session () in
+  let outcomes =
+    Session.exec_script s
+      "INSERT INTO link VALUES (x, y, 1); DELETE FROM link WHERE s = 'x';"
+  in
+  Alcotest.(check int) "two outcomes" 2 (List.length outcomes);
+  Alcotest.(check (result unit string)) "audit" (Ok ())
+    (Vm.audit (Session.manager s))
+
+let suite =
+  [
+    quick "SELECT basics" select_basics;
+    quick "SELECT computed columns" select_computed;
+    quick "DELETE ... WHERE maintains views" delete_where;
+    quick "DELETE with no matches" delete_no_match;
+    quick "UPDATE ... SET as delete⊎insert" update_set;
+    quick "CREATE VIEW at runtime" create_view_at_runtime;
+    quick "runtime view with aggregate" runtime_view_with_aggregate;
+    quick "session errors" errors;
+    quick "multi-statement script" multi_statement_script;
+  ]

@@ -1,0 +1,176 @@
+(** Active-database triggers (§1's "a rule may fire when a particular
+    tuple is inserted into a view") and ad-hoc queries. *)
+
+open Util
+module Vm = Ivm.View_manager
+module Triggers = Ivm.Triggers
+module Query = Ivm_eval.Query
+
+let hop_source = {|
+  hop(X, Y) :- link(X, Z), link(Z, Y).
+  link(a,b). link(b,c).
+|}
+
+let fires_on_view_change () =
+  let vm = Vm.of_source ~semantics:Database.Duplicate_semantics hop_source in
+  let tr = Triggers.create vm in
+  let fired = ref [] in
+  let _s = Triggers.subscribe tr "hop" (fun delta -> fired := Relation.to_sorted_list delta @ !fired) in
+  ignore (Triggers.insert tr "link" [ Tuple.of_strs [ "c"; "d" ] ]);
+  Alcotest.(check int) "one insertion seen" 1 (List.length !fired);
+  (match !fired with
+  | [ (t, c) ] ->
+    Alcotest.(check bool) "tuple" true (Tuple.equal t (Tuple.of_strs [ "b"; "d" ]));
+    Alcotest.(check int) "count" 1 c
+  | _ -> Alcotest.fail "unexpected");
+  (* a base change that leaves the view alone fires nothing *)
+  fired := [];
+  ignore (Triggers.insert tr "link" [ Tuple.of_strs [ "z"; "q" ] ]);
+  Alcotest.(check int) "silent" 0 (List.length !fired)
+
+let insertion_and_deletion_hooks () =
+  let vm = Vm.of_source ~semantics:Database.Duplicate_semantics hop_source in
+  let tr = Triggers.create vm in
+  let ins = ref 0 and del = ref 0 in
+  let _ = Triggers.on_insertion tr "hop" (fun _ c -> ins := !ins + c) in
+  let _ = Triggers.on_deletion tr "hop" (fun _ c -> del := !del + c) in
+  ignore
+    (Triggers.update tr "link" ~old_tuple:(Tuple.of_strs [ "b"; "c" ])
+       ~new_tuple:(Tuple.of_strs [ "b"; "d" ]));
+  Alcotest.(check int) "one insertion (a,d)" 1 !ins;
+  Alcotest.(check int) "one deletion (a,c)" 1 !del
+
+let unsubscribe_works () =
+  let vm = Vm.of_source hop_source in
+  let tr = Triggers.create vm in
+  let n = ref 0 in
+  let s = Triggers.subscribe tr "hop" (fun _ -> incr n) in
+  ignore (Triggers.insert tr "link" [ Tuple.of_strs [ "c"; "d" ] ]);
+  Triggers.unsubscribe tr s;
+  ignore (Triggers.delete tr "link" [ Tuple.of_strs [ "c"; "d" ] ]);
+  Alcotest.(check int) "fired once" 1 !n;
+  Alcotest.(check int) "history has both batches" 2 (List.length (Triggers.history tr))
+
+let unknown_view_rejected () =
+  let vm = Vm.of_source hop_source in
+  let tr = Triggers.create vm in
+  try
+    ignore (Triggers.subscribe tr "nope" (fun _ -> ()));
+    Alcotest.fail "expected Program_error"
+  with Program.Program_error _ -> ()
+
+(* ---------------- queries ---------------- *)
+
+let db () = db_of_source ~semantics:Database.Duplicate_semantics
+    {|
+      hop(X, Y) :- link(X, Z), link(Z, Y).
+      link(a,b). link(b,c). link(b,d). link(a,b2). link(b2,c).
+    |}
+
+let simple_query () =
+  let r = Query.run_text (db ()) "hop(a, X)" in
+  Alcotest.(check (list string)) "columns" [ "X" ] r.Query.columns;
+  (* hop(a,c) twice (via b and b2), hop(a,d) once *)
+  Alcotest.(check int) "c count 2" 2
+    (Relation.count r.Query.rows (Tuple.of_strs [ "c" ]));
+  Alcotest.(check int) "d count 1" 1
+    (Relation.count r.Query.rows (Tuple.of_strs [ "d" ]))
+
+let join_query () =
+  let r = Query.run_text (db ()) "link(a, X), link(X, Y)" in
+  Alcotest.(check (list string)) "columns" [ "X"; "Y" ] r.Query.columns;
+  Alcotest.(check int) "three rows" 3 (Relation.cardinal r.Query.rows)
+
+let negation_and_comparison_query () =
+  let r = Query.run_text (db ()) "link(X, Y), not hop(a, Y), X != b" in
+  (* link tuples whose target is not 2-reachable from a and whose source
+     is not b: (a,b), (a,b2) *)
+  Alcotest.(check int) "two rows" 2 (Relation.cardinal r.Query.rows)
+
+let aggregate_query () =
+  let r = Query.run_text (db ()) "groupby(link(X, Y), [X], N = count())" in
+  Alcotest.(check (list string)) "columns" [ "X"; "N" ] r.Query.columns;
+  Alcotest.(check bool) "b has 2" true
+    (Relation.mem r.Query.rows (Tuple.of_list Value.[ str "b"; int 2 ]))
+
+let boolean_query () =
+  let d = db () in
+  Alcotest.(check bool) "true" true (Query.holds d "link(a, b)");
+  Alcotest.(check bool) "false" false (Query.holds d "link(b, a)")
+
+let computed_column () =
+  let d =
+    db_of_source {|
+      m(a, 2). m(b, 5).
+      dummy(X) :- m(X, V).
+    |}
+  in
+  let r = Query.run_text d "m(X, V), W = V * 10" in
+  Alcotest.(check (list string)) "columns" [ "X"; "V"; "W" ] r.Query.columns;
+  Alcotest.(check bool) "computed" true
+    (Relation.mem r.Query.rows (Tuple.of_list Value.[ str "b"; int 5; int 50 ]))
+
+let unsafe_query_rejected () =
+  try
+    ignore (Query.run_text (db ()) "not link(X, Y)");
+    Alcotest.fail "expected Unsafe"
+  with Ivm_datalog.Safety.Unsafe _ -> ()
+
+let unknown_pred_rejected () =
+  try
+    ignore (Query.run_text (db ()) "nothere(X)");
+    Alcotest.fail "expected Program_error"
+  with Program.Program_error _ -> ()
+
+(* triggers compose with DRed: recursive view deltas dispatch too *)
+let triggers_with_dred () =
+  let vm =
+    Vm.of_source ~algorithm:Vm.Dred
+      {|
+        path(X, Y) :- link(X, Y).
+        path(X, Y) :- path(X, Z), link(Z, Y).
+        link(a,b). link(b,c).
+      |}
+  in
+  let tr = Ivm.Triggers.create vm in
+  let ins = ref 0 and del = ref 0 in
+  let _ = Ivm.Triggers.on_insertion tr "path" (fun _ _ -> incr ins) in
+  let _ = Ivm.Triggers.on_deletion tr "path" (fun _ _ -> incr del) in
+  ignore (Ivm.Triggers.insert tr "link" [ Tuple.of_strs [ "c"; "d" ] ]);
+  (* new paths: c→d, b→d, a→d *)
+  Alcotest.(check int) "three insertions" 3 !ins;
+  ignore (Ivm.Triggers.delete tr "link" [ Tuple.of_strs [ "a"; "b" ] ]);
+  (* lost paths: a→b, a→c, a→d *)
+  Alcotest.(check int) "three deletions" 3 !del
+
+(* ad-hoc queries over recursive materializations are single joins *)
+let query_over_recursion () =
+  let d =
+    db_of_source
+      {|
+        path(X, Y) :- link(X, Y).
+        path(X, Y) :- path(X, Z), link(Z, Y).
+        link(a,b). link(b,c). link(c,d).
+      |}
+  in
+  let r = Query.run_text d "path(a, X), path(X, d)" in
+  (* midpoints strictly between a and d: b and c *)
+  Alcotest.(check int) "two midpoints" 2 (Relation.cardinal r.Query.rows)
+
+let suite =
+  [
+    quick "triggers compose with DRed" triggers_with_dred;
+    quick "query over a recursive view" query_over_recursion;
+    quick "trigger fires on view change" fires_on_view_change;
+    quick "insertion/deletion hooks" insertion_and_deletion_hooks;
+    quick "unsubscribe and history" unsubscribe_works;
+    quick "unknown view rejected" unknown_view_rejected;
+    quick "simple query with counts" simple_query;
+    quick "join query" join_query;
+    quick "negation + comparison query" negation_and_comparison_query;
+    quick "aggregate query" aggregate_query;
+    quick "boolean query" boolean_query;
+    quick "computed column" computed_column;
+    quick "unsafe query rejected" unsafe_query_rejected;
+    quick "unknown predicate rejected" unknown_pred_rejected;
+  ]

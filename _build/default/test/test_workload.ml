@@ -1,0 +1,130 @@
+(** Workload generators: determinism and structural guarantees the bench
+    harness relies on. *)
+
+open Util
+module Prng = Ivm_workload.Prng
+module Graph_gen = Ivm_workload.Graph_gen
+module Update_gen = Ivm_workload.Update_gen
+module Changes = Ivm.Changes
+
+let prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let prng_ranges () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    let f = Prng.float rng in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let prng_sample () =
+  let rng = Prng.create 9 in
+  let xs = List.init 20 Fun.id in
+  let s = Prng.sample rng 5 xs in
+  Alcotest.(check int) "five" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+  Alcotest.(check int) "all when k too big" 20 (List.length (Prng.sample rng 100 xs))
+
+let graph_shapes () =
+  let rng = Prng.create 3 in
+  let edges = Graph_gen.random rng ~nodes:20 ~edges:50 in
+  Alcotest.(check bool) "no self loops" true
+    (List.for_all (fun (a, b) -> a <> b) edges);
+  Alcotest.(check bool) "dedup" true
+    (List.length (List.sort_uniq compare edges) = List.length edges);
+  let chain = Graph_gen.chain 5 in
+  Alcotest.(check int) "chain edges" 4 (List.length chain);
+  let cyc = Graph_gen.cycle 5 in
+  Alcotest.(check int) "cycle edges" 5 (List.length cyc);
+  let grid = Graph_gen.grid ~rows:3 ~cols:4 in
+  (* 3*3 right + 2*4 down *)
+  Alcotest.(check int) "grid edges" 17 (List.length grid)
+
+let layered_dag_is_acyclic () =
+  let rng = Prng.create 5 in
+  let edges = Graph_gen.layered_dag rng ~layers:5 ~width:4 ~out_degree:3 in
+  (* every edge goes from layer ℓ to ℓ+1 *)
+  Alcotest.(check bool) "forward edges only" true
+    (List.for_all (fun (a, b) -> (b / 4) = (a / 4) + 1) edges)
+
+let scale_free_shape () =
+  let rng = Prng.create 21 in
+  let edges = Graph_gen.scale_free rng ~nodes:200 ~attach:2 in
+  Alcotest.(check bool) "enough edges" true (List.length edges > 150);
+  Alcotest.(check bool) "no self loops" true
+    (List.for_all (fun (a, b) -> a <> b) edges);
+  (* heavy tail: some node's degree far exceeds the mean *)
+  let deg = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace deg v (1 + Option.value ~default:0 (Hashtbl.find_opt deg v)))
+        [ a; b ])
+    edges;
+  let max_deg = Hashtbl.fold (fun _ d acc -> max d acc) deg 0 in
+  let mean = 2. *. float_of_int (List.length edges) /. 200. in
+  Alcotest.(check bool)
+    (Printf.sprintf "hubby (max %d vs mean %.1f)" max_deg mean)
+    true
+    (float_of_int max_deg > 3. *. mean)
+
+let costed_tuples () =
+  let rng = Prng.create 11 in
+  let ts = Graph_gen.costed_tuples rng ~max_cost:5 [ (1, 2); (3, 4) ] in
+  Alcotest.(check int) "two tuples" 2 (List.length ts);
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "arity 3" 3 (Tuple.arity t);
+      match t.(2) with
+      | Value.Int c -> Alcotest.(check bool) "cost in range" true (c >= 1 && c <= 5)
+      | _ -> Alcotest.fail "integer cost expected")
+    ts
+
+let update_gen_validity () =
+  let db =
+    db_of_source
+      {|
+        hop(X, Y) :- link(X, Z), link(Z, Y).
+        link(a,b). link(b,c). link(c,d).
+      |}
+  in
+  let rng = Prng.create 13 in
+  (* deletions pick stored tuples: normalization cannot fail *)
+  for _ = 1 to 20 do
+    let c = Update_gen.deletions rng db "link" 2 in
+    ignore (Changes.normalize_base db c)
+  done;
+  (* insertions avoid stored duplicates *)
+  let c = Update_gen.edge_insertions rng db "link" ~nodes:10 5 in
+  let stored = Database.relation db "link" in
+  List.iter
+    (fun (_, d) ->
+      Relation.iter
+        (fun t _ ->
+          Alcotest.(check bool) "fresh" false (Relation.mem stored t))
+        d)
+    c
+
+let suite =
+  [
+    quick "prng is deterministic per seed" prng_deterministic;
+    quick "prng ranges" prng_ranges;
+    quick "prng sampling" prng_sample;
+    quick "graph generator shapes" graph_shapes;
+    quick "layered DAG is layered" layered_dag_is_acyclic;
+    quick "scale-free generator is hubby" scale_free_shape;
+    quick "costed tuples" costed_tuples;
+    quick "update generators stay valid" update_gen_validity;
+  ]

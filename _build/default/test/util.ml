@@ -1,0 +1,70 @@
+(** Shared helpers for the test suites. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+module Relation_view = Ivm_relation.Relation_view
+module Ast = Ivm_datalog.Ast
+module Parser = Ivm_datalog.Parser
+module Program = Ivm_datalog.Program
+module Database = Ivm_eval.Database
+module Seminaive = Ivm_eval.Seminaive
+
+(** Alcotest testable for relations compared including counts. *)
+let relation_counted : Relation.t Alcotest.testable =
+  Alcotest.testable Relation.pp Relation.equal_counted
+
+(** Alcotest testable for relations compared as sets. *)
+let relation_set : Relation.t Alcotest.testable =
+  Alcotest.testable Relation.pp Relation.equal_sets
+
+(** Parse a whole program text (rules and facts), build the database, load
+    the facts, and materialize all views. *)
+let db_of_source ?(semantics = Database.Set_semantics) ?extra_base src =
+  let statements = Parser.parse_program src in
+  let rules, facts = Parser.split statements in
+  let program = Program.make ?extra_base rules in
+  let db = Database.create ~semantics program in
+  List.iter (fun (p, vals) -> Database.load db p [ Tuple.of_list vals ]) facts;
+  Seminaive.evaluate db;
+  db
+
+(** Parse tuples like ["ab; cd"] into 2-character symbol pairs — the
+    paper's compact notation [link = {ab, mn}]. *)
+let pairs s =
+  String.split_on_char ';' s
+  |> List.filter_map (fun w ->
+         let w = String.trim w in
+         if w = "" then None
+         else begin
+           assert (String.length w = 2);
+           Some (Tuple.of_strs [ String.make 1 w.[0]; String.make 1 w.[1] ])
+         end)
+
+(** [rel_of_pairs "ab; ac 2"] — pairs with optional counts. *)
+let rel_of_pairs s =
+  let entries =
+    String.split_on_char ';' s
+    |> List.filter_map (fun w ->
+           let w = String.trim w in
+           if w = "" then None
+           else
+             match String.split_on_char ' ' w with
+             | [ p ] ->
+               Some (Tuple.of_strs [ String.make 1 p.[0]; String.make 1 p.[1] ], 1)
+             | [ p; c ] ->
+               Some
+                 ( Tuple.of_strs [ String.make 1 p.[0]; String.make 1 p.[1] ],
+                   int_of_string c )
+             | _ -> failwith ("bad pair spec: " ^ w))
+  in
+  Relation.of_list 2 entries
+
+let check_rel ?(counted = true) msg expected actual =
+  let t = if counted then relation_counted else relation_set in
+  Alcotest.check t msg expected actual
+
+(** Relation stored for [pred] in [db]. *)
+let rel db pred = Database.relation db pred
+
+let quick name f = Alcotest.test_case name `Quick f
