@@ -3,6 +3,8 @@
      dune exec bench/main.exe                 # all experiments + micro suite
      dune exec bench/main.exe -- e1 e6        # selected experiments
      dune exec bench/main.exe -- micro        # Bechamel micro suite only
+     dune exec bench/main.exe -- --metrics-json out.json
+                                              # machine-readable metrics report
 
    Each experiment prints the table EXPERIMENTS.md records; the micro suite
    gives one Bechamel measurement per experiment's headline operation. *)
@@ -171,6 +173,11 @@ let run_micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (match args with
+  | "--metrics-json" :: out :: _ ->
+    Metrics_report.run ~out ();
+    exit 0
+  | _ -> ());
   let args =
     match args with
     | "--csv" :: dir :: rest ->

@@ -41,6 +41,11 @@ let help_text =
   \  delrule RULE     remove a rule incrementally\n\
   \  audit            check views against recomputation\n\
   \  stats            evaluator work counters\n\
+  \  metrics          dump the full metrics registry\n\
+  \  trace on FILE    start tracing maintenance spans to FILE (Chrome\n\
+  \                   trace_event JSON — load in chrome://tracing/Perfetto)\n\
+  \  trace off        stop tracing and flush the file\n\
+  \  trace status     is tracing on, and where\n\
   \  explain          program structure, strata, sizes\n\
   \  save FILE        dump rules+facts to a reloadable file\n\
   \  help             this text\n\
@@ -96,6 +101,27 @@ let execute ?sql vm line =
   end
   else if line = "stats" then
     Format.printf "%a@." Stats.pp_snapshot (Stats.snapshot ())
+  else if line = "metrics" then
+    Format.printf "%a@." Ivm_obs.Metrics.pp ()
+  else if line = "trace status" then begin
+    if Ivm_obs.Trace.enabled () then
+      Format.printf "tracing: on%s@."
+        (match Ivm_obs.Trace.file_path () with
+        | Some p -> " → " ^ p
+        | None -> " (ring buffer only)")
+    else Format.printf "tracing: off@."
+  end
+  else if line = "trace off" then begin
+    match Ivm_obs.Trace.disable () with
+    | Some path -> Format.printf "trace written to %s@." path
+    | None -> Format.printf "tracing stopped@."
+  end
+  else if String.length line > 9 && String.sub line 0 9 = "trace on " then begin
+    let path = String.trim (String.sub line 9 (String.length line - 9)) in
+    Ivm_obs.Trace.enable_file path;
+    Format.printf
+      "tracing to %s (Chrome trace_event format; 'trace off' to flush)@." path
+  end
   else if line = "explain" then begin
     let program = Vm.program vm in
     Format.printf "algorithm: %s (resolves to %s), semantics: %s@."
@@ -159,6 +185,7 @@ let protect ?sql vm line =
     Format.printf "sql error: %s@." msg
   | Ivm_sql.Sql_lexer.Lex_error msg -> Format.printf "sql error: %s@." msg
   | Failure msg -> Format.printf "error: %s@." msg
+  | Sys_error msg -> Format.printf "error: %s@." msg
   | Parser.Parse_error msg | Ivm_datalog.Lexer.Lex_error msg ->
     Format.printf "parse error: %s@." msg
   | Changes.Invalid_changes msg -> Format.printf "invalid change: %s@." msg

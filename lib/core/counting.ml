@@ -26,6 +26,15 @@ module Database = Ivm_eval.Database
 let log_src = Logs.Src.create "ivm.counting" ~doc:"counting algorithm maintenance"
 
 module Log = (val Logs.src_log log_src)
+module Metrics = Ivm_obs.Metrics
+module Trace = Ivm_obs.Trace
+
+let batches_c =
+  Metrics.counter ~labels:[ ("algorithm", "counting") ] "ivm_maintain_batches_total"
+
+(** Per maintained view per batch: |Δ(P)| (Theorem 4.1 says this is
+    exactly the number of changed view tuples — the optimality metric). *)
+let delta_h = Metrics.histogram "ivm_counting_delta_size"
 
 exception Recursive_program of string
 
@@ -59,43 +68,63 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
             "predicate %s is recursive; the counting algorithm handles \
              nonrecursive views — use DRed for recursive views" p))
   | None -> ());
+  Metrics.inc batches_c;
   let normalized = Changes.normalize_base db changes in
-  let ctx = Delta.create db in
-  List.iter (fun (pred, delta) -> Delta.set_delta ctx pred ~full:delta) normalized;
-  (* only views transitively depending on a changed base relation can
-     change; the rest are not visited at all *)
   let affected =
+    (* only views transitively depending on a changed base relation can
+       change; the rest are not visited at all *)
     Program.affected_views program ~changed:(List.map fst normalized)
   in
-  Log.debug (fun m ->
-      m "maintaining %d affected views (of %d) against %d changed base tuples"
-        (List.length affected)
-        (List.length (Program.derived_preds program))
-        (Changes.total_tuples normalized));
-  List.iter
-    (fun p ->
-      if List.mem p affected then begin
-        let out = Relation.create (Program.arity program p) in
-        List.iter
-          (fun rule -> Delta.apply_delta_rules ctx (Database.compile db rule) ~out)
-          (Program.rules_for program p);
-        Delta.set_delta ctx p ~full:out;
-        Log.debug (fun m ->
-            m "stratum %d: Δ(%s) has %d tuples (%d propagated)"
-              (Program.stratum program p) p (Relation.cardinal out)
-              (Relation.cardinal (Delta.propagated_delta ctx p)))
-      end)
-    (Program.derived_in_stratum_order program);
-  let derived = Program.derived_preds program in
-  let collect table =
-    List.filter_map
-      (fun p ->
-        match Hashtbl.find_opt table p with
-        | Some r when not (Relation.is_empty r) -> Some (p, r)
-        | _ -> None)
-      derived
-  in
-  let view_deltas = collect ctx.Delta.full in
-  let propagated_deltas = collect ctx.Delta.propagated in
-  ignore (Delta.commit ctx);
-  { base_deltas = normalized; view_deltas; propagated_deltas }
+  Trace.span "counting.maintain"
+    ~args:(fun () ->
+      [
+        ("affected_views", string_of_int (List.length affected));
+        ("base_tuples", string_of_int (Changes.total_tuples normalized));
+      ])
+    (fun () ->
+      let ctx = Delta.create db in
+      List.iter (fun (pred, delta) -> Delta.set_delta ctx pred ~full:delta) normalized;
+      Log.debug (fun m ->
+          m "maintaining %d affected views (of %d) against %d changed base tuples"
+            (List.length affected)
+            (List.length (Program.derived_preds program))
+            (Changes.total_tuples normalized));
+      List.iter
+        (fun p ->
+          if List.mem p affected then begin
+            let out = Relation.create (Program.arity program p) in
+            Trace.span "counting.view"
+              ~args:(fun () ->
+                [
+                  ("view", p);
+                  ("stratum", string_of_int (Program.stratum program p));
+                  ("delta", string_of_int (Relation.cardinal out));
+                  ( "propagated",
+                    string_of_int (Relation.cardinal (Delta.propagated_delta ctx p)) );
+                ])
+              (fun () ->
+                List.iter
+                  (fun rule ->
+                    Delta.apply_delta_rules ctx (Database.compile db rule) ~out)
+                  (Program.rules_for program p);
+                Delta.set_delta ctx p ~full:out);
+            Metrics.observe delta_h (Relation.cardinal out);
+            Log.debug (fun m ->
+                m "stratum %d: Δ(%s) has %d tuples (%d propagated)"
+                  (Program.stratum program p) p (Relation.cardinal out)
+                  (Relation.cardinal (Delta.propagated_delta ctx p)))
+          end)
+        (Program.derived_in_stratum_order program);
+      let derived = Program.derived_preds program in
+      let collect table =
+        List.filter_map
+          (fun p ->
+            match Hashtbl.find_opt table p with
+            | Some r when not (Relation.is_empty r) -> Some (p, r)
+            | _ -> None)
+          derived
+      in
+      let view_deltas = collect ctx.Delta.full in
+      let propagated_deltas = collect ctx.Delta.propagated in
+      ignore (Delta.commit ctx);
+      { base_deltas = normalized; view_deltas; propagated_deltas })

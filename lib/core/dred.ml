@@ -41,6 +41,24 @@ module Grouping = Ivm_eval.Grouping
 let log_src = Logs.Src.create "ivm.dred" ~doc:"DRed maintenance"
 
 module Log = (val Logs.src_log log_src)
+module Metrics = Ivm_obs.Metrics
+module Trace = Ivm_obs.Trace
+module Stats = Ivm_eval.Stats
+
+let batches_c =
+  Metrics.counter ~labels:[ ("algorithm", "dred") ] "ivm_maintain_batches_total"
+
+(** The paper's DRed inefficiency metrics (Section 7 / bench E5–E6):
+    tuples deleted by the step-1 overestimate, candidate support checks
+    performed in step 2, and overdeleted tuples actually put back
+    (deleted-then-rederived — pure wasted work relative to counting). *)
+let overdeleted_c = Metrics.counter "ivm_dred_overdeleted_total"
+
+let rederive_attempts_c = Metrics.counter "ivm_dred_rederive_attempts_total"
+let rederived_c = Metrics.counter "ivm_dred_rederived_total"
+
+(** Per maintenance unit per batch: size of the deletion overestimate. *)
+let overestimate_h = Metrics.histogram "ivm_dred_overestimate_size"
 
 exception Duplicate_semantics_unsupported
 
@@ -90,6 +108,7 @@ let finalize ctx pred =
   let add = Relation.create (arity_of ctx pred) in
   Relation.iter
     (fun tup c ->
+      Stats.add_scanned ();
       let before = Relation.count stored tup in
       let after = before + c in
       if before > 0 && after <= 0 then Relation.add del tup 1
@@ -184,6 +203,7 @@ let delete_overestimate ctx unit_preds =
     if c > 0 then begin
       let stored = Database.relation ctx.db p in
       let dm = Hashtbl.find dminus p in
+      Stats.add_probe ();
       if Relation.mem stored tup && not (Relation.mem dm tup) then begin
         Relation.add dm tup 1;
         Relation.add (Hashtbl.find next_pending p) tup 1;
@@ -324,6 +344,8 @@ let rederive ctx unit_preds (dminus : (string, Relation.t) Hashtbl.t) =
     let nv = new_view ctx p in
     Relation.iter
       (fun tup _ ->
+        Metrics.inc rederive_attempts_c;
+        Stats.add_probe ();
         if Relation.mem pend_p tup && not (Relation_view.holds nv tup) then begin
           (* restore the hidden stored count *)
           let stored = Database.relation ctx.db p in
@@ -502,6 +524,7 @@ let insert_new ctx unit_preds =
 let maintain (db : Database.t) (changes : Changes.t) : report =
   if Database.semantics db = Database.Duplicate_semantics then
     raise Duplicate_semantics_unsupported;
+  Metrics.inc batches_c;
   let program = Database.program db in
   let normalized = Changes.normalize_base db changes in
   let ctx =
@@ -519,29 +542,52 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
       finalize ctx pred)
     normalized;
   let overdeleted = ref [] and rederived = ref [] in
-  List.iter
-    (fun unit_preds ->
-      let dminus = delete_overestimate ctx unit_preds in
-      let putbacks = rederive ctx unit_preds dminus in
-      insert_new ctx unit_preds;
-      List.iter (fun p -> finalize ctx p) unit_preds;
-      Log.debug (fun m ->
-          m "unit {%s}: overdeleted %d, rederived %d"
-            (String.concat "," unit_preds)
-            (List.fold_left
-               (fun acc p -> acc + Relation.cardinal (Hashtbl.find dminus p))
-               0 unit_preds)
-            (List.fold_left
-               (fun acc p -> acc + Hashtbl.find putbacks p)
-               0 unit_preds));
+  Trace.span "dred.maintain"
+    ~args:(fun () ->
+      [ ("base_tuples", string_of_int (Changes.total_tuples normalized)) ])
+    (fun () ->
       List.iter
-        (fun p ->
-          let d = Relation.cardinal (Hashtbl.find dminus p) in
-          if d > 0 then overdeleted := (p, d) :: !overdeleted;
-          let pb = Hashtbl.find putbacks p in
-          if pb > 0 then rederived := (p, pb) :: !rederived)
-        unit_preds)
-    (Program.recursive_units program);
+        (fun unit_preds ->
+          let unit_name = String.concat "," unit_preds in
+          Trace.span "dred.unit"
+            ~args:(fun () -> [ ("unit", unit_name) ])
+            (fun () ->
+              let dminus =
+                Trace.span "dred.delete"
+                  ~args:(fun () -> [ ("unit", unit_name) ])
+                  (fun () -> delete_overestimate ctx unit_preds)
+              in
+              let unit_overdeleted =
+                List.fold_left
+                  (fun acc p -> acc + Relation.cardinal (Hashtbl.find dminus p))
+                  0 unit_preds
+              in
+              Metrics.add overdeleted_c unit_overdeleted;
+              Metrics.observe overestimate_h unit_overdeleted;
+              let putbacks =
+                Trace.span "dred.rederive"
+                  ~args:(fun () -> [ ("unit", unit_name) ])
+                  (fun () -> rederive ctx unit_preds dminus)
+              in
+              Trace.span "dred.insert"
+                ~args:(fun () -> [ ("unit", unit_name) ])
+                (fun () -> insert_new ctx unit_preds);
+              List.iter (fun p -> finalize ctx p) unit_preds;
+              let unit_rederived =
+                List.fold_left (fun acc p -> acc + Hashtbl.find putbacks p) 0 unit_preds
+              in
+              Metrics.add rederived_c unit_rederived;
+              Log.debug (fun m ->
+                  m "unit {%s}: overdeleted %d, rederived %d" unit_name
+                    unit_overdeleted unit_rederived);
+              List.iter
+                (fun p ->
+                  let d = Relation.cardinal (Hashtbl.find dminus p) in
+                  if d > 0 then overdeleted := (p, d) :: !overdeleted;
+                  let pb = Hashtbl.find putbacks p in
+                  if pb > 0 then rederived := (p, pb) :: !rederived)
+                unit_preds))
+        (Program.recursive_units program));
   (* Commit: apply deltas to the stored relations. *)
   let view_deltas = ref [] in
   List.iter

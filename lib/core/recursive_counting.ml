@@ -23,9 +23,27 @@ module Database = Ivm_eval.Database
 module Compile = Ivm_eval.Compile
 module Rule_eval = Ivm_eval.Rule_eval
 
+module Metrics = Ivm_obs.Metrics
+module Trace = Ivm_obs.Trace
+
 exception Divergence of string
 
 let default_max_rounds = 10_000
+
+let batches_c =
+  Metrics.counter
+    ~labels:[ ("algorithm", "recursive-counting") ]
+    "ivm_maintain_batches_total"
+
+let rounds_c =
+  Metrics.counter
+    ~labels:[ ("engine", "recursive-counting") ]
+    "ivm_fixpoint_rounds_total"
+
+let pending_h =
+  Metrics.histogram
+    ~labels:[ ("engine", "recursive-counting") ]
+    "ivm_fixpoint_delta_size"
 
 (* One recursive unit: iterate batch updates until the pending deltas
    drain.  [ctx] carries the finalized deltas of lower strata; [acc]
@@ -67,6 +85,16 @@ let fix_unit ~max_rounds (ctx : Delta.ctx) unit_preds =
   let rounds = ref 0 in
   while any_pending () do
     incr rounds;
+    Metrics.inc rounds_c;
+    List.iter
+      (fun p -> Metrics.observe pending_h (Relation.cardinal (Hashtbl.find pending p)))
+      unit_preds;
+    Trace.instant "rc.round" ~args:(fun () ->
+        ( "round", string_of_int !rounds )
+        :: List.map
+             (fun p ->
+               (p, string_of_int (Relation.cardinal (Hashtbl.find pending p))))
+             unit_preds);
     if !rounds > max_rounds then
       raise
         (Divergence
@@ -159,22 +187,30 @@ let maintain ?(max_rounds = default_max_rounds) (db : Database.t)
     invalid_arg
       "Recursive_counting.maintain: derivation counting through recursion \
        needs duplicate semantics; use Dred for set semantics";
+  Metrics.inc batches_c;
   let program = Database.program db in
   let normalized = Changes.normalize_base db changes in
-  let ctx = Delta.create db in
-  List.iter (fun (pred, delta) -> Delta.set_delta ctx pred ~full:delta) normalized;
-  List.iter
-    (fun unit_preds ->
-      match unit_preds with
-      | [ p ] when not (Program.recursive program p) ->
-        let out = Relation.create (Program.arity program p) in
-        List.iter
-          (fun rule -> Delta.apply_delta_rules ctx (Database.compile db rule) ~out)
-          (Program.rules_for program p);
-        Delta.set_delta ctx p ~full:out
-      | unit_preds -> fix_unit ~max_rounds ctx unit_preds)
-    (Program.recursive_units program);
-  Delta.commit ctx
+  Trace.span "recursive_counting.maintain"
+    ~args:(fun () ->
+      [ ("base_tuples", string_of_int (Changes.total_tuples normalized)) ])
+    (fun () ->
+      let ctx = Delta.create db in
+      List.iter (fun (pred, delta) -> Delta.set_delta ctx pred ~full:delta) normalized;
+      List.iter
+        (fun unit_preds ->
+          match unit_preds with
+          | [ p ] when not (Program.recursive program p) ->
+            let out = Relation.create (Program.arity program p) in
+            List.iter
+              (fun rule -> Delta.apply_delta_rules ctx (Database.compile db rule) ~out)
+              (Program.rules_for program p);
+            Delta.set_delta ctx p ~full:out
+          | unit_preds ->
+            Trace.span "rc.fixpoint"
+              ~args:(fun () -> [ ("unit", String.concat "," unit_preds) ])
+              (fun () -> fix_unit ~max_rounds ctx unit_preds))
+        (Program.recursive_units program);
+      Delta.commit ctx)
 
 (** Materialize a database whose program may be recursive with full
     derivation counts: equivalent to maintaining from an empty database

@@ -31,8 +31,13 @@ module Parser = Ivm_datalog.Parser
 module Program = Ivm_datalog.Program
 module Database = Ivm_eval.Database
 module Seminaive = Ivm_eval.Seminaive
+module Metrics = Ivm_obs.Metrics
+module Trace = Ivm_obs.Trace
 
 type algorithm = Counting | Dred | Recursive_counting | Recompute | Auto
+
+let recompute_batches_c =
+  Metrics.counter ~labels:[ ("algorithm", "recompute") ] "ivm_maintain_batches_total"
 
 let algorithm_name = function
   | Counting -> "counting"
@@ -66,13 +71,15 @@ let resolve t =
 (** Re-evaluate everything from scratch after applying the base changes —
     the baseline. *)
 let recompute_maintain (db : Database.t) (changes : Changes.t) : unit =
-  List.iter
-    (fun (pred, delta) ->
-      Database.invalidate_agg_indexes db pred;
-      let stored = Database.relation db pred in
-      Relation.iter (fun tup c -> Relation.add stored tup c) delta)
-    (Changes.normalize_base db changes);
-  Seminaive.evaluate db
+  Metrics.inc recompute_batches_c;
+  Trace.span "recompute.maintain" (fun () ->
+      List.iter
+        (fun (pred, delta) ->
+          Database.invalidate_agg_indexes db pred;
+          let stored = Database.relation db pred in
+          Relation.iter (fun tup c -> Relation.add stored tup c) delta)
+        (Changes.normalize_base db changes);
+      Seminaive.evaluate db)
 
 (** Create a manager from rules and initial base facts; materializes all
     views eagerly. *)
@@ -103,21 +110,39 @@ let relation t pred = Database.relation t.db pred
 let semantics t = Database.semantics t.db
 
 (** Apply one batch of base-relation changes with the configured
-    algorithm.  Returns the set transitions per derived predicate. *)
+    algorithm.  Returns the set transitions per derived predicate.
+
+    Observability: the whole batch runs under a [maintain_batch] span
+    (the root of the batch → stratum → rule span tree), its end-to-end
+    wall clock feeds [ivm_batch_latency_ns{algorithm=...}], and the
+    per-relation gauges are refreshed after commit. *)
 let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
-  match resolve t with
-  | Counting ->
-    let report = Counting.maintain t.db changes in
-    (match Database.semantics t.db with
-    | Database.Set_semantics -> report.Counting.propagated_deltas
-    | Database.Duplicate_semantics -> report.Counting.view_deltas)
-  | Dred ->
-    let report = Dred.maintain t.db changes in
-    report.Dred.view_deltas
-  | Recursive_counting -> Recursive_counting.maintain t.db changes
-  | Recompute | Auto ->
-    recompute_maintain t.db changes;
-    []
+  let resolved = resolve t in
+  let name = algorithm_name resolved in
+  let t0 = Unix.gettimeofday () in
+  let deltas =
+    Trace.span "maintain_batch"
+      ~args:(fun () -> [ ("algorithm", name) ])
+      (fun () ->
+        match resolved with
+        | Counting ->
+          let report = Counting.maintain t.db changes in
+          (match Database.semantics t.db with
+          | Database.Set_semantics -> report.Counting.propagated_deltas
+          | Database.Duplicate_semantics -> report.Counting.view_deltas)
+        | Dred ->
+          let report = Dred.maintain t.db changes in
+          report.Dred.view_deltas
+        | Recursive_counting -> Recursive_counting.maintain t.db changes
+        | Recompute | Auto ->
+          recompute_maintain t.db changes;
+          [])
+  in
+  Metrics.observe
+    (Metrics.histogram ~labels:[ ("algorithm", name) ] "ivm_batch_latency_ns")
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+  Database.observe_gauges t.db;
+  deltas
 
 let insert t pred tuples =
   apply t (Changes.insertions (program t) pred tuples)

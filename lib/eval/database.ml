@@ -181,6 +181,24 @@ let agree ?(preds = []) a b =
       | Duplicate_semantics -> Relation.equal_counted ra rb)
     preds
 
+(** Refresh the per-relation observability gauges
+    ([ivm_relation_cardinality{relation=p}] and
+    [ivm_relation_indexes{relation=p}]) from the stored relations.  One
+    cheap pass over the relation table; {!Ivm.View_manager.apply} calls it
+    after each committed batch so the registry tracks live sizes. *)
+let observe_gauges t =
+  List.iter
+    (fun p ->
+      let r = relation t p in
+      let labels = [ ("relation", p) ] in
+      Ivm_obs.Metrics.set
+        (Ivm_obs.Metrics.gauge ~labels "ivm_relation_cardinality")
+        (float_of_int (Relation.cardinal r));
+      Ivm_obs.Metrics.set
+        (Ivm_obs.Metrics.gauge ~labels "ivm_relation_indexes")
+        (float_of_int (Relation.index_count r)))
+    (Program.base_preds t.program @ Program.derived_preds t.program)
+
 let pp ppf t =
   let names = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.rels []) in
   List.iter

@@ -93,6 +93,12 @@ val copy : t -> t
     duplicates)?  [preds] defaults to every predicate. *)
 val agree : ?preds:string list -> t -> t -> bool
 
+(** Refresh the per-relation observability gauges
+    ([ivm_relation_cardinality{relation=p}],
+    [ivm_relation_indexes{relation=p}]) from the stored relations.  One
+    cheap pass over the relation table. *)
+val observe_gauges : t -> unit
+
 val pp : Format.formatter -> t -> unit
 
 (** Serialize as a re-loadable program text: rules, then base facts

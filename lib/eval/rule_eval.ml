@@ -250,12 +250,7 @@ let build_plan ?seed ~(inputs : int -> subgoal_input) (cr : Compile.t) : step li
 (* Execution                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(** Evaluate the body of [cr], calling [emit head_tuple count] once per
-    derivation (the caller accumulates with [⊎]).  [seed], when given, is
-    the body-literal index enumerated first — the delta position.  Literals
-    whose input relation is empty short-circuit the whole evaluation. *)
-let eval ?seed ~(inputs : int -> subgoal_input) ~emit (cr : Compile.t) : unit =
-  Stats.add_rule_application ();
+let eval_body ?seed ~(inputs : int -> subgoal_input) ~emit (cr : Compile.t) : unit =
   (* Short-circuit: an empty enumerable input means no derivations. *)
   let empty_input = ref false in
   Array.iteri
@@ -305,4 +300,30 @@ let eval ?seed ~(inputs : int -> subgoal_input) ~emit (cr : Compile.t) : unit =
             binding.(s) <- None
     in
     run 0 1
+  end
+
+(** Evaluate the body of [cr], calling [emit head_tuple count] once per
+    derivation (the caller accumulates with [⊎]).  [seed], when given, is
+    the body-literal index enumerated first — the delta position.  Literals
+    whose input relation is empty short-circuit the whole evaluation.
+
+    When tracing is on ({!Ivm_obs.Trace}), each evaluation is one [rule]
+    span carrying the rule text and the probes / scans / derivations it
+    performed — the per-rule work breakdown.  Off, this is one boolean
+    check over the bare evaluation. *)
+let eval ?seed ~(inputs : int -> subgoal_input) ~emit (cr : Compile.t) : unit =
+  Stats.add_rule_application ();
+  if not (Ivm_obs.Trace.enabled ()) then eval_body ?seed ~inputs ~emit cr
+  else begin
+    let before = Stats.snapshot () in
+    Ivm_obs.Trace.span "rule" ~cat:"rule_eval"
+      ~args:(fun () ->
+        let w = Stats.since before in
+        [
+          ("rule", Ivm_datalog.Pretty.rule_to_string cr.source);
+          ("derivations", string_of_int w.Stats.snap_derivations);
+          ("probes", string_of_int w.Stats.snap_probes);
+          ("scanned", string_of_int w.Stats.snap_tuples_scanned);
+        ])
+      (fun () -> eval_body ?seed ~inputs ~emit cr)
   end

@@ -12,7 +12,12 @@
 module Relation = Ivm_relation.Relation
 module Relation_view = Ivm_relation.Relation_view
 module Program = Ivm_datalog.Program
+module Metrics = Ivm_obs.Metrics
+module Trace = Ivm_obs.Trace
 open Compile
+
+let rounds_c = Metrics.counter ~labels:[ ("engine", "seminaive") ] "ivm_fixpoint_rounds_total"
+let delta_h = Metrics.histogram ~labels:[ ("engine", "seminaive") ] "ivm_fixpoint_delta_size"
 
 exception Recursive_duplicates of string
 
@@ -56,15 +61,19 @@ let make_inputs ~(resolve : string -> Relation_view.t)
 let eval_nonrecursive db ~cache pred =
   let program = Database.program db in
   let out = Relation.create (Program.arity program pred) in
-  List.iter
-    (fun rule ->
-      let cr = Database.compile db rule in
-      let inputs =
-        make_inputs ~resolve:(Database.view db) ~mult_for:(Database.mult_for db)
-          ~cache ~version:"cur" cr
-      in
-      Rule_eval.eval ~inputs ~emit:(fun tup c -> Relation.add out tup c) cr)
-    (Program.rules_for program pred);
+  Trace.span "seminaive.materialize"
+    ~args:(fun () ->
+      [ ("pred", pred); ("tuples", string_of_int (Relation.cardinal out)) ])
+    (fun () ->
+      List.iter
+        (fun rule ->
+          let cr = Database.compile db rule in
+          let inputs =
+            make_inputs ~resolve:(Database.view db) ~mult_for:(Database.mult_for db)
+              ~cache ~version:"cur" cr
+          in
+          Rule_eval.eval ~inputs ~emit:(fun tup c -> Relation.add out tup c) cr)
+        (Program.rules_for program pred));
   out
 
 (** Semi-naive fixpoint for one recursive unit (an SCC of mutually
@@ -127,13 +136,23 @@ let eval_recursive_unit db ~cache (unit_preds : string list) :
               changed := true
             end)
           (Hashtbl.find candidates p);
+        Metrics.observe delta_h (Relation.cardinal delta);
         Hashtbl.replace deltas p delta;
         Relation.clear (Hashtbl.find candidates p))
       unit_preds;
     !changed
   in
+  let round = ref 0 in
   let continue_ = ref (absorb ()) in
   while !continue_ do
+    incr round;
+    Metrics.inc rounds_c;
+    Trace.instant "seminaive.round" ~args:(fun () ->
+        ( "round", string_of_int !round )
+        :: List.map
+             (fun p ->
+               (p, string_of_int (Relation.cardinal (Hashtbl.find deltas p))))
+             unit_preds);
     (* Delta rules: one evaluation per occurrence of a unit predicate in a
        body, with positions before the delta reading the new totals and
        positions after reading the previous totals (totals minus delta). *)
@@ -189,15 +208,18 @@ let eval_recursive_unit db ~cache (unit_preds : string list) :
 (** Materialize every derived predicate of the database's program from its
     base relations (overwrites previous materializations). *)
 let evaluate (db : Database.t) : unit =
-  let program = Database.program db in
-  let cache = Agg_cache.create () in
-  List.iter
-    (fun unit_preds ->
-      match unit_preds with
-      | [ p ] when not (Program.recursive program p) ->
-        Database.set_relation db p (eval_nonrecursive db ~cache p)
-      | unit_preds ->
-        List.iter
-          (fun (p, rel) -> Database.set_relation db p rel)
-          (eval_recursive_unit db ~cache unit_preds))
-    (Program.recursive_units program)
+  Trace.span "seminaive.evaluate" (fun () ->
+      let program = Database.program db in
+      let cache = Agg_cache.create () in
+      List.iter
+        (fun unit_preds ->
+          match unit_preds with
+          | [ p ] when not (Program.recursive program p) ->
+            Database.set_relation db p (eval_nonrecursive db ~cache p)
+          | unit_preds ->
+            List.iter
+              (fun (p, rel) -> Database.set_relation db p rel)
+              (Trace.span "seminaive.fixpoint"
+                 ~args:(fun () -> [ ("unit", String.concat "," unit_preds) ])
+                 (fun () -> eval_recursive_unit db ~cache unit_preds)))
+        (Program.recursive_units program))

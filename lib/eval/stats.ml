@@ -1,37 +1,51 @@
-(** Global work counters.
+(** Global work counters — a compatibility shim over {!Ivm_obs.Metrics}.
 
     The paper's optimality and fragmentation claims (Theorem 4.1; the
     PF comparison in Section 2) are about {e how many derivations} an
     algorithm computes, not just wall-clock time.  The evaluator bumps these
-    counters so tests and benches can assert on work done.  Counters are
-    process-global; reset them around the region you measure. *)
+    counters so tests and benches can assert on work done.
 
-type t = {
-  mutable derivations : int;
-      (** tuples emitted by rule bodies (one per successful derivation) *)
-  mutable tuples_scanned : int;
-      (** tuples read while scanning or probing relations *)
-  mutable probes : int;  (** index probe operations *)
-  mutable rule_applications : int;  (** rule (re-)evaluations started *)
-}
+    The four counters used to be ad-hoc module globals; they are now
+    registered metrics ([ivm_derivations_total], [ivm_tuples_scanned_total],
+    [ivm_probes_total], [ivm_rule_applications_total]) visible to the
+    shell's [metrics] command and the bench [--metrics-json] report, while
+    this module keeps the historical API.  A bump is still a single field
+    write on a cached handle — the hot path is unchanged — and additions
+    now {b saturate} at [max_int] instead of wrapping negative.
 
-let stats = { derivations = 0; tuples_scanned = 0; probes = 0; rule_applications = 0 }
+    {b Snapshot semantics.}  Counters are monotone between resets;
+    [since earlier] is the work performed after [earlier] was taken.
+    Nested {!measure} calls attribute the inner region's work to {e both}
+    regions (the outer snapshot spans the inner one) — that is the
+    intended reading, not double counting: each [measure] answers "how
+    much work happened while [f] ran".  Calling {!reset} invalidates
+    outstanding snapshots; [since] clamps at zero so a stale snapshot
+    yields zeros rather than negative garbage. *)
 
+module Metrics = Ivm_obs.Metrics
+
+let derivations_c = Metrics.counter "ivm_derivations_total"
+let tuples_scanned_c = Metrics.counter "ivm_tuples_scanned_total"
+let probes_c = Metrics.counter "ivm_probes_total"
+let rule_applications_c = Metrics.counter "ivm_rule_applications_total"
+
+(** Reset the four work counters (only; other registered metrics keep
+    their values — use {!Ivm_obs.Metrics.reset} for everything). *)
 let reset () =
-  stats.derivations <- 0;
-  stats.tuples_scanned <- 0;
-  stats.probes <- 0;
-  stats.rule_applications <- 0
+  derivations_c.Metrics.count <- 0;
+  tuples_scanned_c.Metrics.count <- 0;
+  probes_c.Metrics.count <- 0;
+  rule_applications_c.Metrics.count <- 0
 
-let derivations () = stats.derivations
-let tuples_scanned () = stats.tuples_scanned
-let probes () = stats.probes
-let rule_applications () = stats.rule_applications
+let derivations () = Metrics.counter_value derivations_c
+let tuples_scanned () = Metrics.counter_value tuples_scanned_c
+let probes () = Metrics.counter_value probes_c
+let rule_applications () = Metrics.counter_value rule_applications_c
 
-let add_derivation () = stats.derivations <- stats.derivations + 1
-let add_scanned () = stats.tuples_scanned <- stats.tuples_scanned + 1
-let add_probe () = stats.probes <- stats.probes + 1
-let add_rule_application () = stats.rule_applications <- stats.rule_applications + 1
+let add_derivation () = Metrics.inc derivations_c
+let add_scanned () = Metrics.inc tuples_scanned_c
+let add_probe () = Metrics.inc probes_c
+let add_rule_application () = Metrics.inc rule_applications_c
 
 type snapshot = {
   snap_derivations : int;
@@ -42,19 +56,22 @@ type snapshot = {
 
 let snapshot () =
   {
-    snap_derivations = stats.derivations;
-    snap_tuples_scanned = stats.tuples_scanned;
-    snap_probes = stats.probes;
-    snap_rule_applications = stats.rule_applications;
+    snap_derivations = derivations ();
+    snap_tuples_scanned = tuples_scanned ();
+    snap_probes = probes ();
+    snap_rule_applications = rule_applications ();
   }
 
-(** Work done since [earlier]. *)
+(** Work done since [earlier].  Each component clamps at zero: a snapshot
+    taken before a {!reset} is stale and reports no work rather than a
+    negative amount. *)
 let since earlier =
+  let d a b = max 0 (a - b) in
   {
-    snap_derivations = stats.derivations - earlier.snap_derivations;
-    snap_tuples_scanned = stats.tuples_scanned - earlier.snap_tuples_scanned;
-    snap_probes = stats.probes - earlier.snap_probes;
-    snap_rule_applications = stats.rule_applications - earlier.snap_rule_applications;
+    snap_derivations = d (derivations ()) earlier.snap_derivations;
+    snap_tuples_scanned = d (tuples_scanned ()) earlier.snap_tuples_scanned;
+    snap_probes = d (probes ()) earlier.snap_probes;
+    snap_rule_applications = d (rule_applications ()) earlier.snap_rule_applications;
   }
 
 let pp_snapshot ppf s =
@@ -62,7 +79,9 @@ let pp_snapshot ppf s =
     s.snap_derivations s.snap_tuples_scanned s.snap_probes
     s.snap_rule_applications
 
-(** Run [f], returning its result and the work it performed. *)
+(** Run [f], returning its result and the work it performed.  Nesting is
+    fine: an outer [measure] includes the work of any inner ones (see the
+    module comment). *)
 let measure f =
   let before = snapshot () in
   let x = f () in

@@ -1,10 +1,27 @@
-(** Global work counters.
+(** Global work counters — a compatibility shim over {!Ivm_obs.Metrics}.
 
     The paper's optimality and fragmentation claims (Theorem 4.1; the PF
     comparison of Section 2) concern {e how many derivations} an algorithm
     computes, not just wall-clock time.  The evaluator bumps these
-    process-global counters; reset them around the region you measure. *)
+    process-global counters; reset them around the region you measure.
 
+    The counters are registered metrics ([ivm_derivations_total],
+    [ivm_tuples_scanned_total], [ivm_probes_total],
+    [ivm_rule_applications_total]), visible to the shell's [metrics]
+    command and the bench [--metrics-json] report; this module keeps the
+    historical API on cached handles, so a bump is still one field write.
+    Additions saturate at [max_int] (no wrap-around).
+
+    {b Snapshot semantics.}  Counters are monotone between {!reset}s.
+    Nested {!measure} calls attribute inner work to both regions — each
+    answers "how much work happened while [f] ran".  {!since} clamps at
+    zero, so a snapshot taken before a [reset] yields zeros rather than
+    negative values. *)
+
+(** Reset the four work counters to zero.  Snapshots taken earlier become
+    stale: {!since} reports zeros for them, not negative work.  Other
+    registered metrics keep their values ({!Ivm_obs.Metrics.reset} zeroes
+    everything). *)
 val reset : unit -> unit
 
 (** Tuples emitted by rule bodies — one per successful derivation. *)
@@ -33,10 +50,12 @@ type snapshot = {
 
 val snapshot : unit -> snapshot
 
-(** Work done since [earlier]. *)
+(** Work done since [earlier]; each component clamps at zero (see the
+    module comment on resets). *)
 val since : snapshot -> snapshot
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
-(** Run [f]; return its result and the work it performed. *)
+(** Run [f]; return its result and the work it performed.  Nesting is
+    fine: an outer [measure] includes the work of inner ones. *)
 val measure : (unit -> 'a) -> 'a * snapshot

@@ -1,0 +1,232 @@
+(** The metrics registry: named counters, gauges, and log-scale histograms
+    with optional labels.
+
+    Handles are cheap mutable records — registration does one hashtable
+    lookup, after which a bump is a single field write, so hot paths
+    register once and hold the handle (see {!Ivm_eval.Stats}).  Registering
+    the same [(name, labels)] pair again returns the {e same} handle, so
+    independent call sites share one time series.
+
+    Counters are {b overflow-safe}: additions saturate at [max_int] instead
+    of wrapping negative.  {!reset} zeroes every registered metric but
+    keeps all handles valid — snapshots taken before a reset are stale and
+    must not be subtracted across it (see {!Ivm_eval.Stats.since}).
+
+    Histograms use base-2 log buckets: bucket 0 holds values [<= 0], bucket
+    [i >= 1] holds values in [[2^(i-1), 2^i)].  That fixes the memory cost
+    (64 ints) while spanning nanosecond latencies to billion-tuple sizes;
+    {!percentile} answers with the containing bucket's upper bound, i.e.
+    within 2x of the true value.
+
+    The registry is process-global and not thread-safe, like the evaluator
+    it instruments. *)
+
+type labels = (string * string) list
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  buckets : int array;  (** 64 log2 buckets *)
+  mutable hcount : int;
+  mutable hsum : int;
+  mutable hmin : int;
+  mutable hmax : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type registered = { name : string; labels : labels; metric : metric }
+
+let registry : (string, registered) Hashtbl.t = Hashtbl.create 64
+
+(** Canonical key: name plus sorted [k=v] labels. *)
+let key name (labels : labels) =
+  match labels with
+  | [] -> name
+  | _ ->
+    let sorted = List.sort compare labels in
+    name ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) sorted)
+    ^ "}"
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register name labels make extract =
+  let k = key name labels in
+  match Hashtbl.find_opt registry k with
+  | Some r -> (
+    match extract r.metric with
+    | Some h -> h
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s already registered as a %s" k
+           (kind_name r.metric)))
+  | None ->
+    let h, m = make () in
+    Hashtbl.replace registry k { name; labels = List.sort compare labels; metric = m };
+    h
+
+let counter ?(labels = []) name : counter =
+  register name labels
+    (fun () ->
+      let c = { count = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge ?(labels = []) name : gauge =
+  register name labels
+    (fun () ->
+      let g = { value = 0. } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let n_buckets = 64
+
+let histogram ?(labels = []) name : histogram =
+  register name labels
+    (fun () ->
+      let h =
+        { buckets = Array.make n_buckets 0; hcount = 0; hsum = 0;
+          hmin = max_int; hmax = min_int }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+(* ---------------- updates ---------------- *)
+
+(** Saturating add: never wraps past [max_int]. *)
+let add (c : counter) n =
+  if n > 0 && c.count > max_int - n then c.count <- max_int
+  else c.count <- c.count + n
+
+let inc c = if c.count < max_int then c.count <- c.count + 1
+
+let set (g : gauge) v = g.value <- v
+
+(** Bucket index of [v]: 0 for [v <= 0], else [floor(log2 v) + 1],
+    clamped to the last bucket. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (n_buckets - 1)
+  end
+
+(** Inclusive upper bound of bucket [i] ([0] for bucket 0). *)
+let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
+
+let observe (h : histogram) v =
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.hcount <- h.hcount + 1;
+  if v > 0 && h.hsum > max_int - v then h.hsum <- max_int
+  else h.hsum <- h.hsum + v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v
+
+(* ---------------- reads ---------------- *)
+
+let counter_value (c : counter) = c.count
+let gauge_value (g : gauge) = g.value
+let histogram_count (h : histogram) = h.hcount
+let histogram_sum (h : histogram) = h.hsum
+let histogram_min (h : histogram) = if h.hcount = 0 then 0 else h.hmin
+let histogram_max (h : histogram) = if h.hcount = 0 then 0 else h.hmax
+
+(** [percentile h p] for [p] in [[0, 1]]: the upper bound of the bucket
+    containing the [ceil(p * count)]-th smallest observation (0 on an
+    empty histogram).  Within a factor of 2 of the exact answer. *)
+let percentile (h : histogram) p =
+  if h.hcount = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int h.hcount))) in
+    let rank = min rank h.hcount in
+    let cum = ref 0 and result = ref (bucket_upper (n_buckets - 1)) in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if !cum >= rank then begin
+           result := bucket_upper i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* ---------------- enumeration ---------------- *)
+
+(** All registered metrics, sorted by canonical key. *)
+let dump () : registered list =
+  Hashtbl.fold (fun _ r acc -> r :: acc) registry []
+  |> List.sort (fun a b -> compare (key a.name a.labels) (key b.name b.labels))
+
+(** Zero every registered metric; handles stay valid. *)
+let reset () =
+  Hashtbl.iter
+    (fun _ r ->
+      match r.metric with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.
+      | Histogram h ->
+        Array.fill h.buckets 0 n_buckets 0;
+        h.hcount <- 0;
+        h.hsum <- 0;
+        h.hmin <- max_int;
+        h.hmax <- min_int)
+    registry
+
+(** Drop every registration (tests use this for isolation). *)
+let clear () = Hashtbl.reset registry
+
+let pp_value ppf = function
+  | Counter c -> Format.fprintf ppf "%d" c.count
+  | Gauge g ->
+    if Float.is_integer g.value then Format.fprintf ppf "%.0f" g.value
+    else Format.fprintf ppf "%g" g.value
+  | Histogram h ->
+    Format.fprintf ppf "count=%d sum=%d min=%d p50=%d p90=%d p99=%d max=%d"
+      h.hcount h.hsum (histogram_min h) (percentile h 0.5) (percentile h 0.9)
+      (percentile h 0.99) (histogram_max h)
+
+(** One metric per line, [name{labels} = value]. *)
+let pp ppf () =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s = %a@." (key r.name r.labels) pp_value r.metric)
+    (dump ())
+
+(** The registry as JSON (used by the bench [--metrics-json] report). *)
+let to_json () : Json.t =
+  Json.List
+    (List.map
+       (fun r ->
+         let value =
+           match r.metric with
+           | Counter c -> [ ("type", Json.Str "counter"); ("value", Json.int c.count) ]
+           | Gauge g -> [ ("type", Json.Str "gauge"); ("value", Json.Num g.value) ]
+           | Histogram h ->
+             [
+               ("type", Json.Str "histogram");
+               ("count", Json.int h.hcount);
+               ("sum", Json.int h.hsum);
+               ("min", Json.int (histogram_min h));
+               ("p50", Json.int (percentile h 0.5));
+               ("p90", Json.int (percentile h 0.9));
+               ("p99", Json.int (percentile h 0.99));
+               ("max", Json.int (histogram_max h));
+             ]
+         in
+         Json.Obj
+           (("name", Json.Str r.name)
+           :: ("labels",
+               Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) r.labels))
+           :: value))
+       (dump ()))

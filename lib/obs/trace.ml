@@ -1,0 +1,192 @@
+(** Span-based tracer with a near-zero-cost disabled path.
+
+    Instrumented code wraps regions in {!span}; when tracing is off (the
+    default) that is one boolean load and a direct call.  When on, each
+    span records a Chrome [trace_event] {e complete} event (["ph": "X"])
+    with microsecond timestamp and duration, delivered to two sinks:
+
+    - an in-memory {b ring buffer} (always, bounded, oldest dropped);
+    - an optional {b JSONL writer} whose output loads directly in
+      [chrome://tracing] / Perfetto: the file is a JSON array opened with
+      ["["] and one event object per line (the spec makes the closing
+      bracket optional, so the file is valid even mid-trace).
+
+    Span [args] are passed as a thunk evaluated {e after} the spanned
+    function returns — so instrumentation can report deltas of work
+    counters measured across the span without paying for them when
+    tracing is off.
+
+    Nesting needs no explicit bookkeeping: complete events nest by
+    timestamp containment, which is how the viewers render them.  A
+    [depth] argument is still attached to every event so tests (and the
+    ring buffer) can check ordering without timestamp arithmetic. *)
+
+type kind = Span | Instant
+
+type event = {
+  kind : kind;  (** a span is a complete event even at zero duration *)
+  name : string;
+  cat : string;
+  ts_us : float;  (** microseconds since {!enable}-time *)
+  dur_us : float;  (** span duration; [0] for instants *)
+  depth : int;  (** span-nesting depth at emission *)
+  args : (string * string) list;
+}
+
+type state = {
+  mutable on : bool;
+  mutable t0 : float;  (** [Unix.gettimeofday] at enable-time *)
+  mutable ring : event array;
+  mutable ring_len : int;  (** events stored (≤ capacity) *)
+  mutable ring_next : int;  (** next write slot *)
+  mutable chan : out_channel option;
+  mutable path : string option;
+  mutable depth : int;
+  mutable dropped : int;  (** ring evictions since enable *)
+}
+
+let dummy_event =
+  { kind = Instant; name = ""; cat = ""; ts_us = 0.; dur_us = 0.; depth = 0; args = [] }
+
+let state =
+  {
+    on = false;
+    t0 = 0.;
+    ring = [||];
+    ring_len = 0;
+    ring_next = 0;
+    chan = None;
+    path = None;
+    depth = 0;
+    dropped = 0;
+  }
+
+let enabled () = state.on
+let default_capacity = 4096
+
+let now_us () = (Unix.gettimeofday () -. state.t0) *. 1e6
+
+(* ---------------- sinks ---------------- *)
+
+let record_ring ev =
+  let cap = Array.length state.ring in
+  if cap > 0 then begin
+    if state.ring_len = cap then state.dropped <- state.dropped + 1
+    else state.ring_len <- state.ring_len + 1;
+    state.ring.(state.ring_next) <- ev;
+    state.ring_next <- (state.ring_next + 1) mod cap
+  end
+
+let event_json ev =
+  Json.Obj
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ("ph", Json.Str (match ev.kind with Span -> "X" | Instant -> "i"));
+      ("ts", Json.Num ev.ts_us);
+      ("dur", Json.Num ev.dur_us);
+      ("pid", Json.int 1);
+      ("tid", Json.int 1);
+      ( "args",
+        Json.Obj
+          (("depth", Json.int ev.depth)
+          :: List.map (fun (k, v) -> (k, Json.Str v)) ev.args) );
+    ]
+
+let record ev =
+  record_ring ev;
+  match state.chan with
+  | None -> ()
+  | Some oc ->
+    output_string oc (Json.to_string (event_json ev));
+    output_string oc ",\n"
+
+(* ---------------- control ---------------- *)
+
+(** Start tracing into the ring buffer only. *)
+let enable ?(capacity = default_capacity) () =
+  state.on <- true;
+  state.t0 <- Unix.gettimeofday ();
+  state.ring <- Array.make capacity dummy_event;
+  state.ring_len <- 0;
+  state.ring_next <- 0;
+  state.depth <- 0;
+  state.dropped <- 0
+
+(** Start tracing into [path] (Chrome trace format) and the ring buffer.
+    Truncates an existing file. *)
+let enable_file ?capacity path =
+  enable ?capacity ();
+  let oc = open_out path in
+  output_string oc "[\n";
+  state.chan <- Some oc;
+  state.path <- Some path
+
+(** Stop tracing; flushes and closes the file sink if open.  Returns the
+    path written, if any. *)
+let disable () =
+  let written = state.path in
+  (match state.chan with
+  | Some oc ->
+    flush oc;
+    close_out oc
+  | None -> ());
+  state.chan <- None;
+  state.path <- None;
+  state.on <- false;
+  written
+
+let file_path () = state.path
+let dropped () = state.dropped
+
+(** Ring contents, oldest first. *)
+let ring_events () : event list =
+  let cap = Array.length state.ring in
+  if cap = 0 || state.ring_len = 0 then []
+  else begin
+    let start = (state.ring_next - state.ring_len + cap) mod cap in
+    List.init state.ring_len (fun i -> state.ring.((start + i) mod cap))
+  end
+
+(* ---------------- emission ---------------- *)
+
+let no_args () = []
+
+(** [span name f] runs [f], recording a complete event around it when
+    tracing is enabled.  [args] is evaluated after [f] returns (once, only
+    when tracing).  Exceptions propagate; the event is still recorded with
+    an ["exn"] argument so a trace never loses the span that failed. *)
+let span ?(cat = "ivm") ?(args = no_args) name f =
+  if not state.on then f ()
+  else begin
+    let ts = now_us () in
+    let depth = state.depth in
+    state.depth <- depth + 1;
+    match f () with
+    | x ->
+      state.depth <- depth;
+      record
+        { kind = Span; name; cat; ts_us = ts; dur_us = now_us () -. ts; depth;
+          args = args () };
+      x
+    | exception e ->
+      state.depth <- depth;
+      record
+        {
+          kind = Span;
+          name;
+          cat;
+          ts_us = ts;
+          dur_us = now_us () -. ts;
+          depth;
+          args = [ ("exn", Printexc.to_string e) ];
+        };
+      raise e
+  end
+
+(** A zero-duration instant event. *)
+let instant ?(cat = "ivm") ?(args = no_args) name =
+  if state.on then
+    record
+      { kind = Instant; name; cat; ts_us = now_us (); dur_us = 0.;
+        depth = state.depth; args = args () }

@@ -14,6 +14,10 @@ type t = { arity : int; counts : int Tbl.t; mutable indexes : index list }
 let create ?(size = 64) arity = { arity; counts = Tbl.create size; indexes = [] }
 let arity r = r.arity
 let cardinal r = Tbl.length r.counts
+
+(** Number of demand-built secondary indexes currently attached (for the
+    observability gauges — see {!Ivm_eval.Database.observe_gauges}). *)
+let index_count r = List.length r.indexes
 let total_count r = Tbl.fold (fun _ c acc -> acc + c) r.counts 0
 let is_empty r = Tbl.length r.counts = 0
 let count r t = match Tbl.find_opt r.counts t with Some c -> c | None -> 0

@@ -27,6 +27,10 @@ val arity : t -> int
 (** Number of distinct tuples with a non-zero count. *)
 val cardinal : t -> int
 
+(** Number of demand-built secondary indexes currently attached (for the
+    observability gauges). *)
+val index_count : t -> int
+
 (** Sum of all counts (signed); for a stored view this is the total number
     of derivations, i.e. the duplicate-semantics size. *)
 val total_count : t -> int

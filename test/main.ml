@@ -24,5 +24,6 @@ let () =
       ("more_units", Test_more_units.suite);
       ("misc_coverage", Test_misc_coverage.suite);
       ("final_coverage", Test_final_coverage.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
     ]

@@ -1,0 +1,310 @@
+(** The observability layer: metrics registry semantics (label identity,
+    saturation, log-bucket histograms), span tracing (nesting, ordering,
+    Chrome trace parse-back through {!Ivm_obs.Json}), the {!Ivm_eval.Stats}
+    shim's snapshot/since contract, and the paper's headline claim as a
+    property — Recompute's work strictly dominates Counting's on the
+    Example 1.1 workload. *)
+
+open Util
+module Metrics = Ivm_obs.Metrics
+module Trace = Ivm_obs.Trace
+module Json = Ivm_obs.Json
+module Stats = Ivm_eval.Stats
+module Changes = Ivm.Changes
+module Counting = Ivm.Counting
+module Recompute = Ivm_baselines.Recompute
+
+let q ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let str k e = Option.bind (Json.member k e) Json.to_string_opt
+let num k e = Option.bind (Json.member k e) Json.to_float_opt
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_handle_identity () =
+  let a = Metrics.counter ~labels:[ ("x", "1"); ("y", "2") ] "obs_test_ident" in
+  let b = Metrics.counter ~labels:[ ("y", "2"); ("x", "1") ] "obs_test_ident" in
+  Metrics.inc a;
+  Metrics.inc b;
+  Alcotest.(check bool) "label order canonicalized to one handle" true (a == b);
+  Alcotest.(check int) "both bumps hit the same counter" 2 (Metrics.counter_value a);
+  let c = Metrics.counter ~labels:[ ("x", "1") ] "obs_test_ident" in
+  Alcotest.(check bool) "different labels, different handle" false (a == c)
+
+let test_kind_clash () =
+  ignore (Metrics.counter "obs_test_clash");
+  Alcotest.check_raises "re-registering as a gauge fails"
+    (Invalid_argument "Metrics: obs_test_clash already registered as a counter")
+    (fun () -> ignore (Metrics.gauge "obs_test_clash"))
+
+let test_counter_saturation () =
+  let c = Metrics.counter "obs_test_saturate" in
+  Metrics.add c (max_int - 1);
+  Metrics.add c 5;
+  Alcotest.(check int) "add saturates at max_int" max_int (Metrics.counter_value c);
+  Metrics.inc c;
+  Alcotest.(check int) "inc saturates too" max_int (Metrics.counter_value c);
+  Metrics.add c (-3);
+  Alcotest.(check int) "negative add still works" (max_int - 3)
+    (Metrics.counter_value c)
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "v<=0 goes to bucket 0" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "1 -> bucket 1" 1 (Metrics.bucket_of 1);
+  Alcotest.(check int) "2..3 -> bucket 2" 2 (Metrics.bucket_of 3);
+  Alcotest.(check int) "4..7 -> bucket 3" 3 (Metrics.bucket_of 7);
+  Alcotest.(check int) "bucket 3 upper bound" 7 (Metrics.bucket_upper 3);
+  Alcotest.(check int) "2^40 -> bucket 41" 41 (Metrics.bucket_of (1 lsl 40));
+  (* 62 on 63-bit native ints: the min-clamp is headroom, not reachable *)
+  Alcotest.(check bool) "max_int fits the bucket array" true
+    (Metrics.bucket_of max_int < 64);
+  Alcotest.(check bool) "max_int's bucket covers it" true
+    (Metrics.bucket_upper (Metrics.bucket_of max_int) >= max_int)
+
+let test_histogram_percentiles () =
+  let h = Metrics.histogram "obs_test_hist" in
+  Alcotest.(check int) "empty percentile is 0" 0 (Metrics.percentile h 0.5);
+  List.iter (Metrics.observe h) [ 1; 2; 3; 100 ];
+  Alcotest.(check int) "count" 4 (Metrics.histogram_count h);
+  Alcotest.(check int) "sum" 106 (Metrics.histogram_sum h);
+  Alcotest.(check int) "min" 1 (Metrics.histogram_min h);
+  Alcotest.(check int) "max" 100 (Metrics.histogram_max h);
+  (* rank 2 of {1,2,3,100} is 2, in bucket [2,3] -> upper bound 3 *)
+  Alcotest.(check int) "p50 = containing bucket upper" 3 (Metrics.percentile h 0.5);
+  (* rank 4 is 100, in bucket [64,127] -> 127: within 2x of exact *)
+  Alcotest.(check int) "p99 within 2x" 127 (Metrics.percentile h 0.99)
+
+let test_reset_keeps_handles () =
+  let c = Metrics.counter "obs_test_reset" in
+  let h = Metrics.histogram "obs_test_reset_h" in
+  Metrics.add c 7;
+  Metrics.observe h 9;
+  Metrics.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.histogram_count h);
+  Metrics.inc c;
+  Metrics.observe h 1;
+  Alcotest.(check int) "handle still live after reset" 1 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram handle still live" 1 (Metrics.histogram_count h)
+
+let test_registry_json () =
+  let g = Metrics.gauge ~labels:[ ("relation", "r") ] "obs_test_json_gauge" in
+  Metrics.set g 42.;
+  let json = Metrics.to_json () in
+  (* round-trip through the emitter and parser *)
+  let parsed = Json.of_string (Json.to_string json) in
+  match parsed with
+  | Json.List entries ->
+    let found =
+      List.exists
+        (fun e ->
+          str "name" e = Some "obs_test_json_gauge" && num "value" e = Some 42.)
+        entries
+    in
+    Alcotest.(check bool) "gauge present with value in JSON dump" true found
+  | _ -> Alcotest.fail "registry JSON is not a list"
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_disabled_passthrough () =
+  ignore (Trace.disable ());
+  Alcotest.(check bool) "disabled by default here" false (Trace.enabled ());
+  let r = Trace.span "never-recorded" (fun () -> 17) in
+  Alcotest.(check int) "span is transparent when off" 17 r;
+  Alcotest.(check (list string)) "nothing recorded" []
+    (List.map (fun e -> e.Trace.name) (Trace.ring_events ()))
+
+let test_span_nesting () =
+  Trace.enable ~capacity:16 ();
+  Trace.span "outer" (fun () ->
+      Trace.span "inner" (fun () -> Trace.instant "tick");
+      Trace.span "inner2" (fun () -> ()));
+  ignore (Trace.disable ());
+  let evs = Trace.ring_events () in
+  let names = List.map (fun e -> e.Trace.name) evs in
+  (* completion order: instants immediately, spans when they close *)
+  Alcotest.(check (list string)) "completion order" [ "tick"; "inner"; "inner2"; "outer" ] names;
+  let by_name n = List.find (fun e -> e.Trace.name = n) evs in
+  Alcotest.(check int) "outer at depth 0" 0 (by_name "outer").Trace.depth;
+  Alcotest.(check int) "inner at depth 1" 1 (by_name "inner").Trace.depth;
+  Alcotest.(check int) "instant inside inner at depth 2" 2 (by_name "tick").Trace.depth;
+  let outer = by_name "outer" and inner = by_name "inner" in
+  Alcotest.(check bool) "outer contains inner (timestamps)" true
+    (outer.Trace.ts_us <= inner.Trace.ts_us
+    && outer.Trace.ts_us +. outer.Trace.dur_us
+       >= inner.Trace.ts_us +. inner.Trace.dur_us)
+
+let test_span_exception () =
+  Trace.enable ~capacity:8 ();
+  (try Trace.span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  ignore (Trace.disable ());
+  match Trace.ring_events () with
+  | [ ev ] ->
+    Alcotest.(check string) "span recorded despite exception" "boom" ev.Trace.name;
+    Alcotest.(check bool) "exn attached" true
+      (List.mem_assoc "exn" ev.Trace.args)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_trace_file_parse_back () =
+  let path = Filename.temp_file "ivm_obs_test" ".json" in
+  Trace.enable_file ~capacity:16 path;
+  Trace.span "batch" ~args:(fun () -> [ ("algorithm", "counting") ])
+    (fun () -> Trace.span "rule" (fun () -> ()));
+  (match Trace.disable () with
+  | Some p -> Alcotest.(check string) "disable returns the path" path p
+  | None -> Alcotest.fail "disable lost the file path");
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  (match lines with
+  | "[" :: _ -> ()
+  | _ -> Alcotest.fail "file must open a JSON array");
+  let strip_comma l =
+    let l = String.trim l in
+    if String.length l > 0 && l.[String.length l - 1] = ',' then
+      String.sub l 0 (String.length l - 1)
+    else l
+  in
+  let events = List.tl lines |> List.map (fun l -> Json.of_string (strip_comma l)) in
+  Alcotest.(check int) "two span events" 2 (List.length events);
+  let names = List.map (str "name") events in
+  Alcotest.(check bool) "rule completes before batch" true
+    (names = [ Some "rule"; Some "batch" ]);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string)) "complete event" (Some "X") (str "ph" e);
+      Alcotest.(check bool) "has a timestamp" true (num "ts" e <> None))
+    events;
+  let batch = List.nth events 1 in
+  Alcotest.(check (option string)) "args thunk captured" (Some "counting")
+    (Option.bind (Json.member "args" batch) (str "algorithm"));
+  Sys.remove path
+
+let test_ring_wraps () =
+  Trace.enable ~capacity:4 ();
+  for i = 1 to 10 do
+    Trace.instant (string_of_int i)
+  done;
+  ignore (Trace.disable ());
+  Alcotest.(check (list string)) "ring keeps newest, oldest first"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.name) (Trace.ring_events ()));
+  Alcotest.(check int) "drops counted" 6 (Trace.dropped ())
+
+(* ------------------------------------------------------------------ *)
+(* Stats shim                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_since_nesting () =
+  Stats.reset ();
+  let outer_before = Stats.snapshot () in
+  Stats.add_derivation ();
+  let inner_before = Stats.snapshot () in
+  Stats.add_derivation ();
+  Stats.add_derivation ();
+  let inner = Stats.since inner_before in
+  let outer = Stats.since outer_before in
+  Alcotest.(check int) "inner region work" 2 inner.Stats.snap_derivations;
+  Alcotest.(check int) "outer region includes inner (by design)" 3
+    outer.Stats.snap_derivations
+
+let test_stats_since_clamps_across_reset () =
+  Stats.reset ();
+  Stats.add_probe ();
+  Stats.add_probe ();
+  let before = Stats.snapshot () in
+  Stats.reset ();
+  Stats.add_probe ();
+  let w = Stats.since before in
+  Alcotest.(check int) "stale snapshot clamps at 0, never negative" 0
+    w.Stats.snap_probes
+
+(* ------------------------------------------------------------------ *)
+(* Property: Recompute work strictly dominates Counting (Example 1.1)   *)
+(* ------------------------------------------------------------------ *)
+
+(* hop over a random edge set, plus a fixed component (negative node ids,
+   disjoint from the generated domain) whose hop tuple every recomputation
+   must re-derive while Counting — touching only the delta (Theorem 4.1) —
+   never visits it. *)
+let domination_gen =
+  QCheck.Gen.(list_size (int_range 0 30) (pair (int_range 0 19) (int_range 0 19)))
+  |> QCheck.make ~print:(fun edges ->
+         String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) edges))
+
+let work_of snap =
+  snap.Stats.snap_derivations + snap.Stats.snap_tuples_scanned
+  + snap.Stats.snap_probes
+
+let test_recompute_dominates edges =
+  let program =
+    Program.make (Ivm_datalog.Parser.parse_rules Ivm_workload.Programs.hop)
+  in
+  let db = Database.create ~semantics:Database.Set_semantics program in
+  let fixed = [ [| Value.Int (-1); Value.Int (-2) |]; [| Value.Int (-2); Value.Int (-3) |] ] in
+  let generated =
+    List.map (fun (a, b) -> [| Value.Int a; Value.Int b |]) edges
+  in
+  Database.load db "link" (fixed @ generated);
+  Seminaive.evaluate db;
+  (* insert one edge outside both domains: always a valid change *)
+  let batch =
+    Changes.insertions program "link" [ [| Value.Int 1000; Value.Int 1001 |] ]
+  in
+  let counting_db = Database.copy db and recompute_db = Database.copy db in
+  let before = Stats.snapshot () in
+  ignore (Counting.maintain counting_db batch);
+  let counting_work = work_of (Stats.since before) in
+  let before = Stats.snapshot () in
+  Recompute.maintain recompute_db batch;
+  let recompute_work = work_of (Stats.since before) in
+  if not (Database.agree counting_db recompute_db) then
+    QCheck.Test.fail_reportf "algorithms disagree on the maintained state";
+  if counting_work >= recompute_work then
+    QCheck.Test.fail_reportf
+      "counting did %d units of work, recompute only %d — Theorem 4.1's \
+       optimality advantage should be strict on this workload"
+      counting_work recompute_work;
+  true
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "registry: label order canonicalized" `Quick
+      test_handle_identity;
+    Alcotest.test_case "registry: kind clash rejected" `Quick test_kind_clash;
+    Alcotest.test_case "counter: saturates at max_int" `Quick
+      test_counter_saturation;
+    Alcotest.test_case "histogram: log2 bucketing" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram: percentiles within 2x" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "registry: reset keeps handles live" `Quick
+      test_reset_keeps_handles;
+    Alcotest.test_case "registry: JSON dump round-trips" `Quick
+      test_registry_json;
+    Alcotest.test_case "trace: disabled span is transparent" `Quick
+      test_span_disabled_passthrough;
+    Alcotest.test_case "trace: spans nest by depth and timestamp" `Quick
+      test_span_nesting;
+    Alcotest.test_case "trace: exception still records the span" `Quick
+      test_span_exception;
+    Alcotest.test_case "trace: file sink parses back as trace_event" `Quick
+      test_trace_file_parse_back;
+    Alcotest.test_case "trace: ring buffer wraps, drops counted" `Quick
+      test_ring_wraps;
+    Alcotest.test_case "stats: nested since attributes to both regions" `Quick
+      test_stats_since_nesting;
+    Alcotest.test_case "stats: since clamps across reset" `Quick
+      test_stats_since_clamps_across_reset;
+    q ~count:100 "recompute work strictly dominates counting (Ex 1.1)"
+      domination_gen test_recompute_dominates;
+  ]
