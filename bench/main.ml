@@ -173,6 +173,21 @@ let run_micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --domains N anywhere: evaluate delta rules on N domains. *)
+  let args =
+    let rec go acc = function
+      | "--domains" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> Ivm_par.set_domains n
+        | _ ->
+          Printf.eprintf "--domains expects a positive integer, got %s\n" n;
+          exit 1);
+        go acc rest
+      | x :: rest -> go (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    go [] args
+  in
   (match args with
   | "--metrics-json" :: out :: _ ->
     Metrics_report.run ~out ();

@@ -153,6 +153,73 @@ let workload_json ~name ~description ~recursive db0 batches : Json.t =
       ("algorithms", Json.List (List.map (run_algorithm db0 batches) runners));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep: counting maintenance at 1/2/4 domains               *)
+(* ------------------------------------------------------------------ *)
+
+(** Canonical dump of every derived relation — sorted predicates, sorted
+    tuples with counts — for the byte-identical cross-domain check. *)
+let derived_state db =
+  let program = Database.program db in
+  String.concat "\n"
+    (List.map
+       (fun p -> p ^ " = " ^ Relation.to_string (Database.relation db p))
+       (List.sort String.compare (Program.derived_preds program)))
+
+(** Maintain the same seeded update stream with Counting at 1, 2 and 4
+    domains: wall-clock per domain count, speedup vs sequential, and
+    whether the final view states are byte-identical (they must be — the
+    ⊎-merge runs in fixed task order whatever the domain count). *)
+let parallel_sweep () : Json.t =
+  let nodes = 400 and edges = 2500 and n_batches = 12 in
+  let db0, rng = graph_db ~src:Programs.hop_tri_hop ~seed:29 ~nodes ~edges () in
+  (* The sweep applies the stream cumulatively to one database, so each
+     batch must be generated against the state left by its predecessors —
+     a tracking copy keeps the deletions valid. *)
+  let batches =
+    let tracker = Database.copy db0 in
+    List.init n_batches (fun _ ->
+        let c = Update_gen.mixed rng tracker "link" ~nodes ~dels:6 ~ins:6 in
+        ignore (Counting.maintain tracker c);
+        c)
+  in
+  let run_with domains =
+    Ivm_par.set_domains domains;
+    let db = Database.copy db0 in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun c -> ignore (Counting.maintain db c)) batches;
+    let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    (dt_ns, derived_state db)
+  in
+  let prev = Ivm_par.domains () in
+  let results = List.map (fun d -> (d, run_with d)) [ 1; 2; 4 ] in
+  Ivm_par.set_domains prev;
+  let t1, s1 = List.assoc 1 results in
+  Json.Obj
+    [
+      ("workload", Json.Str "hop_tri_hop_large");
+      ( "description",
+        Printf.sprintf
+          "nonrecursive hop+tri_hop views, random graph (%d nodes, %d edges), \
+           %d mixed batches of 6 del + 6 ins, counting maintenance"
+          nodes edges n_batches
+        |> fun s -> Json.Str s );
+      ("algorithm", Json.Str "counting");
+      ("cores_available", Json.int (Domain.recommended_domain_count ()));
+      ( "sweep",
+        Json.List
+          (List.map
+             (fun (d, (dt_ns, state)) ->
+               Json.Obj
+                 [
+                   ("domains", Json.int d);
+                   ("total_ns", Json.Num dt_ns);
+                   ("speedup_vs_1_domain", Json.Num (t1 /. dt_ns));
+                   ("state_identical_to_1_domain", Json.Bool (String.equal state s1));
+                 ])
+             results) );
+    ]
+
 (** Build the report and write it to [out]. *)
 let run ~out () =
   Metrics.reset ();
@@ -190,11 +257,16 @@ let run ~out () =
            layers width out_degree n_batches)
       ~recursive:true db0 batches
   in
+  (* Bind before building the record: list elements evaluate right to
+     left, and the registry dump must see the sweep's per-domain
+     counters. *)
+  let sweep = parallel_sweep () in
   let doc =
     Json.Obj
       [
         ("report", Json.Str "ivm bench metrics");
         ("workloads", Json.List [ w1; w2 ]);
+        ("parallel_sweep", sweep);
         ("registry", Metrics.to_json ());
       ]
   in

@@ -262,6 +262,13 @@ let verbose_flag =
     & info [ "v"; "verbose" ] ~doc:"Log maintenance internals (per-stratum \
                                     delta sizes, DRed overestimates).")
 
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "d"; "domains" ] ~docv:"N"
+        ~doc:"Evaluate delta rules on $(docv) domains (OCaml multicore); \
+              $(b,1) is the sequential path.  Defaults to \\$IVM_DOMAINS or 1.")
+
 let command_arg =
   Arg.(
     value
@@ -270,11 +277,12 @@ let command_arg =
         ~doc:"Execute a shell command non-interactively (repeatable); the \
               REPL is skipped.")
 
-let run file sql semantics algorithm verbose commands =
+let run file sql semantics algorithm verbose domains commands =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  if domains > 0 then Ivm_par.set_domains domains;
   let session, vm =
     match file with
     | Some path ->
@@ -294,6 +302,6 @@ let cmd =
     (Cmd.info "ivm-shell" ~doc)
     Term.(
       const run $ file_arg $ sql_flag $ semantics_arg $ algorithm_arg
-      $ verbose_flag $ command_arg)
+      $ verbose_flag $ domains_arg $ command_arg)
 
 let () = exit (Cmd.eval cmd)

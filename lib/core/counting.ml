@@ -103,10 +103,10 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
                     string_of_int (Relation.cardinal (Delta.propagated_delta ctx p)) );
                 ])
               (fun () ->
-                List.iter
-                  (fun rule ->
-                    Delta.apply_delta_rules ctx (Database.compile db rule) ~out)
-                  (Program.rules_for program p);
+                let crs =
+                  List.map (Database.compile db) (Program.rules_for program p)
+                in
+                Delta.apply_delta_rules_par ctx crs ~out;
                 Delta.set_delta ctx p ~full:out);
             Metrics.observe delta_h (Relation.cardinal out);
             Log.debug (fun m ->

@@ -20,6 +20,7 @@ module Database = Ivm_eval.Database
 module Compile = Ivm_eval.Compile
 module Rule_eval = Ivm_eval.Rule_eval
 module Grouping = Ivm_eval.Grouping
+module Par_eval = Ivm_eval.Par_eval
 
 type version = Old | New
 
@@ -166,25 +167,30 @@ let lit_delta_nonempty ctx (lit : Compile.clit) =
   | Compile.Cagg (spec, _) -> not (Relation.is_empty (agg_delta ctx spec))
   | Compile.Ccmp _ -> false
 
+(** The delta relation enumerated when [lit] is the seed position. *)
+let seed_relation ctx (lit : Compile.clit) =
+  match lit with
+  | Compile.Catom a -> propagated_delta ctx a.cpred
+  | Compile.Cneg a -> neg_delta ctx a.cpred
+  | Compile.Cagg (spec, _) -> agg_delta ctx spec
+  | Compile.Ccmp _ -> assert false
+
 (** Inputs for the [i]-th delta rule of Definition 4.1 (extended to
     negation per Section 6.1 cases 1–3 and to aggregation per
-    Section 6.2). *)
-let delta_rule_inputs ctx (cr : Compile.t) ~(pos : int) : int -> Rule_eval.subgoal_input =
+    Section 6.2).  [seed_override], when given, replaces the delta
+    enumerated at the seed position — parallel fan-out passes one chunk
+    of the full delta per task ({!Ivm_eval.Par_eval.split}). *)
+let delta_rule_inputs ?seed_override ctx (cr : Compile.t) ~(pos : int) :
+    int -> Rule_eval.subgoal_input =
  fun j ->
     let lit = cr.clits.(j) in
     if j = pos then
-      match lit with
-      | Compile.Catom a ->
+      match seed_override with
+      | Some rel ->
+        Rule_eval.Enumerate (Relation_view.concrete rel, Rule_eval.identity_count)
+      | None ->
         Rule_eval.Enumerate
-          (Relation_view.concrete (propagated_delta ctx a.cpred),
-           Rule_eval.identity_count)
-      | Compile.Cneg a ->
-        Rule_eval.Enumerate
-          (Relation_view.concrete (neg_delta ctx a.cpred), Rule_eval.identity_count)
-      | Compile.Cagg (spec, _) ->
-        Rule_eval.Enumerate
-          (Relation_view.concrete (agg_delta ctx spec), Rule_eval.identity_count)
-      | Compile.Ccmp _ -> assert false
+          (Relation_view.concrete (seed_relation ctx lit), Rule_eval.identity_count)
     else
       let version = if j < pos then New else Old in
       match lit with
@@ -205,6 +211,62 @@ let apply_delta_rules ctx (cr : Compile.t) ~(out : Relation.t) : unit =
         let inputs = delta_rule_inputs ctx cr ~pos:i in
         Rule_eval.eval ~seed:i ~inputs ~emit:(fun tup c -> Relation.add out tup c) cr)
     cr.clits
+
+(** Sequentially populate every lazy ctx cache a parallel evaluation of
+    [cr]'s delta rules will read ([neg_deltas], [agg_deltas], [grouped]),
+    touching them in the same order the sequential path would — first
+    touch must never happen inside a worker thunk. *)
+let prepare_rule ctx (cr : Compile.t) : unit =
+  Array.iteri
+    (fun i lit ->
+      if lit_delta_nonempty ctx lit then begin
+        let inputs = delta_rule_inputs ctx cr ~pos:i in
+        Array.iteri
+          (fun j l ->
+            match l with Compile.Ccmp _ -> () | _ -> ignore (inputs j))
+          cr.clits
+      end)
+    cr.clits
+
+(** The delta rules of [cr] as independent read-only thunks, one per
+    (seed position × seed chunk), each emitting into a private relation.
+    Callers run them through {!Ivm_par.parallel_map} and ⊎-merge the
+    results in task order; {!prepare_rule} must have run first. *)
+let delta_rule_thunks ctx (cr : Compile.t) ~chunks : (unit -> Relation.t) array =
+  let tasks = ref [] in
+  Array.iteri
+    (fun i lit ->
+      if lit_delta_nonempty ctx lit then
+        Array.iter
+          (fun part ->
+            tasks :=
+              (fun () ->
+                let out = Relation.create (Array.length cr.chead) in
+                let inputs = delta_rule_inputs ~seed_override:part ctx cr ~pos:i in
+                Rule_eval.eval ~seed:i ~inputs
+                  ~emit:(fun tup c -> Relation.add out tup c)
+                  cr;
+                out)
+              :: !tasks)
+          (Par_eval.split (seed_relation ctx lit) ~chunks))
+    cr.clits;
+  Array.of_list (List.rev !tasks)
+
+(** Evaluate the delta rules of every rule in [crs] across the domain
+    pool, merging all per-task deltas into [out] in fixed task order.
+    Falls back to the plain sequential loop when one domain is
+    configured — same code path as before the pool existed. *)
+let apply_delta_rules_par ctx (crs : Compile.t list) ~(out : Relation.t) : unit =
+  if Ivm_par.sequential () then
+    List.iter (fun cr -> apply_delta_rules ctx cr ~out) crs
+  else begin
+    List.iter (prepare_rule ctx) crs;
+    let chunks = Par_eval.chunks_hint () in
+    let thunks =
+      Array.concat (List.map (fun cr -> delta_rule_thunks ctx cr ~chunks) crs)
+    in
+    Par_eval.merge ~into:out (Ivm_par.parallel_map thunks)
+  end
 
 (** Commit all accumulated full deltas into the stored relations.  Returns
     the sorted non-empty (pred, full delta) list.

@@ -67,13 +67,42 @@ val agg_delta : ctx -> Compile.agg_spec -> Relation.t
 (** Is there a non-empty delta behind this body literal? *)
 val lit_delta_nonempty : ctx -> Compile.clit -> bool
 
+(** The delta relation enumerated when the literal is a seed position.
+    Raises on comparison literals (they carry no delta). *)
+val seed_relation : ctx -> Compile.clit -> Relation.t
+
 (** Inputs for the delta rule seeded at body position [pos]
-    (Definition 4.1, extended to negation and aggregation). *)
-val delta_rule_inputs : ctx -> Compile.t -> pos:int -> int -> Rule_eval.subgoal_input
+    (Definition 4.1, extended to negation and aggregation).
+    [seed_override] replaces the delta enumerated at the seed position —
+    parallel fan-out passes one {!Ivm_eval.Par_eval.split} chunk per
+    task. *)
+val delta_rule_inputs :
+  ?seed_override:Relation.t ->
+  ctx ->
+  Compile.t ->
+  pos:int ->
+  int ->
+  Rule_eval.subgoal_input
 
 (** Evaluate every applicable delta rule of the compiled rule,
     [⊎]-accumulating into [out]. *)
 val apply_delta_rules : ctx -> Compile.t -> out:Relation.t -> unit
+
+(** Sequentially populate every lazy ctx cache a parallel evaluation of
+    the rule's delta rules will read — first touch must never happen
+    inside a worker thunk. *)
+val prepare_rule : ctx -> Compile.t -> unit
+
+(** The rule's delta rules as independent read-only thunks (one per seed
+    position × seed chunk), each emitting into a private relation.  Run
+    them with {!Ivm_par.parallel_map} and ⊎-merge in task order;
+    {!prepare_rule} must have run first. *)
+val delta_rule_thunks : ctx -> Compile.t -> chunks:int -> (unit -> Relation.t) array
+
+(** Evaluate the delta rules of all compiled rules across the domain
+    pool, ⊎-merging into [out] in fixed task order; the plain sequential
+    loop when one domain is configured. *)
+val apply_delta_rules_par : ctx -> Compile.t list -> out:Relation.t -> unit
 
 (** Commit all accumulated deltas into the stored relations; returns the
     non-empty (predicate, delta) pairs, sorted.

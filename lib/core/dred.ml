@@ -162,6 +162,47 @@ let agg_delta ctx (spec : Compile.agg_spec) =
     r
 
 (* ------------------------------------------------------------------ *)
+(* Parallel fan-out plumbing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every DRed phase is a semi-naive fixpoint whose rounds evaluate rule
+   applications against views frozen for the round, then commit the
+   emissions (the commits mutate the unit deltas / pending sets the next
+   round reads).  That makes each round a batch of independent read-only
+   tasks: evaluate into private buffers across the domain pool, then
+   commit sequentially in fixed task order.  A derivation that the
+   sequential interleaving would have seen mid-round (a commit feeding a
+   later evaluation of the same round) is instead picked up by the next
+   round's seeds — all three phases are monotone fixpoints over unit
+   predicates, so the frozen-round schedule converges to the identical
+   final state. *)
+
+let par_chunks () =
+  if Ivm_par.sequential () then 1 else Ivm_eval.Par_eval.chunks_hint ()
+
+(** Run the task thunks across the pool, then commit each resulting
+    buffer sequentially in task order. *)
+let run_batch (tasks : ('k * (unit -> Relation.t)) list)
+    ~(commit : 'k -> Relation.t -> unit) =
+  match tasks with
+  | [] -> ()
+  | tasks ->
+    let tasks = Array.of_list tasks in
+    let outs = Ivm_par.parallel_map (Array.map snd tasks) in
+    Array.iteri (fun k buf -> commit (fst tasks.(k)) buf) outs
+
+(** Sequentially force the grouped-relation cache entries the rule's
+    aggregate literals will read — first touch must never happen inside
+    a worker thunk. *)
+let prepare_grouped ctx ~version (cr : Compile.t) =
+  Array.iter
+    (fun lit ->
+      match lit with
+      | Compile.Cagg (spec, _) -> ignore (grouped ctx ~version spec)
+      | _ -> ())
+    cr.Compile.clits
+
+(* ------------------------------------------------------------------ *)
 (* Step 1: the deletion overestimate                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -212,7 +253,16 @@ let delete_overestimate ctx unit_preds =
       end
     end
   in
+  let chunks = par_chunks () in
+  let deletion_task p cr ~pos ~source () =
+    let buf = Relation.create (arity_of ctx p) in
+    run_deletion_rule ctx cr ~pos ~source ~emit:(fun tup c ->
+        if c > 0 then Relation.add buf tup 1);
+    buf
+  in
+  let commit p buf = Relation.iter (fun tup c -> emit_for p tup c) buf in
   (* Round 0: seeds from outside the unit. *)
+  let round0 = ref [] in
   List.iter
     (fun p ->
       List.iter
@@ -232,11 +282,16 @@ let delete_overestimate ctx unit_preds =
               in
               match source with
               | Some src when not (Relation.is_empty src) ->
-                run_deletion_rule ctx cr ~pos:i ~source:src ~emit:(emit_for p)
+                prepare_grouped ctx ~version:"old" cr;
+                Array.iter
+                  (fun part ->
+                    round0 := (p, deletion_task p cr ~pos:i ~source:part) :: !round0)
+                  (Ivm_eval.Par_eval.split src ~chunks)
               | _ -> ())
             cr.Compile.clits)
         (Program.rules_for program p))
     unit_preds;
+  run_batch (List.rev !round0) ~commit;
   (* Fixpoint rounds: seeds from the unit's own growing overestimate. *)
   let rotate () =
     let any = ref false in
@@ -250,6 +305,7 @@ let delete_overestimate ctx unit_preds =
     !any
   in
   while rotate () do
+    let batch = ref [] in
     List.iter
       (fun p ->
         List.iter
@@ -260,12 +316,18 @@ let delete_overestimate ctx unit_preds =
                 match lit with
                 | Compile.Catom a when in_unit a.cpred ->
                   let src = Hashtbl.find pending a.cpred in
-                  if not (Relation.is_empty src) then
-                    run_deletion_rule ctx cr ~pos:i ~source:src ~emit:(emit_for p)
+                  if not (Relation.is_empty src) then begin
+                    prepare_grouped ctx ~version:"old" cr;
+                    Array.iter
+                      (fun part ->
+                        batch := (p, deletion_task p cr ~pos:i ~source:part) :: !batch)
+                      (Ivm_eval.Par_eval.split src ~chunks)
+                  end
                 | _ -> ())
               cr.Compile.clits)
           (Program.rules_for program p))
-      unit_preds
+      unit_preds;
+    run_batch (List.rev !batch) ~commit
   done;
   dminus
 
@@ -321,14 +383,16 @@ let rederive ctx unit_preds (dminus : (string, Relation.t) Hashtbl.t) =
   List.iter
     (fun p -> Hashtbl.replace next_wave p (Relation.create (arity_of ctx p)))
     unit_preds;
-  let inputs_for p cr ?(wave_pos = -1) () j =
+  (* [marker] / [wave_rel] override what the marker and wave positions
+     enumerate — parallel fan-out passes one frozen chunk per task. *)
+  let inputs_for p cr ?(wave_pos = -1) ?marker ?wave_rel () j =
     match cr.Compile.clits.(j) with
     | Compile.Catom a when a.cpred = marker_pred p ->
-      Rule_eval.Enumerate
-        (Relation_view.concrete (Hashtbl.find pend p), Rule_eval.set_count)
+      let m = match marker with Some r -> r | None -> Hashtbl.find pend p in
+      Rule_eval.Enumerate (Relation_view.concrete m, Rule_eval.set_count)
     | Compile.Catom a when j = wave_pos ->
-      Rule_eval.Enumerate
-        (Relation_view.concrete (Hashtbl.find wave a.cpred), Rule_eval.set_count)
+      let w = match wave_rel with Some r -> r | None -> Hashtbl.find wave a.cpred in
+      Rule_eval.Enumerate (Relation_view.concrete w, Rule_eval.set_count)
     | Compile.Catom a -> Rule_eval.Enumerate (new_view ctx a.cpred, Rule_eval.set_count)
     | Compile.Cneg a -> Rule_eval.Filter_absent (new_view ctx a.cpred)
     | Compile.Cagg (spec, _) ->
@@ -356,7 +420,12 @@ let rederive ctx unit_preds (dminus : (string, Relation.t) Hashtbl.t) =
         end)
       buf
   in
-  (* Pass 0: support check for every overdeleted tuple. *)
+  let chunks = par_chunks () in
+  (* Pass 0: support check for every overdeleted tuple.  Evaluations run
+     against views frozen for the pass (buffers committed afterwards in
+     task order); putbacks a sequential interleaving would have seen
+     mid-pass seed the wave rounds instead. *)
+  let pass0 = ref [] in
   List.iter
     (fun p ->
       if not (Relation.is_empty (Hashtbl.find pend p)) then
@@ -364,14 +433,23 @@ let rederive ctx unit_preds (dminus : (string, Relation.t) Hashtbl.t) =
           (fun rule ->
             let rr = rederive_rule rule in
             let cr = Database.compile ctx.db rr in
-            let buf = Relation.create (arity_of ctx p) in
-            Rule_eval.eval ~seed:0
-              ~inputs:(inputs_for p cr ())
-              ~emit:(fun tup c -> if c > 0 then Relation.add buf tup 1)
-              cr;
-            apply_buffer p buf)
+            prepare_grouped ctx ~version:"new" cr;
+            Array.iter
+              (fun part ->
+                pass0 :=
+                  ( p,
+                    fun () ->
+                      let buf = Relation.create (arity_of ctx p) in
+                      Rule_eval.eval ~seed:0
+                        ~inputs:(inputs_for p cr ~marker:part ())
+                        ~emit:(fun tup c -> if c > 0 then Relation.add buf tup 1)
+                        cr;
+                      buf )
+                  :: !pass0)
+              (Ivm_eval.Par_eval.split (Hashtbl.find pend p) ~chunks))
           (Program.rules_for program p))
     unit_preds;
+  run_batch (List.rev !pass0) ~commit:apply_buffer;
   (* Waves: only candidates supported by the previous wave's putbacks. *)
   let rotate () =
     let any = ref false in
@@ -385,6 +463,7 @@ let rederive ctx unit_preds (dminus : (string, Relation.t) Hashtbl.t) =
     !any
   in
   while rotate () do
+    let batch = ref [] in
     List.iter
       (fun p ->
         if not (Relation.is_empty (Hashtbl.find pend p)) then
@@ -401,16 +480,26 @@ let rederive ctx unit_preds (dminus : (string, Relation.t) Hashtbl.t) =
                   | Compile.Catom a
                     when j > 0 && in_unit a.cpred
                          && not (Relation.is_empty (Hashtbl.find wave a.cpred)) ->
-                    let buf = Relation.create (arity_of ctx p) in
-                    Rule_eval.eval ~seed:j
-                      ~inputs:(inputs_for p cr ~wave_pos:j ())
-                      ~emit:(fun tup c -> if c > 0 then Relation.add buf tup 1)
-                      cr;
-                    apply_buffer p buf
+                    prepare_grouped ctx ~version:"new" cr;
+                    Array.iter
+                      (fun part ->
+                        batch :=
+                          ( p,
+                            fun () ->
+                              let buf = Relation.create (arity_of ctx p) in
+                              Rule_eval.eval ~seed:j
+                                ~inputs:(inputs_for p cr ~wave_pos:j ~wave_rel:part ())
+                                ~emit:(fun tup c ->
+                                  if c > 0 then Relation.add buf tup 1)
+                                cr;
+                              buf )
+                          :: !batch)
+                      (Ivm_eval.Par_eval.split (Hashtbl.find wave a.cpred) ~chunks)
                   | _ -> ())
                 cr.Compile.clits)
             (Program.rules_for program p))
-      unit_preds
+      unit_preds;
+    run_batch (List.rev !batch) ~commit:apply_buffer
   done;
   putbacks
 
@@ -444,13 +533,17 @@ let insert_new ctx unit_preds =
       Hashtbl.replace pending p (Relation.create (arity_of ctx p));
       Hashtbl.replace next_pending p (Relation.create (arity_of ctx p)))
     unit_preds;
-  (* Candidate insertions are buffered per rule application: committing
-     them mutates the unit deltas that back the new views the evaluator is
-     iterating. *)
-  let run_buffered p cr ~pos ~source =
+  let chunks = par_chunks () in
+  let insertion_task p cr ~pos ~source () =
     let buf = Relation.create (arity_of ctx p) in
     run_insertion_rule ctx cr ~pos ~source ~emit:(fun tup c ->
         if c > 0 then Relation.add buf tup 1);
+    buf
+  in
+  (* Committing candidate insertions mutates the unit deltas that back
+     the new views the evaluators read, so buffers are committed only
+     between batches, in task order. *)
+  let commit p buf =
     let nv = new_view ctx p in
     Relation.iter
       (fun tup _ ->
@@ -461,6 +554,7 @@ let insert_new ctx unit_preds =
       buf
   in
   (* Round 0: seeds from outside the unit. *)
+  let round0 = ref [] in
   List.iter
     (fun p ->
       List.iter
@@ -480,11 +574,16 @@ let insert_new ctx unit_preds =
               in
               match source with
               | Some src when not (Relation.is_empty src) ->
-                run_buffered p cr ~pos:i ~source:src
+                prepare_grouped ctx ~version:"new" cr;
+                Array.iter
+                  (fun part ->
+                    round0 := (p, insertion_task p cr ~pos:i ~source:part) :: !round0)
+                  (Ivm_eval.Par_eval.split src ~chunks)
               | _ -> ())
             cr.Compile.clits)
         (Program.rules_for program p))
     unit_preds;
+  run_batch (List.rev !round0) ~commit;
   let rotate () =
     let any = ref false in
     List.iter
@@ -497,6 +596,7 @@ let insert_new ctx unit_preds =
     !any
   in
   while rotate () do
+    let batch = ref [] in
     List.iter
       (fun p ->
         List.iter
@@ -507,12 +607,18 @@ let insert_new ctx unit_preds =
                 match lit with
                 | Compile.Catom a when in_unit a.cpred ->
                   let src = Hashtbl.find pending a.cpred in
-                  if not (Relation.is_empty src) then
-                    run_buffered p cr ~pos:i ~source:src
+                  if not (Relation.is_empty src) then begin
+                    prepare_grouped ctx ~version:"new" cr;
+                    Array.iter
+                      (fun part ->
+                        batch := (p, insertion_task p cr ~pos:i ~source:part) :: !batch)
+                      (Ivm_eval.Par_eval.split src ~chunks)
+                  end
                 | _ -> ())
               cr.Compile.clits)
           (Program.rules_for program p))
-      unit_preds
+      unit_preds;
+    run_batch (List.rev !batch) ~commit
   done
 
 (* ------------------------------------------------------------------ *)

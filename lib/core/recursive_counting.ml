@@ -70,9 +70,8 @@ let fix_unit ~max_rounds (ctx : Delta.ctx) unit_preds =
   List.iter
     (fun p ->
       let out = Relation.create (arity p) in
-      List.iter
-        (fun rule -> Delta.apply_delta_rules ctx (Database.compile db rule) ~out)
-        (Program.rules_for program p);
+      let crs = List.map (Database.compile db) (Program.rules_for program p) in
+      Delta.apply_delta_rules_par ctx crs ~out;
       Hashtbl.replace pending p out)
     unit_preds;
   List.iter
@@ -112,9 +111,17 @@ let fix_unit ~max_rounds (ctx : Delta.ctx) unit_preds =
       unit_preds;
     let next = Hashtbl.create 4 in
     List.iter (fun p -> Hashtbl.replace next p (Relation.create (arity p))) unit_preds;
+    (* acc / old_delta / pending are frozen for the round, so every
+       (occurrence × pending chunk) is an independent read-only task:
+       fan out across the domain pool, each task emitting into a private
+       relation ⊎-merged into [next] in fixed task order (inline, same
+       order, with one domain). *)
+    let chunks =
+      if Ivm_par.sequential () then 1 else Ivm_eval.Par_eval.chunks_hint ()
+    in
+    let tasks = ref [] in
     List.iter
       (fun p ->
-        let out = Hashtbl.find next p in
         List.iter
           (fun rule ->
             let cr = Database.compile db rule in
@@ -124,10 +131,10 @@ let fix_unit ~max_rounds (ctx : Delta.ctx) unit_preds =
                 | Compile.Catom a when in_unit a.cpred ->
                   let pend = Hashtbl.find pending a.cpred in
                   if not (Relation.is_empty pend) then begin
-                    let inputs j =
+                    let inputs_with seed j =
                       if j = i then
                         Rule_eval.Enumerate
-                          (Relation_view.concrete pend, Rule_eval.identity_count)
+                          (Relation_view.concrete seed, Rule_eval.identity_count)
                       else
                         match cr.Compile.clits.(j) with
                         | Compile.Catom b when in_unit b.cpred ->
@@ -159,14 +166,36 @@ let fix_unit ~max_rounds (ctx : Delta.ctx) unit_preds =
                               Rule_eval.identity_count )
                         | Compile.Ccmp _ -> assert false
                     in
-                    Rule_eval.eval ~seed:i ~inputs
-                      ~emit:(fun tup c -> Relation.add out tup c)
-                      cr
+                    (* first-touch the grouped cache sequentially *)
+                    Array.iteri
+                      (fun j l ->
+                        match l with
+                        | Compile.Cagg _ -> ignore (inputs_with pend j)
+                        | _ -> ())
+                      cr.Compile.clits;
+                    Array.iter
+                      (fun part ->
+                        tasks :=
+                          ( p,
+                            fun () ->
+                              let out = Relation.create (arity p) in
+                              Rule_eval.eval ~seed:i ~inputs:(inputs_with part)
+                                ~emit:(fun tup c -> Relation.add out tup c)
+                                cr;
+                              out )
+                          :: !tasks)
+                      (Ivm_eval.Par_eval.split pend ~chunks)
                   end
                 | _ -> ())
               cr.Compile.clits)
           (Program.rules_for program p))
       unit_preds;
+    let tasks = Array.of_list (List.rev !tasks) in
+    let outs = Ivm_par.parallel_map (Array.map snd tasks) in
+    Array.iteri
+      (fun k part ->
+        Relation.union_into ~into:(Hashtbl.find next (fst tasks.(k))) part)
+      outs;
     List.iter
       (fun p ->
         let np = Hashtbl.find next p in
@@ -201,9 +230,10 @@ let maintain ?(max_rounds = default_max_rounds) (db : Database.t)
           match unit_preds with
           | [ p ] when not (Program.recursive program p) ->
             let out = Relation.create (Program.arity program p) in
-            List.iter
-              (fun rule -> Delta.apply_delta_rules ctx (Database.compile db rule) ~out)
-              (Program.rules_for program p);
+            let crs =
+              List.map (Database.compile db) (Program.rules_for program p)
+            in
+            Delta.apply_delta_rules_par ctx crs ~out;
             Delta.set_delta ctx p ~full:out
           | unit_preds ->
             Trace.span "rc.fixpoint"

@@ -82,10 +82,15 @@ let recompute_maintain (db : Database.t) (changes : Changes.t) : unit =
       Seminaive.evaluate db)
 
 (** Create a manager from rules and initial base facts; materializes all
-    views eagerly. *)
+    views eagerly.  [domains], when given, sets the process-global domain
+    count for parallel delta evaluation ({!Ivm_par.set_domains}); the
+    default leaves the current setting (1 unless [IVM_DOMAINS] or an
+    earlier call changed it). *)
 let create ?(semantics = Database.Set_semantics) ?(algorithm = Auto)
     ?(extra_base : (string * int) list = []) ?(distinct : string list = [])
-    ?(facts : (string * Tuple.t list) list = []) (rules : Ast.rule list) : t =
+    ?(facts : (string * Tuple.t list) list = []) ?domains (rules : Ast.rule list) :
+    t =
+  (match domains with Some n -> Ivm_par.set_domains n | None -> ());
   let program = Program.make ~extra_base rules in
   let db = Database.create ~semantics program in
   List.iter (fun v -> Database.mark_distinct db v) distinct;
@@ -97,12 +102,13 @@ let create ?(semantics = Database.Set_semantics) ?(algorithm = Auto)
   t
 
 (** Create from program text (rules and facts together, Datalog syntax). *)
-let of_source ?semantics ?algorithm ?extra_base ?distinct (src : string) : t =
+let of_source ?semantics ?algorithm ?extra_base ?distinct ?domains (src : string) :
+    t =
   let rules, facts = Parser.split (Parser.parse_program src) in
   let facts =
     List.map (fun (p, vals) -> (p, [ Tuple.of_list vals ])) facts
   in
-  create ?semantics ?algorithm ?extra_base ?distinct ~facts rules
+  create ?semantics ?algorithm ?extra_base ?distinct ?domains ~facts rules
 
 let database t = t.db
 let program t = Database.program t.db

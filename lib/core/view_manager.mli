@@ -28,13 +28,17 @@ type t
 
 (** Create a manager from rules and initial base facts; materializes all
     views eagerly.  [extra_base] declares base relations (name, arity) not
-    otherwise mentioned. *)
+    otherwise mentioned.  [domains] sets the process-global domain count
+    for parallel delta evaluation ({!Ivm_par.set_domains}); omitted, the
+    current setting stays (1 unless [IVM_DOMAINS] or an earlier call
+    changed it). *)
 val create :
   ?semantics:Database.semantics ->
   ?algorithm:algorithm ->
   ?extra_base:(string * int) list ->
   ?distinct:string list ->
   ?facts:(string * Tuple.t list) list ->
+  ?domains:int ->
   Ast.rule list ->
   t
 
@@ -44,6 +48,7 @@ val of_source :
   ?algorithm:algorithm ->
   ?extra_base:(string * int) list ->
   ?distinct:string list ->
+  ?domains:int ->
   string ->
   t
 

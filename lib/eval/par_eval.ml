@@ -1,0 +1,47 @@
+(** Evaluation-side conventions for parallel delta fan-out.
+
+    The maintenance algorithms package each phase as an array of thunks
+    for {!Ivm_par.parallel_map}.  Thunks follow a strict discipline:
+
+    - {b read} shared state only — stored relations, overlays, and the
+      maintenance caches, all pre-populated by a sequential prepare step
+      (first touch of a lazy cache must never happen inside a thunk);
+    - {b write} thunk-private relations only; the caller ⊎-merges them
+      sequentially in task order ({!merge}).
+
+    Since a batch often has fewer delta rules than domains, seed deltas
+    are additionally {!split} into chunks by tuple hash — a deterministic
+    partition, so the task list (and hence the merge order) is a pure
+    function of the batch, independent of the domain count.  The final
+    relation states are also independent of merge order (counts are
+    commutative sums), which is the determinism argument the property
+    suite checks. *)
+
+module Relation = Ivm_relation.Relation
+module Tuple = Ivm_relation.Tuple
+
+(** How many chunks to split a seed delta into: twice the domain count,
+    so task stealing can balance skewed chunk costs. *)
+let chunks_hint () = 2 * Ivm_par.domains ()
+
+(** Deterministically partition [r] into at most [chunks] disjoint parts
+    by tuple hash (counts preserved).  Returns [[| r |]] unchanged when
+    chunking cannot help; never returns empty parts. *)
+let split (r : Relation.t) ~chunks : Relation.t array =
+  let n = Relation.cardinal r in
+  if chunks <= 1 || n <= 1 then [| r |]
+  else begin
+    let arity = Relation.arity r in
+    let parts =
+      Array.init chunks (fun _ -> Relation.create ~size:(max 4 (n / chunks)) arity)
+    in
+    Relation.iter
+      (fun t c -> Relation.add parts.((Tuple.hash t land max_int) mod chunks) t c)
+      r;
+    Array.of_list
+      (List.filter (fun p -> not (Relation.is_empty p)) (Array.to_list parts))
+  end
+
+(** ⊎-merge task outputs into [into], sequentially, in task order. *)
+let merge ~into (outs : Relation.t array) =
+  Array.iter (fun r -> Relation.union_into ~into r) outs

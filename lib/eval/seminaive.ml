@@ -56,8 +56,19 @@ let make_inputs ~(resolve : string -> Relation_view.t)
     Rule_eval.Enumerate (Relation_view.concrete t, Rule_eval.identity_count)
   | Ccmp _ -> assert false
 
+(** Force the grouped-relation cache entries rule [cr] will read under
+    [inputs], in body-literal order — the same first-touch order the
+    evaluator itself would use.  Parallel fan-out calls this while
+    building the task list so no worker thunk ever writes the cache. *)
+let prepare_agg_inputs (cr : Compile.t) (inputs : int -> Rule_eval.subgoal_input) =
+  Array.iteri
+    (fun j lit -> match lit with Cagg _ -> ignore (inputs j) | _ -> ())
+    cr.clits
+
 (** Evaluate all rules of one nonrecursive predicate against the current
-    database state; returns its full materialization. *)
+    database state; returns its full materialization.  Rule bodies fan
+    out across the domain pool (each into a private relation, ⊎-merged in
+    rule order); with one domain the tasks run inline in the same order. *)
 let eval_nonrecursive db ~cache pred =
   let program = Database.program db in
   let out = Relation.create (Program.arity program pred) in
@@ -65,15 +76,22 @@ let eval_nonrecursive db ~cache pred =
     ~args:(fun () ->
       [ ("pred", pred); ("tuples", string_of_int (Relation.cardinal out)) ])
     (fun () ->
-      List.iter
-        (fun rule ->
-          let cr = Database.compile db rule in
-          let inputs =
-            make_inputs ~resolve:(Database.view db) ~mult_for:(Database.mult_for db)
-              ~cache ~version:"cur" cr
-          in
-          Rule_eval.eval ~inputs ~emit:(fun tup c -> Relation.add out tup c) cr)
-        (Program.rules_for program pred));
+      let tasks =
+        List.map
+          (fun rule ->
+            let cr = Database.compile db rule in
+            let inputs =
+              make_inputs ~resolve:(Database.view db)
+                ~mult_for:(Database.mult_for db) ~cache ~version:"cur" cr
+            in
+            prepare_agg_inputs cr inputs;
+            fun () ->
+              let part = Relation.create (Program.arity program pred) in
+              Rule_eval.eval ~inputs ~emit:(fun tup c -> Relation.add part tup c) cr;
+              part)
+          (Program.rules_for program pred)
+      in
+      Par_eval.merge ~into:out (Ivm_par.parallel_map (Array.of_list tasks)));
   out
 
 (** Semi-naive fixpoint for one recursive unit (an SCC of mutually
@@ -155,10 +173,16 @@ let eval_recursive_unit db ~cache (unit_preds : string list) :
              unit_preds);
     (* Delta rules: one evaluation per occurrence of a unit predicate in a
        body, with positions before the delta reading the new totals and
-       positions after reading the previous totals (totals minus delta). *)
+       positions after reading the previous totals (totals minus delta).
+       Totals and deltas are frozen for the round, so every (occurrence ×
+       delta chunk) is an independent read-only task: they fan out across
+       the domain pool, each emitting into a private relation ⊎-merged
+       into the candidates in fixed task order (inline, same order, with
+       one domain). *)
+    let chunks = if Ivm_par.sequential () then 1 else Par_eval.chunks_hint () in
+    let tasks = ref [] in
     List.iter
       (fun p ->
-        let out = Hashtbl.find candidates p in
         List.iter
           (fun rule ->
             let cr = Database.compile db rule in
@@ -176,12 +200,11 @@ let eval_recursive_unit db ~cache (unit_preds : string list) :
                         Relation_view.overlay (Hashtbl.find totals q)
                           (Relation.negate (Hashtbl.find deltas q))
                     in
-                    let inputs j =
+                    let inputs_with seed j =
                       match cr.clits.(j) with
-                      | Catom b when j = i ->
-                        ignore b;
+                      | Catom _ when j = i ->
                         Rule_eval.Enumerate
-                          (Relation_view.concrete delta_rel, Rule_eval.set_count)
+                          (Relation_view.concrete seed, Rule_eval.set_count)
                       | Catom b -> Rule_eval.Enumerate (resolve_pos j b.cpred, mult)
                       | Cneg b -> Rule_eval.Filter_absent (resolve_pos j b.cpred)
                       | Cagg (spec, _) ->
@@ -193,14 +216,32 @@ let eval_recursive_unit db ~cache (unit_preds : string list) :
                           (Relation_view.concrete t, Rule_eval.identity_count)
                       | Ccmp _ -> assert false
                     in
-                    Rule_eval.eval ~seed:i ~inputs
-                      ~emit:(fun tup c -> Relation.add out tup c)
-                      cr
+                    prepare_agg_inputs cr (inputs_with delta_rel);
+                    Array.iter
+                      (fun part ->
+                        tasks :=
+                          ( p,
+                            fun () ->
+                              let out =
+                                Relation.create (Program.arity program p)
+                              in
+                              Rule_eval.eval ~seed:i ~inputs:(inputs_with part)
+                                ~emit:(fun tup c -> Relation.add out tup c)
+                                cr;
+                              out )
+                          :: !tasks)
+                      (Par_eval.split delta_rel ~chunks)
                   end
                 | _ -> ())
               cr.clits)
           (Program.rules_for program p))
       unit_preds;
+    let tasks = Array.of_list (List.rev !tasks) in
+    let outs = Ivm_par.parallel_map (Array.map snd tasks) in
+    Array.iteri
+      (fun k part ->
+        Relation.union_into ~into:(Hashtbl.find candidates (fst tasks.(k))) part)
+      outs;
     continue_ := absorb ()
   done;
   List.map (fun p -> (p, Hashtbl.find totals p)) unit_preds

@@ -64,6 +64,13 @@ let state =
 let enabled () = state.on
 let default_capacity = 4096
 
+(* Spans can be emitted from worker domains during parallel fan-out
+   ({!Ivm_par}); the ring cursor and file channel are shared, so event
+   emission is serialized on [record_lock].  The [depth] counter stays a
+   best-effort plain field: concurrent spans would interleave depths
+   anyway, and viewers nest by timestamp containment, not depth. *)
+let record_lock = Mutex.create ()
+
 let now_us () = (Unix.gettimeofday () -. state.t0) *. 1e6
 
 (* ---------------- sinks ---------------- *)
@@ -94,12 +101,14 @@ let event_json ev =
     ]
 
 let record ev =
+  Mutex.lock record_lock;
   record_ring ev;
-  match state.chan with
+  (match state.chan with
   | None -> ()
   | Some oc ->
     output_string oc (Json.to_string (event_json ev));
-    output_string oc ",\n"
+    output_string oc ",\n");
+  Mutex.unlock record_lock
 
 (* ---------------- control ---------------- *)
 

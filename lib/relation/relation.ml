@@ -9,15 +9,29 @@ end)
    tuples having that projection.  Counts live only in the main table. *)
 type index = { cols : int list; buckets : unit Tbl.t Tbl.t }
 
-type t = { arity : int; counts : int Tbl.t; mutable indexes : index list }
+(* [indexes] is demand-built on first probe, which can now happen from
+   several domains at once during parallel delta evaluation (relations are
+   read-only there, but probing builds indexes).  The list is published
+   through an [Atomic.t] — an index is fully built before it becomes
+   reachable, so concurrent probers either see it complete or build-race
+   on [build_lock] and find it on the re-check.  Mutation (insert/remove)
+   remains single-domain, like the rest of the store. *)
+type t = {
+  arity : int;
+  counts : int Tbl.t;
+  indexes : index list Atomic.t;
+  build_lock : Mutex.t;
+}
 
-let create ?(size = 64) arity = { arity; counts = Tbl.create size; indexes = [] }
+let create ?(size = 64) arity =
+  { arity; counts = Tbl.create size; indexes = Atomic.make [];
+    build_lock = Mutex.create () }
 let arity r = r.arity
 let cardinal r = Tbl.length r.counts
 
 (** Number of demand-built secondary indexes currently attached (for the
     observability gauges — see {!Ivm_eval.Database.observe_gauges}). *)
-let index_count r = List.length r.indexes
+let index_count r = List.length (Atomic.get r.indexes)
 let total_count r = Tbl.fold (fun _ c acc -> acc + c) r.counts 0
 let is_empty r = Tbl.length r.counts = 0
 let count r t = match Tbl.find_opt r.counts t with Some c -> c | None -> 0
@@ -44,10 +58,10 @@ let index_remove idx t =
     if Tbl.length b = 0 then Tbl.remove idx.buckets key
 
 let insert_tuple r t =
-  List.iter (fun idx -> index_insert idx t) r.indexes
+  List.iter (fun idx -> index_insert idx t) (Atomic.get r.indexes)
 
 let remove_tuple r t =
-  List.iter (fun idx -> index_remove idx t) r.indexes
+  List.iter (fun idx -> index_remove idx t) (Atomic.get r.indexes)
 
 let check_arity r t =
   if Array.length t <> r.arity then
@@ -86,7 +100,7 @@ let exists f r =
 
 let clear r =
   Tbl.reset r.counts;
-  r.indexes <- []
+  Atomic.set r.indexes []
 
 let copy r =
   let copy_index idx =
@@ -97,20 +111,21 @@ let copy r =
   {
     arity = r.arity;
     counts = Tbl.copy r.counts;
-    indexes = List.map copy_index r.indexes;
+    indexes = Atomic.make (List.map copy_index (Atomic.get r.indexes));
+    build_lock = Mutex.create ();
   }
 
 let union_into ~into r = iter (fun t c -> add into t c) r
 
 let union a b =
   let r = copy a in
-  r.indexes <- [];
+  Atomic.set r.indexes [];
   union_into ~into:r b;
   r
 
 let diff a b =
   let r = copy a in
-  r.indexes <- [];
+  Atomic.set r.indexes [];
   iter (fun t c -> add r t (-c)) b;
   r
 
@@ -152,10 +167,20 @@ let equal_counted a b =
   cardinal a = cardinal b && not (exists (fun t c -> count b t <> c) a)
 
 let ensure_index r cols =
-  if not (List.exists (fun idx -> idx.cols = cols) r.indexes) then begin
-    let idx = { cols; buckets = Tbl.create (max 16 (cardinal r / 4)) } in
-    Tbl.iter (fun t _ -> index_insert idx t) r.counts;
-    r.indexes <- idx :: r.indexes
+  if not (List.exists (fun idx -> idx.cols = cols) (Atomic.get r.indexes))
+  then begin
+    (* Build-race with a concurrent prober: serialize builds on
+       [build_lock], re-check under the lock, and publish the fully built
+       index with a single [Atomic.set] so lock-free readers never see a
+       partial index. *)
+    Mutex.lock r.build_lock;
+    let cur = Atomic.get r.indexes in
+    (if not (List.exists (fun idx -> idx.cols = cols) cur) then begin
+       let idx = { cols; buckets = Tbl.create (max 16 (cardinal r / 4)) } in
+       Tbl.iter (fun t _ -> index_insert idx t) r.counts;
+       Atomic.set r.indexes (idx :: cur)
+     end);
+    Mutex.unlock r.build_lock
   end
 
 let rec natural_prefix n = function
@@ -172,7 +197,7 @@ let probe r cols key f =
   end
   else begin
     ensure_index r cols;
-    let idx = List.find (fun idx -> idx.cols = cols) r.indexes in
+    let idx = List.find (fun idx -> idx.cols = cols) (Atomic.get r.indexes) in
     match Tbl.find_opt idx.buckets key with
     | None -> ()
     | Some bucket ->

@@ -25,5 +25,7 @@ let () =
       ("misc_coverage", Test_misc_coverage.suite);
       ("final_coverage", Test_final_coverage.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("properties", Test_properties.suite);
+      ("differential", Test_differential.suite);
     ]

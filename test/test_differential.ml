@@ -1,0 +1,278 @@
+(** Randomized differential suite: all four maintenance algorithms —
+    Counting (Algorithm 4.1), DRed (Section 7), the PF baseline [HD92]
+    and full recomputation — driven over generated stratified programs
+    (joins, union, negation, comparisons, GROUPBY) and seeded
+    insert/delete streams, asserting identical final view states on
+    their shared domain:
+
+    - nonrecursive, set semantics: Counting ≡ DRed ≡ PF ≡ Recompute as
+      sets;
+    - nonrecursive, duplicate semantics: Counting ≡ Recompute with
+      counts (DRed and PF are set-semantics algorithms);
+    - recursive (transitive closure, both linearizations): DRed ≡ PF ≡
+      Recompute as sets (Counting is nonrecursive-only).
+
+    Plus the determinism properties for the multicore path: for every
+    algorithm, the exact same scenario replayed at [~domains:4] produces
+    a canonical derived-state dump byte-identical to [~domains:1] —
+    tuple-for-tuple and count-for-count (the ⊎-merge runs in fixed task
+    order, so the domain count must be unobservable). *)
+
+open Util
+module Changes = Ivm.Changes
+module Counting = Ivm.Counting
+module Dred = Ivm.Dred
+module Rc = Ivm.Recursive_counting
+module Pf = Ivm_baselines.Pf
+module Recompute = Ivm_baselines.Recompute
+module Prng = Ivm_workload.Prng
+module Graph_gen = Ivm_workload.Graph_gen
+module Update_gen = Ivm_workload.Update_gen
+module Programs = Ivm_workload.Programs
+
+let q ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Program generator: random stratified views over a [link] base        *)
+(* ------------------------------------------------------------------ *)
+
+(** A random program shape: which optional strata are present.  Always
+    includes the [hop] join; negation forces the [tri] stratum it
+    negates against. *)
+type shape = {
+  seed : int;  (** seeds the graph and the update stream *)
+  union_hop : bool;  (** a second [hop] rule — union with multiplicities *)
+  tri : bool;  (** a deeper join stratum over [hop] *)
+  negation : bool;  (** [only_tri(X,Y) :- tri(X,Y), not hop(X,Y)] *)
+  cmp : bool;  (** a comparison filter stratum *)
+  agg : int;  (** 0 = none, else one GROUPBY view (count/min/max/sum) *)
+}
+
+let source_of s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "hop(X, Y) :- link(X, Z), link(Z, Y).\n";
+  if s.union_hop then Buffer.add_string b "hop(X, Y) :- link(X, Y).\n";
+  if s.tri || s.negation then
+    Buffer.add_string b "tri(X, Y) :- hop(X, Z), link(Z, Y).\n";
+  if s.negation then
+    Buffer.add_string b "only_tri(X, Y) :- tri(X, Y), not hop(X, Y).\n";
+  if s.cmp then Buffer.add_string b "up_hop(X, Y) :- hop(X, Y), X < Y.\n";
+  (match s.agg with
+  | 1 ->
+    Buffer.add_string b
+      "out_deg(X, N) :- groupby(link(X, Y), [X], N = count()).\n"
+  | 2 ->
+    Buffer.add_string b
+      "min_succ(X, M) :- groupby(hop(X, Y), [X], M = min(Y)).\n"
+  | 3 ->
+    Buffer.add_string b
+      "max_succ(X, M) :- groupby(link(X, Y), [X], M = max(Y)).\n"
+  | 4 ->
+    Buffer.add_string b
+      "succ_sum(X, S) :- groupby(hop(X, Y), [X], S = sum(Y)).\n"
+  | _ -> ());
+  Buffer.contents b
+
+let shape_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, (u, t, n, c, a)) ->
+        { seed; union_hop = u; tri = t; negation = n; cmp = c; agg = a })
+      (pair (int_range 1 1_000_000)
+         (tup5 bool bool bool bool (int_range 0 4))))
+
+let arb_shape =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "seed=%d\n%s" s.seed (source_of s))
+    shape_gen
+
+(* ------------------------------------------------------------------ *)
+(* Scenario plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let nodes = 10
+let edges = 25
+let steps = 3
+
+let build ~semantics ~src graph =
+  let program = Program.make (Parser.parse_rules src) in
+  let db = Database.create ~semantics program in
+  Database.load db "link" graph;
+  Seminaive.evaluate db;
+  db
+
+(** Drive the [runners] (name × maintain) in lockstep over one random
+    stream: every batch is generated against the first database — all
+    databases hold the same base state, so the deletions are valid for
+    each — then applied to all of them; [agree] checks the final states. *)
+let lockstep ~semantics ~src ~runners ~agree seed =
+  let rng = Prng.create seed in
+  let graph = Graph_gen.tuples (Graph_gen.random rng ~nodes ~edges) in
+  let dbs = List.map (fun (name, run) -> (name, build ~semantics ~src graph, run)) runners in
+  let first = match dbs with (_, db, _) :: _ -> db | [] -> assert false in
+  for _ = 1 to steps do
+    let changes =
+      Update_gen.mixed rng first "link" ~nodes
+        ~dels:(Prng.int rng 4) ~ins:(Prng.int rng 4)
+    in
+    List.iter (fun (_, db, run) -> run db changes) dbs
+  done;
+  agree (List.map (fun (name, db, _) -> (name, db)) dbs)
+
+let agree_as equal dbs =
+  let (_, first), rest =
+    match dbs with x :: rest -> (x, rest) | [] -> assert false
+  in
+  List.for_all
+    (fun (_, db) ->
+      List.for_all
+        (fun p -> equal (Database.relation first p) (Database.relation db p))
+        (Program.derived_preds (Database.program first)))
+    rest
+
+(* ------------------------------------------------------------------ *)
+(* Differential properties                                              *)
+(* ------------------------------------------------------------------ *)
+
+let four_way_set =
+  q ~count:110 "counting == dred == pf == recompute (sets, random programs)"
+    arb_shape
+    (fun s ->
+      lockstep ~semantics:Database.Set_semantics ~src:(source_of s)
+        ~runners:
+          [
+            ("counting", fun db c -> ignore (Counting.maintain db c));
+            ("dred", fun db c -> ignore (Dred.maintain db c));
+            ("pf", fun db c -> ignore (Pf.maintain db c));
+            ("recompute", fun db c -> Recompute.maintain db c);
+          ]
+        ~agree:(agree_as Relation.equal_sets) s.seed)
+
+let duplicate_counted =
+  q ~count:60 "counting == recompute (counts, duplicate semantics)"
+    arb_shape
+    (fun s ->
+      lockstep ~semantics:Database.Duplicate_semantics ~src:(source_of s)
+        ~runners:
+          [
+            ("counting", fun db c -> ignore (Counting.maintain db c));
+            ("recompute", fun db c -> Recompute.maintain db c);
+          ]
+        ~agree:(agree_as Relation.equal_counted) s.seed)
+
+let recursive_set =
+  q ~count:60 "dred == pf == recompute (sets, recursive closure)"
+    (QCheck.make
+       ~print:(fun (seed, right) ->
+         Printf.sprintf "seed=%d linearization=%s" seed
+           (if right then "right" else "left"))
+       QCheck.Gen.(pair (int_range 1 1_000_000) bool))
+    (fun (seed, right) ->
+      let src =
+        if right then Programs.transitive_closure_right
+        else Programs.transitive_closure
+      in
+      lockstep ~semantics:Database.Set_semantics ~src
+        ~runners:
+          [
+            ("dred", fun db c -> ignore (Dred.maintain db c));
+            ("pf", fun db c -> ignore (Pf.maintain db c));
+            ("recompute", fun db c -> Recompute.maintain db c);
+          ]
+        ~agree:(agree_as Relation.equal_sets) seed)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: domains 4 ≡ domains 1, canonically dumped               *)
+(* ------------------------------------------------------------------ *)
+
+let with_domains d f =
+  let prev = Ivm_par.domains () in
+  Ivm_par.set_domains d;
+  Fun.protect ~finally:(fun () -> Ivm_par.set_domains prev) f
+
+(** Replay the exact same scenario under [domains] and return the
+    canonical derived-state dump.  All randomness is re-derived from
+    [seed], and update batches are generated from the database's own base
+    state (identical across replays), so the two runs see identical
+    inputs; byte-equal dumps mean the domain count is unobservable. *)
+let replay ~domains ~semantics ~src ~maintain seed =
+  with_domains domains (fun () ->
+      let rng = Prng.create seed in
+      let graph = Graph_gen.tuples (Graph_gen.random rng ~nodes ~edges) in
+      let db = build ~semantics ~src graph in
+      for _ = 1 to steps do
+        let changes =
+          Update_gen.mixed rng db "link" ~nodes
+            ~dels:(Prng.int rng 4) ~ins:(Prng.int rng 4)
+        in
+        maintain db changes
+      done;
+      canonical_dump db)
+
+let deterministic ~semantics ~src ~maintain seed =
+  String.equal
+    (replay ~domains:1 ~semantics ~src ~maintain seed)
+    (replay ~domains:4 ~semantics ~src ~maintain seed)
+
+let arb_seed =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+    QCheck.Gen.(int_range 1 1_000_000)
+
+let determinism_props =
+  [
+    q ~count:25 "counting: domains 4 == domains 1" arb_shape (fun s ->
+        deterministic ~semantics:Database.Duplicate_semantics
+          ~src:(source_of s)
+          ~maintain:(fun db c -> ignore (Counting.maintain db c))
+          s.seed);
+    q ~count:25 "dred: domains 4 == domains 1 (nonrecursive)" arb_shape
+      (fun s ->
+        deterministic ~semantics:Database.Set_semantics ~src:(source_of s)
+          ~maintain:(fun db c -> ignore (Dred.maintain db c))
+          s.seed);
+    q ~count:20 "dred: domains 4 == domains 1 (recursive)" arb_seed
+      (deterministic ~semantics:Database.Set_semantics
+         ~src:Programs.transitive_closure
+         ~maintain:(fun db c -> ignore (Dred.maintain db c)));
+    q ~count:15 "pf: domains 4 == domains 1 (recursive)" arb_seed
+      (deterministic ~semantics:Database.Set_semantics
+         ~src:Programs.transitive_closure
+         ~maintain:(fun db c -> ignore (Pf.maintain db c)));
+    q ~count:20 "recompute: domains 4 == domains 1" arb_shape (fun s ->
+        deterministic ~semantics:Database.Set_semantics ~src:(source_of s)
+          ~maintain:(fun db c -> Recompute.maintain db c)
+          s.seed);
+    (* Recursive counting needs acyclic data: deletion-only streams over a
+       layered DAG, duplicate semantics. *)
+    q ~count:15 "recursive counting: domains 4 == domains 1" arb_seed
+      (fun seed ->
+        let run domains =
+          with_domains domains (fun () ->
+              let rng = Prng.create seed in
+              let program =
+                Program.make
+                  (Parser.parse_rules Programs.transitive_closure)
+              in
+              let db =
+                Database.create ~semantics:Database.Duplicate_semantics
+                  program
+              in
+              Database.load db "link"
+                (Graph_gen.tuples
+                   (Graph_gen.layered_dag rng ~layers:5 ~width:4
+                      ~out_degree:2));
+              Rc.evaluate db;
+              for _ = 1 to steps do
+                let k = Prng.int rng 3 in
+                ignore
+                  (Rc.maintain db (Update_gen.deletions rng db "link" k))
+              done;
+              canonical_dump db)
+        in
+        String.equal (run 1) (run 4));
+  ]
+
+let suite =
+  [ four_way_set; duplicate_counted; recursive_set ] @ determinism_props

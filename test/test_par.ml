@@ -1,0 +1,123 @@
+(** Unit tests for the [ivm_par] domain pool and [parallel_map]:
+    ordering, inline fast paths, load-balanced claiming, exception
+    propagation, pool reuse after failure, and the domain-count knob. *)
+
+open Util
+
+exception Boom of int
+
+let with_domains d f =
+  let prev = Ivm_par.domains () in
+  Ivm_par.set_domains d;
+  Fun.protect ~finally:(fun () -> Ivm_par.set_domains prev) f
+
+let squares n = Array.init n (fun i -> fun () -> i * i)
+let expected n = Array.init n (fun i -> i * i)
+
+let results_in_task_order () =
+  with_domains 3 (fun () ->
+      Alcotest.(check (array int))
+        "100 tasks on 3 domains" (expected 100)
+        (Ivm_par.parallel_map (squares 100)))
+
+let inline_paths () =
+  with_domains 4 (fun () ->
+      Alcotest.(check (array int)) "empty batch" [||] (Ivm_par.parallel_map [||]);
+      Alcotest.(check (array int))
+        "single task runs inline" (expected 1)
+        (Ivm_par.parallel_map (squares 1)));
+  with_domains 1 (fun () ->
+      Alcotest.(check bool) "domains 1 is sequential" true (Ivm_par.sequential ());
+      Alcotest.(check (array int))
+        "sequential batch" (expected 50)
+        (Ivm_par.parallel_map (squares 50)))
+
+let skewed_tasks () =
+  (* wildly uneven task costs still produce per-index results *)
+  with_domains 4 (fun () ->
+      let tasks =
+        Array.init 40 (fun i ->
+            fun () ->
+              let spin = if i mod 7 = 0 then 10_000 else 10 in
+              let acc = ref 0 in
+              for k = 1 to spin do acc := !acc + (k mod 3) done;
+              ignore !acc;
+              i)
+      in
+      Alcotest.(check (array int))
+        "skewed batch keeps indexing" (Array.init 40 Fun.id)
+        (Ivm_par.parallel_map tasks))
+
+let exception_propagates () =
+  with_domains 4 (fun () ->
+      let tasks =
+        Array.init 20 (fun i ->
+            fun () -> if i = 13 then raise (Boom i) else i)
+      in
+      (match Ivm_par.parallel_map tasks with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 13 -> ()
+      | exception e -> raise e);
+      (* the pool drained the batch and stays usable *)
+      Alcotest.(check (array int))
+        "pool reusable after failure" (expected 30)
+        (Ivm_par.parallel_map (squares 30)))
+
+let set_domains_clamps () =
+  with_domains 1 (fun () ->
+      Ivm_par.set_domains 0;
+      Alcotest.(check int) "clamped to 1" 1 (Ivm_par.domains ());
+      Ivm_par.set_domains (-3);
+      Alcotest.(check int) "negative clamped" 1 (Ivm_par.domains ());
+      Ivm_par.set_domains 4;
+      Alcotest.(check int) "set to 4" 4 (Ivm_par.domains ());
+      Alcotest.(check bool) "not sequential" false (Ivm_par.sequential ()))
+
+let resize_midstream () =
+  (* growing and shrinking the pool between batches keeps results right *)
+  with_domains 2 (fun () ->
+      Alcotest.(check (array int)) "at 2" (expected 25)
+        (Ivm_par.parallel_map (squares 25));
+      Ivm_par.set_domains 4;
+      Alcotest.(check (array int)) "grown to 4" (expected 25)
+        (Ivm_par.parallel_map (squares 25));
+      Ivm_par.set_domains 1;
+      Alcotest.(check (array int)) "shrunk to 1" (expected 25)
+        (Ivm_par.parallel_map (squares 25)))
+
+let pool_direct () =
+  let pool = Ivm_par.Pool.create ~domains:3 in
+  Fun.protect
+    ~finally:(fun () -> Ivm_par.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "size" 3 (Ivm_par.Pool.size pool);
+      let hits = Array.make 64 0 in
+      Ivm_par.Pool.run_tasks pool ~n:64 (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (array int))
+        "every task ran exactly once" (Array.make 64 1) hits);
+  (* shutdown is idempotent *)
+  Ivm_par.Pool.shutdown pool
+
+let split_merge_roundtrip () =
+  (* Par_eval.split partitions; merging the parts restores the relation *)
+  let r = Relation.create 2 in
+  for i = 0 to 40 do
+    Relation.add r [| Value.Int (i mod 13); Value.Int (i mod 7) |] ((i mod 3) + 1)
+  done;
+  let parts = Ivm_eval.Par_eval.split r ~chunks:4 in
+  Alcotest.(check bool) "several parts" true (Array.length parts >= 2);
+  let whole = Relation.create 2 in
+  Ivm_eval.Par_eval.merge ~into:whole parts;
+  check_rel "split ∘ merge = id" r whole
+
+let suite =
+  [
+    quick "parallel_map keeps task order" results_in_task_order;
+    quick "inline fast paths" inline_paths;
+    quick "skewed task costs" skewed_tasks;
+    quick "exception propagation + reuse" exception_propagates;
+    quick "set_domains clamps" set_domains_clamps;
+    quick "pool resize between batches" resize_midstream;
+    quick "pool direct run_tasks" pool_direct;
+    quick "Par_eval split/merge round-trip" split_merge_roundtrip;
+  ]

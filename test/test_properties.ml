@@ -302,8 +302,34 @@ let rule_gen : Ivm_datalog.Ast.rule QCheck.Gen.t =
       (fun v n -> Lcmp (Eterm (Var v), Lt, Eterm (Const (Value.Int n))))
       var (int_range 0 9)
   in
+  let agg_lit =
+    (* groupby(u(X0,..,Xn-1), [X0,..,Xn-2], R = fn(Xn-1)); count() takes no
+       argument and parses back with the same placeholder the AST helper
+       uses, so round-trip equality holds structurally. *)
+    map2
+      (fun fn n ->
+        let vs = List.init n (fun i -> Printf.sprintf "X%d" i) in
+        let by = List.filteri (fun i _ -> i < n - 1) vs in
+        let arg =
+          match fn with
+          | Count -> Eterm (Const (Value.Int 0))
+          | _ -> Eterm (Var (List.nth vs (n - 1)))
+        in
+        Lagg
+          {
+            agg_source =
+              { pred = "u"; args = List.map (fun v -> Eterm (Var v)) vs };
+            agg_group_by = by;
+            agg_result = "R";
+            agg_fn = fn;
+            agg_arg = arg;
+          })
+      (oneofl [ Count; Sum; Min; Max; Avg ])
+      (int_range 2 3)
+  in
   let body =
-    list_size (int_range 1 3) (frequency [ (4, pos_lit); (1, neg_lit); (1, cmp_lit) ])
+    list_size (int_range 1 3)
+      (frequency [ (4, pos_lit); (1, neg_lit); (1, cmp_lit); (1, agg_lit) ])
   in
   map2
     (fun b vars ->

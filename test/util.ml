@@ -67,4 +67,23 @@ let check_rel ?(counted = true) msg expected actual =
 (** Relation stored for [pred] in [db]. *)
 let rel db pred = Database.relation db pred
 
+(** Canonical dump of a relation: entries sorted by tuple, with counts.
+    Iteration-order independent — route any assertion that compares dumped
+    relation text through this (or {!Relation.to_string}, which sorts the
+    same way) rather than through raw fold/iter order. *)
+let sorted_entries (r : Relation.t) : (Tuple.t * int) list =
+  Relation.to_sorted_list r
+
+(** Canonical dump of every derived relation of [db] — predicates sorted
+    by name, tuples sorted within each relation.  Two databases are in the
+    same derived state iff their dumps are byte-identical, whatever the
+    internal hash-table order (used by the domains-1-vs-4 determinism
+    properties). *)
+let canonical_dump (db : Database.t) : string =
+  let program = Database.program db in
+  String.concat "\n"
+    (List.map
+       (fun p -> p ^ " = " ^ Relation.to_string (Database.relation db p))
+       (List.sort String.compare (Program.derived_preds program)))
+
 let quick name f = Alcotest.test_case name `Quick f
