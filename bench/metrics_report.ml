@@ -223,6 +223,7 @@ let parallel_sweep () : Json.t =
 (** Build the report and write it to [out]. *)
 let run ~out () =
   Metrics.reset ();
+  Stats.reset ();
   (* Workload 1: Example 1.1/4.2 views over a random graph, mixed updates. *)
   let w1 =
     let nodes = 200 and edges = 1000 and n_batches = 25 in
@@ -261,6 +262,9 @@ let run ~out () =
      left, and the registry dump must see the sweep's per-domain
      counters. *)
   let sweep = parallel_sweep () in
+  (* Fold the evaluator's per-domain work cells into the registry before
+     dumping it. *)
+  Stats.sync ();
   let doc =
     Json.Obj
       [

@@ -101,8 +101,10 @@ let execute ?sql vm line =
   end
   else if line = "stats" then
     Format.printf "%a@." Stats.pp_snapshot (Stats.snapshot ())
-  else if line = "metrics" then
+  else if line = "metrics" then begin
+    Stats.sync ();
     Format.printf "%a@." Ivm_obs.Metrics.pp ()
+  end
   else if line = "trace status" then begin
     if Ivm_obs.Trace.enabled () then
       Format.printf "tracing: on%s@."

@@ -86,13 +86,15 @@ type ctx = {
 
 let arity_of ctx pred = Program.arity (Database.program ctx.db) pred
 
+(* [maintain] pre-populates a slot for every program predicate before any
+   evaluation starts, so this is a pure lookup.  That matters: worker
+   thunks build overlays through [new_view] concurrently, and a lazy
+   insert here would be an unsynchronized Hashtbl mutation from multiple
+   domains — first touch must never happen inside a thunk. *)
 let delta_of ctx pred =
   match Hashtbl.find_opt ctx.delta pred with
   | Some r -> r
-  | None ->
-    let r = Relation.create (arity_of ctx pred) in
-    Hashtbl.replace ctx.delta pred r;
-    r
+  | None -> invalid_arg ("Dred.delta_of: no delta slot for predicate " ^ pred)
 
 let old_view ctx pred = Database.view ctx.db pred
 
@@ -175,7 +177,12 @@ let agg_delta ctx (spec : Compile.agg_spec) =
    later evaluation of the same round) is instead picked up by the next
    round's seeds — all three phases are monotone fixpoints over unit
    predicates, so the frozen-round schedule converges to the identical
-   final state. *)
+   final state.
+
+   Shared lazy state is pre-forced before fan-out: [maintain] populates a
+   [ctx.delta] slot per program predicate (so [new_view] never inserts),
+   and [prepare_grouped] forces the grouped-relation cache entries a
+   rule's aggregate literals read.  Thunks only read [ctx]. *)
 
 let par_chunks () =
   if Ivm_par.sequential () then 1 else Ivm_eval.Par_eval.chunks_hint ()
@@ -642,6 +649,12 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
       agg_deltas = Hashtbl.create 8;
     }
   in
+  (* Every predicate gets its delta slot up front, so [delta_of] — and
+     hence [new_view], which worker thunks call concurrently — never
+     mutates [ctx.delta] after this point. *)
+  List.iter
+    (fun p -> Hashtbl.replace ctx.delta p (Relation.create (arity_of ctx p)))
+    (Program.base_preds program @ Program.derived_preds program);
   List.iter
     (fun (pred, delta) ->
       Hashtbl.replace ctx.delta pred (Relation.copy delta);

@@ -10,12 +10,15 @@
       sequentially in task order ({!merge}).
 
     Since a batch often has fewer delta rules than domains, seed deltas
-    are additionally {!split} into chunks by tuple hash — a deterministic
-    partition, so the task list (and hence the merge order) is a pure
-    function of the batch, independent of the domain count.  The final
-    relation states are also independent of merge order (counts are
-    commutative sums), which is the determinism argument the property
-    suite checks. *)
+    are additionally {!split} into chunks by tuple hash.  The partition
+    is deterministic for a given chunk count, but the chunk count tracks
+    the configured domain count ({!chunks_hint}) — so the task list, and
+    with it the merge order, is fixed only per configuration, never by
+    scheduling.  Identical final states across {e different} domain
+    counts rest on [⊎] alone: counts sum per tuple (commutative,
+    associative), so the merged content does not depend on how the seeds
+    were chunked.  That commutativity argument is what the determinism
+    property suite checks. *)
 
 module Relation = Ivm_relation.Relation
 module Tuple = Ivm_relation.Tuple

@@ -5,13 +5,24 @@
     algorithm computes, not just wall-clock time.  The evaluator bumps these
     counters so tests and benches can assert on work done.
 
-    The four counters used to be ad-hoc module globals; they are now
-    registered metrics ([ivm_derivations_total], [ivm_tuples_scanned_total],
-    [ivm_probes_total], [ivm_rule_applications_total]) visible to the
-    shell's [metrics] command and the bench [--metrics-json] report, while
-    this module keeps the historical API.  A bump is still a single field
-    write on a cached handle — the hot path is unchanged — and additions
-    now {b saturate} at [max_int] instead of wrapping negative.
+    {b Multi-domain exactness.}  The evaluator runs inside worker-domain
+    thunks under parallel fan-out ({!Ivm_par}), so a shared mutable int
+    would lose concurrent increments.  Each domain instead accumulates
+    into its own cell — domain-local storage, registered under a mutex on
+    the domain's first bump — and reads sum the cells, so no bump is ever
+    lost and the hot path never writes a shared cache line.  A read taken
+    {e while} a batch is in flight may miss another domain's most recent
+    bumps (plain [int] loads can be stale, never torn); the pool's
+    batch-completion join provides the happens-before edge, so counts
+    observed between batches — where all the harness measurements happen —
+    are exact.
+
+    The counters remain registered metrics ([ivm_derivations_total],
+    [ivm_tuples_scanned_total], [ivm_probes_total],
+    [ivm_rule_applications_total]); the registered handles mirror the cell
+    sums and are refreshed by {!sync}, which registry dumpers (the shell's
+    [metrics] command, the bench [--metrics-json] report) call before
+    reading.  Sums {b saturate} at [max_int] instead of wrapping negative.
 
     {b Snapshot semantics.}  Counters are monotone between resets;
     [since earlier] is the work performed after [earlier] was taken.
@@ -20,7 +31,9 @@
     intended reading, not double counting: each [measure] answers "how
     much work happened while [f] ran".  Calling {!reset} invalidates
     outstanding snapshots; [since] clamps at zero so a stale snapshot
-    yields zeros rather than negative garbage. *)
+    yields zeros rather than negative garbage.  Like the registry it
+    shims, {!reset} (and {!sync}) must run at quiescence — no parallel
+    batch in flight. *)
 
 module Metrics = Ivm_obs.Metrics
 
@@ -29,23 +42,92 @@ let tuples_scanned_c = Metrics.counter "ivm_tuples_scanned_total"
 let probes_c = Metrics.counter "ivm_probes_total"
 let rule_applications_c = Metrics.counter "ivm_rule_applications_total"
 
+(* ---------------- per-domain cells ---------------- *)
+
+type cell = {
+  mutable cell_derivations : int;
+  mutable cell_scanned : int;
+  mutable cell_probes : int;
+  mutable cell_rules : int;
+}
+
+let cells_lock = Mutex.create ()
+
+(* Cells of every domain that ever bumped a counter.  Entries of joined
+   worker domains stay (their work must not vanish from the totals);
+   pools rebuild rarely, so the list stays tiny. *)
+let cells : cell list ref = ref []
+
+let cell_key : cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        { cell_derivations = 0; cell_scanned = 0; cell_probes = 0; cell_rules = 0 }
+      in
+      Mutex.lock cells_lock;
+      cells := c :: !cells;
+      Mutex.unlock cells_lock;
+      c)
+
+let add_derivation () =
+  let c = Domain.DLS.get cell_key in
+  c.cell_derivations <- c.cell_derivations + 1
+
+let add_scanned () =
+  let c = Domain.DLS.get cell_key in
+  c.cell_scanned <- c.cell_scanned + 1
+
+let add_probe () =
+  let c = Domain.DLS.get cell_key in
+  c.cell_probes <- c.cell_probes + 1
+
+let add_rule_application () =
+  let c = Domain.DLS.get cell_key in
+  c.cell_rules <- c.cell_rules + 1
+
+(** Sum one field over all cells, saturating at [max_int]. *)
+let sum_cells get =
+  Mutex.lock cells_lock;
+  let s =
+    List.fold_left
+      (fun acc c ->
+        let v = get c in
+        if acc > max_int - v then max_int else acc + v)
+      0 !cells
+  in
+  Mutex.unlock cells_lock;
+  s
+
+let derivations () = sum_cells (fun c -> c.cell_derivations)
+let tuples_scanned () = sum_cells (fun c -> c.cell_scanned)
+let probes () = sum_cells (fun c -> c.cell_probes)
+let rule_applications () = sum_cells (fun c -> c.cell_rules)
+
+(** Mirror the cell sums into the registered metrics so registry dumps
+    ({!Ivm_obs.Metrics.pp} / [to_json]) show current totals.  Call at
+    quiescence, right before dumping. *)
+let sync () =
+  derivations_c.Metrics.count <- derivations ();
+  tuples_scanned_c.Metrics.count <- tuples_scanned ();
+  probes_c.Metrics.count <- probes ();
+  rule_applications_c.Metrics.count <- rule_applications ()
+
 (** Reset the four work counters (only; other registered metrics keep
-    their values — use {!Ivm_obs.Metrics.reset} for everything). *)
+    their values — use {!Ivm_obs.Metrics.reset} for everything, plus this
+    for the per-domain cells behind these four). *)
 let reset () =
+  Mutex.lock cells_lock;
+  List.iter
+    (fun c ->
+      c.cell_derivations <- 0;
+      c.cell_scanned <- 0;
+      c.cell_probes <- 0;
+      c.cell_rules <- 0)
+    !cells;
+  Mutex.unlock cells_lock;
   derivations_c.Metrics.count <- 0;
   tuples_scanned_c.Metrics.count <- 0;
   probes_c.Metrics.count <- 0;
   rule_applications_c.Metrics.count <- 0
-
-let derivations () = Metrics.counter_value derivations_c
-let tuples_scanned () = Metrics.counter_value tuples_scanned_c
-let probes () = Metrics.counter_value probes_c
-let rule_applications () = Metrics.counter_value rule_applications_c
-
-let add_derivation () = Metrics.inc derivations_c
-let add_scanned () = Metrics.inc tuples_scanned_c
-let add_probe () = Metrics.inc probes_c
-let add_rule_application () = Metrics.inc rule_applications_c
 
 type snapshot = {
   snap_derivations : int;

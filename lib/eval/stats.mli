@@ -5,12 +5,18 @@
     computes, not just wall-clock time.  The evaluator bumps these
     process-global counters; reset them around the region you measure.
 
+    {b Exact under parallel evaluation}: each domain accumulates into its
+    own cell (domain-local storage) and reads sum the cells, so bumps from
+    worker-domain thunks ({!Ivm_par}) are never lost.  Counts read between
+    parallel batches — where all measurements happen — are exact; a read
+    taken mid-batch may lag other domains' most recent bumps.
+
     The counters are registered metrics ([ivm_derivations_total],
     [ivm_tuples_scanned_total], [ivm_probes_total],
     [ivm_rule_applications_total]), visible to the shell's [metrics]
-    command and the bench [--metrics-json] report; this module keeps the
-    historical API on cached handles, so a bump is still one field write.
-    Additions saturate at [max_int] (no wrap-around).
+    command and the bench [--metrics-json] report; {!sync} refreshes the
+    registered handles from the cells before a registry dump.
+    Sums saturate at [max_int] (no wrap-around).
 
     {b Snapshot semantics.}  Counters are monotone between {!reset}s.
     Nested {!measure} calls attribute inner work to both regions — each
@@ -21,8 +27,14 @@
 (** Reset the four work counters to zero.  Snapshots taken earlier become
     stale: {!since} reports zeros for them, not negative work.  Other
     registered metrics keep their values ({!Ivm_obs.Metrics.reset} zeroes
-    everything). *)
+    the registry but not the per-domain cells behind these four — call
+    this as well).  Run at quiescence: no parallel batch in flight. *)
 val reset : unit -> unit
+
+(** Mirror the per-domain cell sums into the registered metrics so
+    registry dumps ({!Ivm_obs.Metrics.pp} / [to_json]) show current
+    totals.  Run at quiescence, right before dumping. *)
+val sync : unit -> unit
 
 (** Tuples emitted by rule bodies — one per successful derivation. *)
 val derivations : unit -> int

@@ -18,8 +18,11 @@
     {!percentile} answers with the containing bucket's upper bound, i.e.
     within 2x of the true value.
 
-    The registry is process-global and not thread-safe, like the evaluator
-    it instruments. *)
+    The registry is process-global and not thread-safe: register, bump and
+    read from one domain at a time.  Producers that run on multiple domains
+    stage their counts in per-domain state and fold in at quiescence — see
+    {!Ivm_eval.Stats} for the evaluator's work counters and the pool's
+    per-participant counters in [Ivm_par.Pool]. *)
 
 type labels = (string * string) list
 

@@ -6,9 +6,12 @@
     immutable old/new views and emits an independent delta, combined only
     at the [⊎] step.  The algorithms therefore package each maintenance
     phase as an array of read-only thunks, run them here, and ⊎-merge the
-    per-thunk results sequentially in fixed task order — which makes the
-    committed view states identical whatever the domain count (the
-    determinism property suite pins this).
+    per-thunk results sequentially in fixed task order.  Committed view
+    states are identical whatever the domain count because [⊎] sums
+    counts per tuple — commutative and associative — so neither the
+    domain-count-dependent chunking nor the merge order affects the
+    merged content (the determinism property suite pins this; see
+    {!Ivm_eval.Par_eval}).
 
     The domain count is a process-global knob, default 1 (fully
     sequential, no pool, no worker domains):

@@ -110,6 +110,87 @@ let split_merge_roundtrip () =
   Ivm_eval.Par_eval.merge ~into:whole parts;
   check_rel "split ∘ merge = id" r whole
 
+(* Regression: DRed rule bodies referencing predicates absent from the
+   change set.  Rederivation and insertion thunks build new views for
+   every body predicate, so [maintain] must pre-populate a delta slot per
+   program predicate — a lazy first touch inside a thunk would be an
+   unsynchronized Hashtbl mutation from multiple domains (and once was). *)
+let dred_unchanged_preds_parallel () =
+  let src =
+    {|
+      reach(X, Y) :- link(X, Y), allowed(Y).
+      reach(X, Y) :- reach(X, Z), link(Z, Y), allowed(Y).
+      fallback(X, Y) :- link(X, Y), not allowed(Y).
+      allowed(b). allowed(c). allowed(d).
+      link(a,b). link(b,c). link(c,d). link(a,c). link(c,e).
+    |}
+  in
+  let check_against_recompute db changes =
+    let oracle = Database.copy db in
+    List.iter
+      (fun (pred, delta) ->
+        let stored = Database.relation oracle pred in
+        Relation.iter (fun tup c -> Relation.add stored tup c) delta)
+      (Ivm.Changes.normalize_base oracle changes);
+    Seminaive.evaluate oracle;
+    ignore (Ivm.Dred.maintain db changes);
+    List.iter
+      (fun p ->
+        if not (Relation.equal_sets (rel db p) (rel oracle p)) then
+          Alcotest.failf "%s: DRed %s <> recomputed %s" p
+            (Relation.to_string (rel db p))
+            (Relation.to_string (rel oracle p)))
+      (Program.derived_preds (Database.program db))
+  in
+  with_domains 4 (fun () ->
+      for _ = 1 to 5 do
+        let db = db_of_source src in
+        let program = Database.program db in
+        check_against_recompute db
+          (Ivm.Changes.deletions program "link" [ Tuple.of_strs [ "b"; "c" ] ]);
+        check_against_recompute db
+          (Ivm.Changes.insertions program "link" [ Tuple.of_strs [ "e"; "d" ] ])
+      done)
+
+(* Per-domain work cells lose no increments: identical parallel runs
+   count identical work, and [Stats.sync] mirrors the sums into the
+   metrics registry. *)
+let stats_exact_under_parallel () =
+  let module Stats = Ivm_eval.Stats in
+  let src =
+    {|
+      hop(X, Y) :- link(X, Z), link(Z, Y).
+      link(a,b). link(b,c). link(c,d). link(b,d). link(d,a).
+    |}
+  in
+  with_domains 4 (fun () ->
+      let run () =
+        let db = db_of_source src in
+        let batch =
+          Ivm.Changes.insertions (Database.program db) "link"
+            [ Tuple.of_strs [ "d"; "b" ]; Tuple.of_strs [ "a"; "d" ] ]
+        in
+        Stats.reset ();
+        ignore (Ivm.Counting.maintain db batch);
+        Stats.snapshot ()
+      in
+      let a = run () in
+      let b = run () in
+      Alcotest.(check bool) "work was counted" true (a.Stats.snap_probes > 0);
+      Alcotest.(check int) "derivations repeat exactly" a.Stats.snap_derivations
+        b.Stats.snap_derivations;
+      Alcotest.(check int) "probes repeat exactly" a.Stats.snap_probes
+        b.Stats.snap_probes;
+      Alcotest.(check int) "scans repeat exactly" a.Stats.snap_tuples_scanned
+        b.Stats.snap_tuples_scanned;
+      Alcotest.(check int) "rule applications repeat exactly"
+        a.Stats.snap_rule_applications b.Stats.snap_rule_applications;
+      Stats.sync ();
+      Alcotest.(check int) "sync mirrors the registry counter"
+        b.Stats.snap_derivations
+        (Ivm_obs.Metrics.counter_value
+           (Ivm_obs.Metrics.counter "ivm_derivations_total")))
+
 let suite =
   [
     quick "parallel_map keeps task order" results_in_task_order;
@@ -120,4 +201,6 @@ let suite =
     quick "pool resize between batches" resize_midstream;
     quick "pool direct run_tasks" pool_direct;
     quick "Par_eval split/merge round-trip" split_merge_roundtrip;
+    quick "DRed: unchanged body predicates, 4 domains" dred_unchanged_preds_parallel;
+    quick "Stats exact + sync under parallel runs" stats_exact_under_parallel;
   ]
