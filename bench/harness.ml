@@ -156,6 +156,11 @@ let fmt_ratio r = Printf.sprintf "%.1fx" r
 
 let fmt_int = string_of_int
 
+let fmt_bytes n =
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
+  else Printf.sprintf "%.2f MiB" (float_of_int n /. (1024. *. 1024.))
+
 (** Summary verdict line printed under each table. *)
 let verdict ok msg =
   Printf.printf "\n  %s %s\n" (if ok then "[shape holds]" else "[SHAPE DIVERGES]") msg

@@ -20,6 +20,9 @@
      delrule RULE        remove a rule, maintain views incrementally
      audit               compare maintained views against recomputation
      stats               cumulative evaluator work counters
+     open DIR            open/create a durable store (snapshot + WAL)
+     log status          durable-store status (seq, snapshot, log sizes)
+     compact             fold the WAL into a fresh snapshot
      help                this text
      quit                exit *)
 
@@ -48,6 +51,11 @@ let help_text =
   \  trace status     is tracing on, and where\n\
   \  explain          program structure, strata, sizes\n\
   \  save FILE        dump rules+facts to a reloadable file\n\
+  \  open DIR         open an existing durable store (replay its log), or\n\
+  \                   turn the current database durable in a fresh DIR\n\
+  \  log status       durable store status: sequence number, snapshot and\n\
+  \                   write-ahead log sizes\n\
+  \  compact          fold the write-ahead log into a fresh snapshot\n\
   \  help             this text\n\
   \  quit             exit"
 
@@ -81,7 +89,10 @@ let looks_like_sql line =
   | Some i -> List.mem (String.lowercase_ascii (String.sub line 0 i)) sql_keywords
   | None -> false
 
-let execute ?sql vm line =
+(* [vmref] because 'open DIR' on an existing store replaces the manager
+   with the recovered one. *)
+let execute ?sql (vmref : Vm.t ref) line =
+  let vm = !vmref in
   let line = String.trim line in
   if line = "" then ()
   else if (match sql with Some _ -> looks_like_sql line | None -> false) then begin
@@ -154,6 +165,30 @@ let execute ?sql vm line =
         Format.pp_print_flush ppf ());
     Format.printf "saved to %s@." path
   end
+  else if line = "log status" then begin
+    match Vm.store_status vm with
+    | None -> Format.printf "not durable (use 'open DIR')@."
+    | Some st -> Format.printf "%a@." Ivm_store.Store.pp_status st
+  end
+  else if line = "compact" then begin
+    Vm.compact vm;
+    match Vm.store_status vm with
+    | Some st -> Format.printf "compacted: %a@." Ivm_store.Store.pp_status st
+    | None -> ()
+  end
+  else if String.length line > 5 && String.sub line 0 5 = "open " then begin
+    let dir = String.trim (String.sub line 5 (String.length line - 5)) in
+    if Ivm_store.Store.exists dir then begin
+      let recovered, recovery = Vm.open_durable ~algorithm:(Vm.algorithm vm) dir in
+      Vm.close_store vm;
+      vmref := recovered;
+      Format.printf "opened %s: %a@." dir Ivm_store.Store.pp_recovery recovery
+    end
+    else begin
+      Vm.make_durable vm ~dir;
+      Format.printf "initialized store %s; changes are now write-ahead logged@." dir
+    end
+  end
   else if line = "show" then show_all vm
   else if String.length line > 5 && String.sub line 0 5 = "show " then
     show_relation vm (String.trim (String.sub line 5 (String.length line - 5)))
@@ -197,14 +232,15 @@ let protect ?sql vm line =
   | Ivm_datalog.Safety.Unsafe msg -> Format.printf "unsafe rule: %s@." msg
   | Ivm_datalog.Depgraph.Not_stratifiable msg ->
     Format.printf "not stratifiable: %s@." msg
+  | Ivm_store.Store.Corrupt msg -> Format.printf "store corrupt: %s@." msg
   | Invalid_argument msg -> Format.printf "error: %s@." msg
 
 let repl ?sql vm interactive =
   if interactive then begin
     print_endline "ivm — incremental view maintenance shell (try 'help')";
     Format.printf "algorithm: %s, %d rules loaded@."
-      (Vm.algorithm_name (Vm.algorithm vm))
-      (List.length (Program.rules (Vm.program vm)))
+      (Vm.algorithm_name (Vm.algorithm !vm))
+      (List.length (Program.rules (Vm.program !vm)))
   end;
   try
     while true do
@@ -279,22 +315,47 @@ let command_arg =
         ~doc:"Execute a shell command non-interactively (repeatable); the \
               REPL is skipped.")
 
-let run file sql semantics algorithm verbose domains commands =
+let durable_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "durable" ] ~docv:"DIR"
+        ~doc:"Persist the database in $(docv) (snapshot + write-ahead log). \
+              An existing store is reopened — its log tail replayed, the \
+              program file ignored; otherwise the loaded program is \
+              snapshotted there and every change batch is logged before it \
+              is applied.")
+
+let run file sql semantics algorithm verbose domains durable commands =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
   if domains > 0 then Ivm_par.set_domains domains;
+  if sql && durable <> None then
+    prerr_endline "warning: --durable is ignored with --sql";
   let session, vm =
-    match file with
-    | Some path ->
-      let src = In_channel.with_open_text path In_channel.input_all in
-      if sql then
-        let session = Ivm_sql.Sql_session.of_script ~semantics ~algorithm src in
-        (Some session, Ivm_sql.Sql_session.manager session)
-      else (None, Vm.of_source ~semantics ~algorithm src)
-    | None -> (None, Vm.of_source ~semantics ~algorithm "")
+    match durable with
+    | Some dir when (not sql) && Ivm_store.Store.exists dir ->
+      (match file with
+      | Some _ ->
+        Format.eprintf "note: %s is an existing store; program file ignored@." dir
+      | None -> ());
+      let vm, recovery = Vm.open_durable ~algorithm dir in
+      Format.printf "recovered %s: %a@." dir Ivm_store.Store.pp_recovery recovery;
+      (None, vm)
+    | _ ->
+      let durable = if sql then None else durable in
+      (match file with
+      | Some path ->
+        let src = In_channel.with_open_text path In_channel.input_all in
+        if sql then
+          let session = Ivm_sql.Sql_session.of_script ~semantics ~algorithm src in
+          (Some session, Ivm_sql.Sql_session.manager session)
+        else (None, Vm.of_source ~semantics ~algorithm ?durable src)
+      | None -> (None, Vm.of_source ~semantics ~algorithm ?durable ""))
   in
+  let vm = ref vm in
   if commands = [] then repl ?sql:session vm (Unix.isatty Unix.stdin)
   else List.iter (protect ?sql:session vm) commands
 
@@ -304,6 +365,6 @@ let cmd =
     (Cmd.info "ivm-shell" ~doc)
     Term.(
       const run $ file_arg $ sql_flag $ semantics_arg $ algorithm_arg
-      $ verbose_flag $ domains_arg $ command_arg)
+      $ verbose_flag $ domains_arg $ durable_arg $ command_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -58,6 +58,9 @@ type t = {
   mutable db : Database.t;
   algorithm : algorithm;
   mutable incremental_aggregates : bool;
+  mutable store : Ivm_store.Store.t option;
+      (** durable mode: every validated batch is WAL-logged (fsync'd)
+          before maintenance applies it — see {!open_durable} *)
 }
 
 let algorithm t = t.algorithm
@@ -81,42 +84,13 @@ let recompute_maintain (db : Database.t) (changes : Changes.t) : unit =
         (Changes.normalize_base db changes);
       Seminaive.evaluate db)
 
-(** Create a manager from rules and initial base facts; materializes all
-    views eagerly.  [domains], when given, sets the process-global domain
-    count for parallel delta evaluation ({!Ivm_par.set_domains}); the
-    default leaves the current setting (1 unless [IVM_DOMAINS] or an
-    earlier call changed it). *)
-let create ?(semantics = Database.Set_semantics) ?(algorithm = Auto)
-    ?(extra_base : (string * int) list = []) ?(distinct : string list = [])
-    ?(facts : (string * Tuple.t list) list = []) ?domains (rules : Ast.rule list) :
-    t =
-  (match domains with Some n -> Ivm_par.set_domains n | None -> ());
-  let program = Program.make ~extra_base rules in
-  let db = Database.create ~semantics program in
-  List.iter (fun v -> Database.mark_distinct db v) distinct;
-  List.iter (fun (pred, tuples) -> Database.load db pred tuples) facts;
-  let t = { db; algorithm; incremental_aggregates = false } in
-  (match resolve t with
-  | Recursive_counting -> Recursive_counting.evaluate db
-  | Counting | Dred | Recompute | Auto -> Seminaive.evaluate db);
-  t
-
-(** Create from program text (rules and facts together, Datalog syntax). *)
-let of_source ?semantics ?algorithm ?extra_base ?distinct ?domains (src : string) :
-    t =
-  let rules, facts = Parser.split (Parser.parse_program src) in
-  let facts =
-    List.map (fun (p, vals) -> (p, [ Tuple.of_list vals ])) facts
-  in
-  create ?semantics ?algorithm ?extra_base ?distinct ?domains ~facts rules
-
-let database t = t.db
-let program t = Database.program t.db
-let relation t pred = Database.relation t.db pred
-let semantics t = Database.semantics t.db
-
 (** Apply one batch of base-relation changes with the configured
     algorithm.  Returns the set transitions per derived predicate.
+
+    Durable managers log first: the batch is normalized against the
+    pre-state, appended to the write-ahead log and fsync'd {e before}
+    maintenance touches any relation, so after a crash a batch is either
+    durable or never happened.
 
     Observability: the whole batch runs under a [maintain_batch] span
     (the root of the batch → stratum → rule span tree), its end-to-end
@@ -125,6 +99,16 @@ let semantics t = Database.semantics t.db
 let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
   let resolved = resolve t in
   let name = algorithm_name resolved in
+  let changes =
+    match t.store with
+    | None -> changes
+    | Some store ->
+      (* normalizing first makes the log record exactly what maintenance
+         will apply (and rejects invalid batches before logging them) *)
+      let normalized = Changes.normalize_base t.db changes in
+      Ivm_store.Store.append store normalized;
+      normalized
+  in
   let t0 = Unix.gettimeofday () in
   let deltas =
     Trace.span "maintain_batch"
@@ -150,6 +134,109 @@ let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
   Database.observe_gauges t.db;
   deltas
 
+(** Wrap an already-materialized database (e.g. one loaded from a
+    snapshot) without re-evaluating anything.  The incremental-aggregates
+    flag is inferred from the registered indexes. *)
+let of_database ?(algorithm = Auto) (db : Database.t) : t =
+  {
+    db;
+    algorithm;
+    incremental_aggregates = Database.agg_signatures db <> [];
+    store = None;
+  }
+
+(** Open an existing durable store: load the snapshot (no re-evaluation),
+    replay the surviving log tail through the normal maintenance path,
+    and attach the store so subsequent batches are logged. *)
+let open_durable ?algorithm (dir : string) : t * Ivm_store.Store.recovery =
+  let db, store, recovery = Ivm_store.Store.open_ ~dir in
+  let t = of_database ?algorithm db in
+  (* the store handle is attached only after replay, so replayed batches
+     are not appended to the log a second time *)
+  Trace.span "store.replay"
+    ~args:(fun () ->
+      [ ("records", string_of_int (List.length recovery.Ivm_store.Store.replayed)) ])
+    (fun () ->
+      List.iter (fun c -> ignore (apply t c)) recovery.Ivm_store.Store.replayed);
+  t.store <- Some store;
+  (t, recovery)
+
+(** Turn an in-memory manager durable: snapshot its current state into
+    [dir] (created if needed) and start logging subsequent batches. *)
+let make_durable (t : t) ~(dir : string) : unit =
+  match t.store with
+  | Some s ->
+    invalid_arg
+      (Printf.sprintf "View_manager.make_durable: already durable in %s"
+         (Ivm_store.Store.dir s))
+  | None -> t.store <- Some (Ivm_store.Store.initialize ~dir t.db)
+
+(** Create a manager from rules and initial base facts; materializes all
+    views eagerly.  [domains], when given, sets the process-global domain
+    count for parallel delta evaluation ({!Ivm_par.set_domains}); the
+    default leaves the current setting (1 unless [IVM_DOMAINS] or an
+    earlier call changed it).  With [durable], the on-disk state wins: an
+    existing store is reopened (recovering through {!open_durable}, the
+    given rules/facts ignored); otherwise the fresh manager is snapshotted
+    into the directory. *)
+let create ?(semantics = Database.Set_semantics) ?(algorithm = Auto)
+    ?(extra_base : (string * int) list = []) ?(distinct : string list = [])
+    ?(facts : (string * Tuple.t list) list = []) ?domains ?durable
+    (rules : Ast.rule list) : t =
+  (match domains with Some n -> Ivm_par.set_domains n | None -> ());
+  match durable with
+  | Some dir when Ivm_store.Store.exists dir -> fst (open_durable ~algorithm dir)
+  | _ ->
+    let program = Program.make ~extra_base rules in
+    let db = Database.create ~semantics program in
+    List.iter (fun v -> Database.mark_distinct db v) distinct;
+    List.iter (fun (pred, tuples) -> Database.load db pred tuples) facts;
+    let t = { db; algorithm; incremental_aggregates = false; store = None } in
+    (match resolve t with
+    | Recursive_counting -> Recursive_counting.evaluate db
+    | Counting | Dred | Recompute | Auto -> Seminaive.evaluate db);
+    (match durable with Some dir -> make_durable t ~dir | None -> ());
+    t
+
+(** Create from program text (rules and facts together, Datalog syntax). *)
+let of_source ?semantics ?algorithm ?extra_base ?distinct ?domains ?durable
+    (src : string) : t =
+  let rules, facts = Parser.split (Parser.parse_program src) in
+  let facts = List.map (fun (p, vals) -> (p, [ Tuple.of_list vals ])) facts in
+  create ?semantics ?algorithm ?extra_base ?distinct ?domains ?durable ~facts
+    rules
+
+let database t = t.db
+let program t = Database.program t.db
+let relation t pred = Database.relation t.db pred
+let semantics t = Database.semantics t.db
+
+(** Fold the log into a fresh snapshot of the current state and reset it.
+    @raise Invalid_argument on a non-durable manager. *)
+let compact (t : t) : unit =
+  match t.store with
+  | None -> invalid_arg "View_manager.compact: manager is not durable"
+  | Some s -> Ivm_store.Store.compact s t.db
+
+let store_status (t : t) : Ivm_store.Store.status option =
+  Option.map Ivm_store.Store.status t.store
+
+let durable_dir (t : t) : string option = Option.map Ivm_store.Store.dir t.store
+
+(** Close the log file descriptor and detach the store (the manager keeps
+    working, in-memory only).  No-op when not durable. *)
+let close_store (t : t) : unit =
+  match t.store with
+  | None -> ()
+  | Some s ->
+    Ivm_store.Store.close s;
+    t.store <- None
+
+(* Program and index changes are not WAL-logged; durable managers fold
+   them straight into a fresh snapshot. *)
+let resnapshot (t : t) : unit =
+  match t.store with Some s -> Ivm_store.Store.compact s t.db | None -> ()
+
 let insert t pred tuples =
   apply t (Changes.insertions (program t) pred tuples)
 
@@ -167,12 +254,7 @@ let maintainer t : Rule_changes.maintainer =
   | Recursive_counting -> ignore (Recursive_counting.maintain db changes)
   | Recompute | Auto -> recompute_maintain db changes
 
-(** Opt every GROUPBY subgoal of the program into persistent incremental
-    aggregation ([DAJ91] accumulators; see {!Ivm_eval.Agg_index}):
-    subsequent maintenance computes aggregate deltas from running group
-    states instead of re-scanning touched groups. *)
-let rec enable_incremental_aggregates (t : t) : unit =
-  t.incremental_aggregates <- true;
+let register_agg_indexes (t : t) : unit =
   List.iter
     (fun rule ->
       List.iter
@@ -186,12 +268,22 @@ let rec enable_incremental_aggregates (t : t) : unit =
         rule.Ast.body)
     (Program.rules (Database.program t.db))
 
+(** Opt every GROUPBY subgoal of the program into persistent incremental
+    aggregation ([DAJ91] accumulators; see {!Ivm_eval.Agg_index}):
+    subsequent maintenance computes aggregate deltas from running group
+    states instead of re-scanning touched groups. *)
+let enable_incremental_aggregates (t : t) : unit =
+  t.incremental_aggregates <- true;
+  register_agg_indexes t;
+  resnapshot t
+
 (** Add a rule to the program, incrementally maintaining all views
     (Section 7, view redefinition). *)
-and add_rule (t : t) (rule : Ast.rule) : unit =
+let add_rule (t : t) (rule : Ast.rule) : unit =
   t.db <- Rule_changes.add_rule t.db ~maintain:(maintainer t) rule;
   (* rebuilding the program produced a fresh database: re-register *)
-  if t.incremental_aggregates then enable_incremental_aggregates t
+  if t.incremental_aggregates then register_agg_indexes t;
+  resnapshot t
 
 let add_rule_text (t : t) (src : string) : unit = add_rule t (Parser.parse_rule src)
 
@@ -199,7 +291,8 @@ let add_rule_text (t : t) (src : string) : unit = add_rule t (Parser.parse_rule 
     views. *)
 let remove_rule (t : t) (rule : Ast.rule) : unit =
   t.db <- Rule_changes.remove_rule t.db ~maintain:(maintainer t) rule;
-  if t.incremental_aggregates then enable_incremental_aggregates t
+  if t.incremental_aggregates then register_agg_indexes t;
+  resnapshot t
 
 let remove_rule_text (t : t) (src : string) : unit =
   remove_rule t (Parser.parse_rule src)

@@ -31,7 +31,10 @@ type t
     otherwise mentioned.  [domains] sets the process-global domain count
     for parallel delta evaluation ({!Ivm_par.set_domains}); omitted, the
     current setting stays (1 unless [IVM_DOMAINS] or an earlier call
-    changed it). *)
+    changed it).  [durable] names a store directory: if it already holds a
+    store, the on-disk state wins — it is reopened through {!open_durable}
+    and the given rules/facts are ignored; otherwise the fresh manager is
+    snapshotted into it and subsequent batches are write-ahead logged. *)
 val create :
   ?semantics:Database.semantics ->
   ?algorithm:algorithm ->
@@ -39,6 +42,7 @@ val create :
   ?distinct:string list ->
   ?facts:(string * Tuple.t list) list ->
   ?domains:int ->
+  ?durable:string ->
   Ast.rule list ->
   t
 
@@ -49,8 +53,13 @@ val of_source :
   ?extra_base:(string * int) list ->
   ?distinct:string list ->
   ?domains:int ->
+  ?durable:string ->
   string ->
   t
+
+(** Wrap an already-materialized database (e.g. one loaded from a
+    snapshot) without re-evaluating anything. *)
+val of_database : ?algorithm:algorithm -> Database.t -> t
 
 val database : t -> Database.t
 val program : t -> Program.t
@@ -63,8 +72,49 @@ val resolve : t -> algorithm
 
 (** Apply one batch of base-relation changes.  Returns the per-view deltas
     (set transitions under set semantics / DRed, count deltas under
-    duplicate semantics); empty for [Recompute]. *)
+    duplicate semantics); empty for [Recompute].  On a durable manager the
+    normalized batch is appended to the write-ahead log and fsync'd before
+    maintenance runs (see {!Ivm_store.Store}). *)
 val apply : t -> Changes.t -> (string * Relation.t) list
+
+(** {1 Durability}
+
+    A durable manager pairs the in-memory database with an
+    {!Ivm_store.Store}: a checksummed snapshot plus a write-ahead change
+    log.  Every batch {!apply} validates is logged (fsync'd) before the
+    maintenance algorithm touches any relation; restart replays only the
+    log tail through the same maintenance path instead of re-deriving the
+    views — the paper's "maintenance beats recomputation" argument applied
+    to recovery. *)
+
+(** Open an existing store directory: load the snapshot with zero
+    re-evaluation, replay the surviving log tail through the normal
+    maintenance path, attach the log for subsequent batches.  The returned
+    {!Ivm_store.Store.recovery} says what was replayed, skipped, or
+    dropped (torn/corrupt tail bytes).
+    @raise Ivm_store.Store.Corrupt on an unrecoverable snapshot/log. *)
+val open_durable : ?algorithm:algorithm -> string -> t * Ivm_store.Store.recovery
+
+(** Turn an in-memory manager durable: snapshot its current state into the
+    directory (created if needed) and start logging subsequent batches.
+    @raise Invalid_argument if already durable or the directory already
+    holds a store. *)
+val make_durable : t -> dir:string -> unit
+
+(** Fold the log into a fresh snapshot of the current state and reset it.
+    Rule changes and {!enable_incremental_aggregates} — which are not
+    logged — compact implicitly.
+    @raise Invalid_argument on a non-durable manager. *)
+val compact : t -> unit
+
+(** [None] on a non-durable manager. *)
+val store_status : t -> Ivm_store.Store.status option
+
+val durable_dir : t -> string option
+
+(** Close the log file descriptor and detach the store; the manager keeps
+    working, in-memory only.  No-op when not durable. *)
+val close_store : t -> unit
 
 val insert : t -> string -> Tuple.t list -> (string * Relation.t) list
 val delete : t -> string -> Tuple.t list -> (string * Relation.t) list

@@ -165,6 +165,7 @@ let tokenize (src : string) : spanned list =
                 (match src.[j + 1] with
                 | 'n' -> Buffer.add_char buf '\n'
                 | 't' -> Buffer.add_char buf '\t'
+                | 'r' -> Buffer.add_char buf '\r'
                 | '\\' -> Buffer.add_char buf '\\'
                 | '"' -> Buffer.add_char buf '"'
                 | c -> fail (j + 1) (Printf.sprintf "bad escape '\\%c'" c));
@@ -181,15 +182,31 @@ let tokenize (src : string) : spanned list =
       | c when is_digit c ->
         let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
         let j = digits i in
-        if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
-          let k = digits (j + 1) in
-          emit (FLOAT (float_of_string (String.sub src i (k - i)))) i;
-          go k
-        end
-        else begin
-          emit (INT (int_of_string (String.sub src i (j - i)))) i;
-          go j
-        end
+        let j, is_float =
+          if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then
+            (digits (j + 1), true)
+          else (j, false)
+        in
+        (* optional exponent: [e|E][+|-]digits — needed so printed floats
+           ("1e+16") read back *)
+        let j, is_float =
+          if j < n && (src.[j] = 'e' || src.[j] = 'E') then begin
+            let k =
+              if j + 1 < n && (src.[j + 1] = '+' || src.[j + 1] = '-') then j + 2
+              else j + 1
+            in
+            if k < n && is_digit src.[k] then (digits k, true) else (j, is_float)
+          end
+          else (j, is_float)
+        in
+        let text = String.sub src i (j - i) in
+        (if is_float then emit (FLOAT (float_of_string text)) i
+         else
+           match int_of_string text with
+           | v -> emit (INT v) i
+           | exception Failure _ ->
+             fail i (Printf.sprintf "integer literal %s out of range" text));
+        go j
       | c when is_ident_start c || is_var_start c ->
         let rec word j = if j < n && is_ident_char src.[j] then word (j + 1) else j in
         let j = word i in

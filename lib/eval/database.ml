@@ -122,6 +122,12 @@ let register_agg_index t (spec : Compile.agg_spec) : Agg_index.t =
 let agg_index t (spec : Compile.agg_spec) =
   Hashtbl.find_opt t.agg_indexes spec.Compile.gsignature
 
+(** Signatures of every registered aggregate index, sorted — the snapshot
+    layer persists these so reload can re-register the same specs. *)
+let agg_signatures t =
+  Hashtbl.fold (fun sig_ _ acc -> sig_ :: acc) t.agg_indexes []
+  |> List.sort String.compare
+
 (** Fold committed source deltas into every registered index.  Call after
     the stored relations reflect the deltas. *)
 let refresh_agg_indexes t (applied : (string * Relation.t) list) =

@@ -75,6 +75,10 @@ val register_agg_index : t -> Compile.agg_spec -> Agg_index.t
 
 val agg_index : t -> Compile.agg_spec -> Agg_index.t option
 
+(** Signatures of every registered aggregate index, sorted (persisted by
+    the snapshot layer so reload re-registers the same specs). *)
+val agg_signatures : t -> string list
+
 (** Fold committed per-predicate deltas (in the propagated regime: count
     deltas under duplicates, ±1 set transitions under sets) into every
     registered index. *)

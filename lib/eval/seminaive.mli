@@ -7,7 +7,7 @@
     under duplicate semantics, the Section 5.1 convention under set
     semantics); recursive predicates are materialized as sets with count 1
     — duplicate counting through recursion may not terminate (Section 8,
-    see {!Ivm.Recursive_counting} for the [GKM92] extension). *)
+    see [Ivm.Recursive_counting] for the [GKM92] extension). *)
 
 module Relation = Ivm_relation.Relation
 module Relation_view = Ivm_relation.Relation_view

@@ -3,17 +3,18 @@
 
     Handles are cheap mutable records — registration does one hashtable
     lookup, after which a bump is a single field write, so hot paths
-    register once and hold the handle (see {!Ivm_eval.Stats}).  Registering
+    register once and hold the handle (see [Ivm_eval.Stats]).  Registering
     the same [(name, labels)] pair again returns the {e same} handle, so
     independent call sites share one time series.
 
     Counters are {b overflow-safe}: additions saturate at [max_int] instead
     of wrapping negative.  {!reset} zeroes every registered metric but
     keeps all handles valid — snapshots taken before a reset are stale and
-    must not be subtracted across it (see {!Ivm_eval.Stats.since}).
+    must not be subtracted across it (see [Ivm_eval.Stats.since]).
 
     Histograms use base-2 log buckets: bucket 0 holds values [<= 0], bucket
-    [i >= 1] holds values in [[2^(i-1), 2^i)].  That fixes the memory cost
+    [i >= 1] holds values from [2^(i-1)] inclusive to [2^i] exclusive.
+    That fixes the memory cost
     (64 ints) while spanning nanosecond latencies to billion-tuple sizes;
     {!percentile} answers with the containing bucket's upper bound, i.e.
     within 2x of the true value.
@@ -21,7 +22,7 @@
     The registry is process-global and not thread-safe: register, bump and
     read from one domain at a time.  Producers that run on multiple domains
     stage their counts in per-domain state and fold in at quiescence — see
-    {!Ivm_eval.Stats} for the evaluator's work counters and the pool's
+    [Ivm_eval.Stats] for the evaluator's work counters and the pool's
     per-participant counters in [Ivm_par.Pool]. *)
 
 type labels = (string * string) list

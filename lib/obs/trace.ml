@@ -7,8 +7,8 @@
 
     - an in-memory {b ring buffer} (always, bounded, oldest dropped);
     - an optional {b JSONL writer} whose output loads directly in
-      [chrome://tracing] / Perfetto: the file is a JSON array opened with
-      ["["] and one event object per line (the spec makes the closing
+      [chrome://tracing] / Perfetto: the file is a JSON array — an opening
+      bracket, then one event object per line (the spec makes the closing
       bracket optional, so the file is valid even mid-trace).
 
     Span [args] are passed as a thunk evaluated {e after} the spanned
@@ -65,7 +65,7 @@ let enabled () = state.on
 let default_capacity = 4096
 
 (* Spans can be emitted from worker domains during parallel fan-out
-   ({!Ivm_par}); the ring cursor and file channel are shared, so event
+   ([Ivm_par]); the ring cursor and file channel are shared, so event
    emission is serialized on [record_lock].  The [depth] counter stays a
    best-effort plain field: concurrent spans would interleave depths
    anyway, and viewers nest by timestamp containment, not depth. *)

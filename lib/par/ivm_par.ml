@@ -11,7 +11,7 @@
     counts per tuple — commutative and associative — so neither the
     domain-count-dependent chunking nor the merge order affects the
     merged content (the determinism property suite pins this; see
-    {!Ivm_eval.Par_eval}).
+    [Ivm_eval.Par_eval]).
 
     The domain count is a process-global knob, default 1 (fully
     sequential, no pool, no worker domains):
@@ -21,13 +21,13 @@
     - the [IVM_DOMAINS] environment variable seeds the default, so test
       and CI runs can force every maintenance path through 1 or 4 domains
       without touching code;
-    - {!View_manager.create ~domains}, the shell's [--domains] and the
+    - [View_manager.create ~domains], the shell's [--domains] and the
       bench runner's [--domains] all route here.
 
     Thunks must follow the read-only discipline: shared relations and
     caches are only read (the caches are pre-populated sequentially by
     each algorithm's prepare step; demand-built relation indexes are
-    published atomically by {!Ivm_relation.Relation}), and every write
+    published atomically by [Ivm_relation.Relation]), and every write
     lands in thunk-private state. *)
 
 module Pool = Pool

@@ -18,7 +18,7 @@
     sequentially in the caller, in fixed index order.  What the pool does
     {e not} promise is the order of side effects {e during} a batch;
     tasks must therefore only read shared state and write task-private
-    state (see {!Ivm_eval.Par_eval} for the evaluation-side discipline).
+    state (see [Ivm_eval.Par_eval] for the evaluation-side discipline).
 
     The first exception raised by a task is re-raised in the caller after
     the batch drains; remaining tasks still run (they are independent by
@@ -30,7 +30,7 @@
     pool creation and each is bumped by exactly one domain, so they stay
     race-free without atomics; the evaluator's work counters, bumped from
     inside tasks by every domain, are per-domain cells merged on read
-    ({!Ivm_eval.Stats}). *)
+    ([Ivm_eval.Stats]). *)
 
 module Metrics = Ivm_obs.Metrics
 

@@ -38,6 +38,8 @@ let hash = function
 
 let needs_quotes s =
   s = ""
+  (* bare, these lex as the NOT keyword / boolean literals, not symbols *)
+  || s = "not" || s = "true" || s = "false"
   || (match s.[0] with 'a' .. 'z' -> false | _ -> true)
   || String.exists
        (fun c ->
@@ -45,10 +47,57 @@ let needs_quotes s =
              || (c >= '0' && c <= '9') || c = '_'))
        s
 
+(* A string literal the Datalog lexer can read back: only the escapes it
+   knows (backslash-escaped quote, backslash, n, t, r); every other byte
+   passes through raw.  OCaml's %S would emit decimal escapes like \001
+   that the lexer rejects. *)
+let quoted s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* Shortest representation that parses back to the same float.  Integral
+   floats keep a ".0" so they re-read as Float, not Int; infinities use an
+   overflowing literal since the lexer has no keyword for them.  NaN (not
+   constructible by the evaluator's arithmetic) stays display-only. *)
+let float_repr x =
+  if Float.is_nan x then "nan"
+  else if x = Float.infinity then "1e999"
+  else if x = Float.neg_infinity then "-1e999"
+  else if Float.is_integer x && Float.abs x < 1e16 then Printf.sprintf "%.1f" x
+  else
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p x in
+      if float_of_string s = x then Some s else None
+    in
+    let s =
+      match try_prec 15 with
+      | Some s -> s
+      | None ->
+        (match try_prec 16 with Some s -> s | None -> Printf.sprintf "%.17g" x)
+    in
+    (* %g drops the point for integral values once the exponent fits the
+       precision ("35757007246772772") — that would re-lex as an Int *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
 let pp ppf = function
   | Int x -> Format.pp_print_int ppf x
-  | Float x -> Format.fprintf ppf "%g" x
-  | Str s -> if needs_quotes s then Format.fprintf ppf "%S" s else Format.pp_print_string ppf s
+  | Float x -> Format.pp_print_string ppf (float_repr x)
+  | Str s ->
+    if needs_quotes s then Format.pp_print_string ppf (quoted s)
+    else Format.pp_print_string ppf s
   | Bool b -> Format.pp_print_bool ppf b
 
 let to_string v = Format.asprintf "%a" pp v

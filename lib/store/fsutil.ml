@@ -1,0 +1,25 @@
+(** Durability helpers shared by {!Snapshot} and {!Wal}: fsync an open
+    channel, and best-effort fsync of a directory so renames/creates
+    survive a crash.  Both bump the [ivm_store_fsyncs_total] counter. *)
+
+module Metrics = Ivm_obs.Metrics
+
+let fsyncs_c = Metrics.counter "ivm_store_fsyncs_total"
+
+let fsync_out_channel oc =
+  Out_channel.flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  Metrics.inc fsyncs_c
+
+(** Some filesystems refuse to fsync a directory fd; ignore failures. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        try
+          Unix.fsync fd;
+          Metrics.inc fsyncs_c
+        with Unix.Unix_error _ -> ())

@@ -1,0 +1,79 @@
+(** Durable views: a directory holding one {!Snapshot} plus one {!Wal}.
+
+    Layout: [dir/snapshot.ivm] (the last compacted state) and
+    [dir/wal.ivm] (validated change batches appended {e before} the
+    maintenance algorithm applies them).  Restart is therefore a
+    [load + replay-Δ] maintenance run — the paper's
+    "maintenance beats recomputation" argument applied to recovery —
+    instead of re-deriving every view from the base relations.
+
+    The caller (normally [Ivm.View_manager]) drives the protocol:
+
+    - {!initialize} a fresh directory from a fully materialized database;
+    - {!open_} an existing one: the snapshot database comes back with the
+      surviving log tail, which the caller replays through its normal
+      maintenance path, then keeps the handle for appending;
+    - {!append} each validated change batch before applying it;
+    - {!compact} folds the log into a fresh snapshot (also the rotation
+      point after rule changes, which are not logged).
+
+    Torn or checksum-failing log tails are truncated on open and reported
+    in {!recovery}; a crash between snapshot rename and log reset leaves
+    records the snapshot already covers, which {!open_} skips by sequence
+    number. *)
+
+type changes = Wal.changes
+
+exception Corrupt of string
+(** A snapshot or log header too damaged to recover from ({!Wal.Corrupt}
+    / {!Snapshot.Corrupt} re-raised under one name). *)
+
+type t
+
+type recovery = {
+  snapshot_seq : int;  (** WAL sequence the snapshot covers through *)
+  replayed : changes list;  (** surviving log tail, in append order *)
+  skipped_records : int;  (** records the snapshot already covered *)
+  truncated_bytes : int;  (** torn/corrupt tail bytes dropped *)
+  damage : string option;  (** what stopped the log scan, if anything *)
+}
+
+type status = {
+  dir : string;
+  seq : int;  (** last durable sequence number *)
+  snapshot_seq : int;
+  snapshot_bytes : int;
+  wal_records : int;  (** live records in the log tail *)
+  wal_bytes : int;  (** log file size, header included *)
+}
+
+val snapshot_file : string -> string
+val wal_file : string -> string
+
+(** Is [dir] an initialized store (has a snapshot)? *)
+val exists : string -> bool
+
+(** Create [dir] (and parents) if needed, snapshot [db] into it, open an
+    empty log.  @raise Invalid_argument if [dir] is already a store. *)
+val initialize : dir:string -> Ivm_eval.Database.t -> t
+
+(** Open an existing store: load + verify the snapshot, truncate any
+    damaged log tail, and return the materialized database plus the
+    records to replay.  The caller must apply [recovery.replayed] (in
+    order) through its maintenance path to reach the durable state.
+    @raise Corrupt if the snapshot or the log header is unrecoverable. *)
+val open_ : dir:string -> Ivm_eval.Database.t * t * recovery
+
+(** Log one validated change batch, fsync'd durable before returning. *)
+val append : t -> changes -> unit
+
+(** Fold the log into a fresh snapshot of [db] (which must reflect every
+    appended batch) and reset the log. *)
+val compact : t -> Ivm_eval.Database.t -> unit
+
+val status : t -> status
+val dir : t -> string
+val close : t -> unit
+
+val pp_recovery : Format.formatter -> recovery -> unit
+val pp_status : Format.formatter -> status -> unit

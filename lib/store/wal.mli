@@ -1,0 +1,69 @@
+(** The write-ahead change log: an append-only file of CRC-framed,
+    length-prefixed change-set records, fsync'd on every append.
+
+    Each record carries one validated change batch — the
+    [(predicate, delta relation)] list a maintenance algorithm is about to
+    apply — together with a monotonically increasing sequence number.
+    The file starts with magic ["IVMWAL01"] and a [u32] version; each
+    record is [u32] payload length, [u32] CRC-32 of the payload, then the
+    payload.  [docs/PERSISTENCE.md] specifies every byte.
+
+    {b Torn tails.}  A crash can leave a partially written (or, with disk
+    damage, checksum-failing) final record.  {!load} stops at the first
+    frame that is incomplete or fails its CRC, reports how many bytes
+    follow the last valid record, and {!open_append} truncates them away
+    so the next append starts on a clean boundary.  Valid records are
+    never dropped: damage at byte [k] only discards data at offsets
+    [>= k]. *)
+
+module Relation = Ivm_relation.Relation
+
+(** One change batch: deltas per base predicate, insertions positive,
+    deletions negative — structurally [Ivm.Changes.t]. *)
+type changes = (string * Relation.t) list
+
+exception Corrupt of string
+
+val magic : string
+val version : int
+
+(** Byte size of the file header ([magic] + version). *)
+val header_size : int
+
+type record = { seq : int; changes : changes; end_offset : int }
+(** [end_offset] — file offset one past this record's frame; the
+    truncation point that keeps records up to and including this one. *)
+
+type tail = {
+  records : record list;  (** every valid record, in file order *)
+  valid_end : int;  (** offset one past the last valid record *)
+  dropped_bytes : int;  (** bytes after [valid_end] (0 = clean file) *)
+  damage : string option;  (** why scanning stopped, for the report *)
+}
+
+(** Scan a log file.  Missing file ⇒ empty tail.  @raise Corrupt only when
+    the {e header} is malformed — tail damage is reported, not raised. *)
+val load : path:string -> tail
+
+type t
+
+(** Open for appending, creating (with header) if missing, truncating a
+    damaged tail if one was found.  Returns the handle and the scan
+    result. *)
+val open_append : path:string -> t * tail
+
+(** Append one record and fsync it durable before returning. *)
+val append : t -> seq:int -> changes -> unit
+
+(** Truncate to the empty state (header only) — log compaction, after the
+    snapshot covering the records has been durably saved. *)
+val reset : t -> unit
+
+(** Bytes currently in the file (header included). *)
+val size : t -> int
+
+(** Records appended or recovered through this handle's lifetime. *)
+val record_count : t -> int
+
+val path : t -> string
+val close : t -> unit

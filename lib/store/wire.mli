@@ -1,0 +1,68 @@
+(** Binary wire codec shared by the snapshot and the write-ahead log.
+
+    Every multi-byte integer is {b little-endian} and fixed-width; strings
+    and relations are length-prefixed.  The exact byte layout is specified
+    in [docs/PERSISTENCE.md] — this module is its reference
+    implementation, and the formats are a compatibility contract: changing
+    any encoding requires bumping the containing artifact's version.
+
+    Encoders append to a [Buffer.t]; decoders read from a [string] through
+    a mutable cursor and raise {!Corrupt} (never [Invalid_argument] or an
+    out-of-bounds crash) on malformed input, so callers can treat any
+    decoding failure as a damaged artifact. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Relation = Ivm_relation.Relation
+
+(** Malformed bytes: truncation, a bad tag, a negative length… the
+    message says what was being decoded and where. *)
+exception Corrupt of string
+
+(** {2 Encoding} *)
+
+val put_u8 : Buffer.t -> int -> unit
+val put_u32 : Buffer.t -> int -> unit
+
+(** 64-bit two's-complement; accepts any OCaml [int]. *)
+val put_i64 : Buffer.t -> int -> unit
+
+(** [u32] byte length, then the raw bytes. *)
+val put_string : Buffer.t -> string -> unit
+
+(** One tagged value: tag byte [0]=Int, [1]=Float (IEEE-754 bits),
+    [2]=Str, [3]=Bool. *)
+val put_value : Buffer.t -> Value.t -> unit
+
+(** The values in order, no length prefix (the container knows the
+    arity). *)
+val put_tuple : Buffer.t -> Tuple.t -> unit
+
+(** Arity ([u32]), row count ([u32]), then per row the tuple followed by
+    its signed count ([i64]).  Rows are written in {!Relation.to_sorted_list}
+    order, so equal relations encode to equal bytes. *)
+val put_relation : Buffer.t -> Relation.t -> unit
+
+(** {2 Decoding} *)
+
+type reader
+
+(** [reader ?pos s] starts a cursor at [pos] (default 0). *)
+val reader : ?pos:int -> string -> reader
+
+(** Cursor position (bytes consumed from the start of the string). *)
+val pos : reader -> int
+
+(** Bytes remaining. *)
+val remaining : reader -> int
+
+val get_u8 : reader -> int
+val get_u32 : reader -> int
+val get_i64 : reader -> int
+val get_string : reader -> string
+val get_value : reader -> Value.t
+val get_tuple : reader -> arity:int -> Tuple.t
+val get_relation : reader -> Relation.t
+
+(** Fail decoding with a {!Corrupt} carrying the cursor position. *)
+val corrupt : reader -> string -> 'a

@@ -15,7 +15,7 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(** Uniform in [0, bound). *)
+(** Uniform in [0 .. bound - 1]. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))

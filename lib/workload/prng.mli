@@ -6,10 +6,10 @@ type t
 
 val create : int -> t
 
-(** Uniform in [0, bound).  @raise Invalid_argument when [bound <= 0]. *)
+(** Uniform in [0 .. bound - 1].  @raise Invalid_argument when [bound <= 0]. *)
 val int : t -> int -> int
 
-(** Uniform in [0, 1). *)
+(** Uniform float, 0 inclusive to 1 exclusive. *)
 val float : t -> float
 
 val bool : t -> bool

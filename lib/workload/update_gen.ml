@@ -18,7 +18,7 @@ let deletions rng (db : Database.t) pred k : Changes.t =
   Changes.deletions (Database.program db) pred victims
 
 (** [edge_insertions rng db pred ~nodes k] — [k] random new 2-column edges
-    over integer nodes [0, nodes), avoiding stored duplicates. *)
+    over integer nodes [0 .. nodes - 1], avoiding stored duplicates. *)
 let edge_insertions rng (db : Database.t) pred ~nodes k : Changes.t =
   let stored = Database.relation db pred in
   let rec draw k acc =

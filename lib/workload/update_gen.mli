@@ -10,7 +10,7 @@ module Changes = Ivm.Changes
 (** Delete [k] random stored tuples (fewer if the relation is smaller). *)
 val deletions : Prng.t -> Database.t -> string -> int -> Changes.t
 
-(** Insert [k] fresh random 2-column edges over nodes [0, nodes). *)
+(** Insert [k] fresh random 2-column edges over nodes [0 .. nodes - 1]. *)
 val edge_insertions :
   Prng.t -> Database.t -> string -> nodes:int -> int -> Changes.t
 

@@ -23,6 +23,9 @@ let () =
       ("distinct", Test_distinct.suite);
       ("more_units", Test_more_units.suite);
       ("misc_coverage", Test_misc_coverage.suite);
+      ("dump", Test_dump.suite);
+      ("store", Test_store.suite);
+      ("docs", Test_docs.suite);
       ("final_coverage", Test_final_coverage.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);

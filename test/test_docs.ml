@@ -1,0 +1,123 @@
+(** Documentation drift tests: the README's shell command reference is
+    generated-by-hand but checked-by-machine — its rows must match the
+    live `help` output of the built shell, command for command. *)
+
+let read_lines path =
+  In_channel.with_open_text path (fun ic ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some l -> go (l :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+(* Under `dune runtest` the working directory is the build copy of
+   test/; under a bare `dune exec test/main.exe` it is the project
+   root.  Resolve every artifact against both. *)
+let locate candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "none of [%s] exist" (String.concat "; " candidates)
+
+(* ---------------- the shell's help text ---------------- *)
+
+let shell_exe () =
+  locate
+    [ Filename.concat (Filename.concat ".." "bin") "ivm_shell.exe";
+      "_build/default/bin/ivm_shell.exe" ]
+
+let shell_help_lines () =
+  let shell_exe = shell_exe () in
+  let ic = Unix.open_process_in (Filename.quote_command shell_exe [ "-e"; "help" ]) in
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some l -> go (l :: acc)
+    | None -> List.rev acc
+  in
+  let lines = go [] in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> lines
+  | _ -> Alcotest.failf "%s -e help did not exit cleanly" shell_exe
+
+(* A command line of the help text is indented by exactly two spaces and
+   separates the command phrase from its description with a run of at
+   least two spaces.  Continuation lines are indented deeper and are
+   skipped. *)
+let is_command_line l =
+  String.length l > 2 && l.[0] = ' ' && l.[1] = ' ' && l.[2] <> ' '
+
+let phrase_of_line l =
+  let body = String.sub l 2 (String.length l - 2) in
+  let n = String.length body in
+  let rec split i =
+    if i + 1 >= n then body
+    else if body.[i] = ' ' && body.[i + 1] = ' ' then String.sub body 0 i
+    else split (i + 1)
+  in
+  String.trim (split 0)
+
+let help_commands () =
+  List.filter_map
+    (fun l -> if is_command_line l then Some (phrase_of_line l) else None)
+    (shell_help_lines ())
+
+(* ---------------- the README's command table ---------------- *)
+
+let readme () = locate [ Filename.concat ".." "README.md"; "README.md" ]
+let section_heading = "### Shell command reference"
+
+let readme_commands () =
+  let lines = read_lines (readme ()) in
+  let rec find = function
+    | [] -> Alcotest.failf "README.md has no %S section" section_heading
+    | l :: rest -> if String.trim l = section_heading then rest else find rest
+  in
+  let rec rows acc = function
+    | [] -> List.rev acc
+    | l :: _ when String.length l > 0 && l.[0] = '#' -> List.rev acc
+    | l :: rest ->
+      let acc =
+        if String.length l > 3 && String.sub l 0 3 = "| `" then
+          match String.index_from_opt l 3 '`' with
+          | Some close -> String.sub l 3 (close - 3) :: acc
+          | None -> Alcotest.failf "unterminated command cell in README row %S" l
+        else acc
+      in
+      rows acc rest
+  in
+  rows [] (find lines)
+
+(* ---------------- the tests ---------------- *)
+
+let test_command_table_matches_help () =
+  let from_help = help_commands () in
+  let from_readme = readme_commands () in
+  Alcotest.(check bool) "help lists commands" true (List.length from_help > 10);
+  Alcotest.(check (list string))
+    "README shell command table = shell `help` output (same commands, same order)"
+    from_help from_readme
+
+let test_readme_mentions_docs () =
+  (* The persistence spec the README and ARCHITECTURE.md point at must
+     exist and describe both magic numbers. *)
+  let spec =
+    locate
+      [ Filename.concat (Filename.concat ".." "docs") "PERSISTENCE.md";
+        "docs/PERSISTENCE.md" ]
+  in
+  let text = String.concat "\n" (read_lines spec) in
+  let has needle =
+    Alcotest.(check bool) (Printf.sprintf "PERSISTENCE.md mentions %s" needle) true
+      (let nl = String.length needle and tl = String.length text in
+       let rec at i = i + nl <= tl && (String.sub text i nl = needle || at (i + 1)) in
+       at 0)
+  in
+  List.iter has [ "IVMSNAP1"; "IVMWAL01"; "0xEDB88320"; "0xCBF43926" ]
+
+let suite =
+  [
+    Alcotest.test_case "shell command table tracks help" `Quick
+      test_command_table_matches_help;
+    Alcotest.test_case "persistence spec present and specific" `Quick
+      test_readme_mentions_docs;
+  ]

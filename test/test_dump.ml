@@ -1,0 +1,178 @@
+(** [Database.dump] must produce a re-loadable program: dump → re-parse →
+    re-materialize is the identity.  Exercised across GROUPBY, negation
+    and duplicate semantics, and — at the value level — across everything
+    the printer can meet: floats that need exponents or 17 significant
+    digits, strings with escapes or raw control bytes, and symbols that
+    collide with keywords ([not], [true], [false]). *)
+
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* Value-level round-trips: print one value, re-parse it as a fact      *)
+(* argument, demand the same constructor with the same payload.         *)
+(* ------------------------------------------------------------------ *)
+
+let reparse_value (v : Value.t) : Value.t =
+  let src = Printf.sprintf "p(%s)." (Value.to_string v) in
+  match Parser.parse_program src with
+  | [ Ast.Sfact ("p", [ v' ]) ] -> v'
+  | _ -> Alcotest.failf "%s did not re-parse as a single fact" src
+
+(* Stricter than [Value.equal], which identifies [Int 2] with
+   [Float 2.0]: a round-trip must also preserve the kind. *)
+let same_rep (a : Value.t) (b : Value.t) : bool =
+  match a, b with
+  | Value.Int x, Value.Int y -> x = y
+  | Value.Float x, Value.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | Value.Str x, Value.Str y -> String.equal x y
+  | Value.Bool x, Value.Bool y -> x = y
+  | _ -> false
+
+let check_value v =
+  let v' = reparse_value v in
+  if not (same_rep v v') then
+    Alcotest.failf "%s re-parsed as %s" (Value.to_string v) (Value.to_string v')
+
+let float_cases () =
+  List.iter check_value
+    (List.map Value.float
+       [ 0.; 2.0; -2.5; 0.1; 0.1 +. 0.2 (* needs 17 digits *); 1. /. 3.;
+         Float.pi; 1e15 +. 1.; 1e16; 1e22; 1e-7; 6.02e23; -1.5e300;
+         4.9e-324 (* smallest denormal *); max_float; min_float;
+         Float.infinity; Float.neg_infinity ])
+
+let int_cases () =
+  List.iter check_value
+    (List.map Value.int [ 0; 1; -3; 42; max_int; min_int + 1 ])
+
+let string_cases () =
+  List.iter check_value
+    (List.map Value.str
+       [ ""; "plain"; "with space"; "Upper"; "_under"; "123start";
+         "tab\there"; "line\nbreak"; "cr\rhere"; "quote\"inside";
+         "back\\slash"; "ctrl\001byte"; "not"; "true"; "false"; "nan";
+         "semi;colon"; "paren)"; "dot." ])
+
+let bool_cases () =
+  List.iter check_value [ Value.bool true; Value.bool false ]
+
+(* Printed floats must re-lex as FLOAT (not as INT followed by garbage):
+   the ".0" on integral floats and the exponent forms are load-bearing. *)
+let float_lexes_as_float () =
+  List.iter
+    (fun x ->
+      let s = Value.to_string (Value.float (Float.abs x)) in
+      match Ivm_datalog.Lexer.tokenize s with
+      | [ { tok = Ivm_datalog.Lexer.FLOAT _; _ };
+          { tok = Ivm_datalog.Lexer.EOF; _ } ] -> ()
+      | _ -> Alcotest.failf "%s does not lex as one float literal" s)
+    [ 2.0; 0.5; 1e16; 1e-7; 123456789.0; Float.infinity ]
+
+(* bit-pattern floats cover denormals and extreme exponents *)
+let bit_float : Value.t QCheck.Gen.t =
+ fun st ->
+  let x = Int64.float_of_bits (Random.State.int64 st Int64.max_int) in
+  Value.float (if Float.is_nan x then 0. else x)
+
+let random_value_gen : Value.t QCheck.Gen.t =
+  QCheck.Gen.(
+    frequency
+      [ (2, map Value.int int);
+        (1, map Value.int (int_range (-1000) 1000));
+        (2, bit_float);
+        (1, map Value.float (float_range (-1e6) 1e6));
+        ( 2,
+          map Value.str
+            (string_size
+               ~gen:(map Char.chr (int_range 0 255))
+               (int_range 0 12)) );
+        (1, map Value.str string_printable);
+        (1, map Value.bool bool) ])
+
+let show_rep = function
+  | Value.Int x -> Printf.sprintf "Int %d" x
+  | Value.Float x -> Printf.sprintf "Float %h (prints as %s)" x (Value.to_string (Value.float x))
+  | Value.Str s -> Printf.sprintf "Str %S" s
+  | Value.Bool b -> Printf.sprintf "Bool %b" b
+
+let random_values =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:2000 ~name:"random values round-trip"
+       (QCheck.make random_value_gen ~print:show_rep)
+       (fun v -> same_rep v (reparse_value v)))
+
+(* ------------------------------------------------------------------ *)
+(* Whole-database round-trips                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reload ~semantics (db : Database.t) : Database.t =
+  let text = Format.asprintf "%a" Database.dump db in
+  let rules, facts = Parser.split (Parser.parse_program text) in
+  let db2 = Database.create ~semantics (Program.make rules) in
+  List.iter (fun (p, vals) -> Database.load db2 p [ Tuple.of_list vals ]) facts;
+  Seminaive.evaluate db2;
+  db2
+
+let check_db ?(semantics = Database.Set_semantics) name src =
+  let db = db_of_source ~semantics src in
+  let db2 = reload ~semantics db in
+  Alcotest.(check bool) (name ^ ": dump reloads to the same state") true
+    (Database.agree db db2)
+
+let groupby_db () =
+  check_db "groupby"
+    {|
+      link(a, b). link(a, c). link(b, c). link(c, d).
+      hop(X, Y) :- link(X, Z), link(Z, Y).
+      out_deg(X, N) :- groupby(link(X, Y), [X], N = count()).
+      min_succ(X, M) :- groupby(hop(X, Y), [X], M = min(Y)).
+    |}
+
+let negation_db () =
+  check_db "negation"
+    {|
+      link(a, b). link(b, c). link(c, a). link(a, d).
+      hop(X, Y) :- link(X, Z), link(Z, Y).
+      only_hop(X, Y) :- hop(X, Y), not link(X, Y).
+    |}
+
+let duplicate_db () =
+  check_db ~semantics:Database.Duplicate_semantics "duplicate semantics"
+    {|
+      link(a, b). link(a, b). link(a, b). link(b, c). link(b, c).
+      hop(X, Y) :- link(X, Z), link(Z, Y).
+    |}
+
+let adversarial_values_db () =
+  (* base facts whose constants all need careful printing *)
+  let program =
+    Program.make (Parser.parse_rules "seen(X) :- obs(T, X).")
+  in
+  let db = Database.create ~semantics:Database.Set_semantics program in
+  Database.load db "obs"
+    [ Tuple.of_list [ Value.int 1; Value.float (0.1 +. 0.2) ];
+      Tuple.of_list [ Value.int 2; Value.float 1e16 ];
+      Tuple.of_list [ Value.int 3; Value.str "not" ];
+      Tuple.of_list [ Value.int 4; Value.str "true" ];
+      Tuple.of_list [ Value.int 5; Value.str "line\nbreak\twith \"quotes\"" ];
+      Tuple.of_list [ Value.int 6; Value.bool false ];
+      Tuple.of_list [ Value.int 7; Value.float Float.infinity ];
+      Tuple.of_list [ Value.int (-8); Value.float (-0.5) ] ];
+  Seminaive.evaluate db;
+  let db2 = reload ~semantics:Database.Set_semantics db in
+  Alcotest.(check bool) "adversarial constants reload identically" true
+    (Database.agree db db2)
+
+let suite =
+  [
+    quick "floats round-trip" float_cases;
+    quick "ints round-trip" int_cases;
+    quick "strings round-trip" string_cases;
+    quick "bools round-trip" bool_cases;
+    quick "printed floats lex as floats" float_lexes_as_float;
+    random_values;
+    quick "dump/load: groupby" groupby_db;
+    quick "dump/load: negation" negation_db;
+    quick "dump/load: duplicate semantics" duplicate_db;
+    quick "dump/load: adversarial constants" adversarial_values_db;
+  ]
