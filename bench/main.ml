@@ -173,7 +173,9 @@ let run_micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --domains N anywhere: evaluate delta rules on N domains. *)
+  (* --domains N anywhere: evaluate delta rules on N domains.
+     --serve PORT anywhere: expose /metrics (and friends) while the
+     benches run; the monitor's at_exit handler stops it. *)
   let args =
     let rec go acc = function
       | "--domains" :: n :: rest ->
@@ -181,6 +183,27 @@ let () =
         | Some n when n >= 1 -> Ivm_par.set_domains n
         | _ ->
           Printf.eprintf "--domains expects a positive integer, got %s\n" n;
+          exit 1);
+        go acc rest
+      | "--serve" :: p :: rest ->
+        (match int_of_string_opt p with
+        | Some port when port >= 0 && port < 65536 ->
+          let srv =
+            Ivm_monitor.Monitor.start
+              ~config:
+                {
+                  Ivm_monitor.Monitor.default_config with
+                  before_metrics = Stats.sync;
+                }
+              ~port ()
+          in
+          Printf.printf
+            "monitoring on http://127.0.0.1:%d (/metrics /healthz /statusz \
+             /trace)\n\
+             %!"
+            (Ivm_monitor.Monitor.port srv)
+        | _ ->
+          Printf.eprintf "--serve expects a port number, got %s\n" p;
           exit 1);
         go acc rest
       | x :: rest -> go (x :: acc) rest

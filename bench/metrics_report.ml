@@ -220,6 +220,78 @@ let parallel_sweep () : Json.t =
              results) );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* E15: cost-attribution overhead — maintenance with per-rule           *)
+(* attribution on vs off, Counting and DRed on the same update stream  *)
+(* ------------------------------------------------------------------ *)
+
+(** Time one cumulative pass of [batches] over a fresh copy of [db0]
+    with attribution forced to [enabled]; one warm-up pass, then the
+    best of three measured passes (minimum filters scheduler noise). *)
+let timed_pass db0 batches maintain enabled =
+  let prev = Ivm_obs.Attribution.enabled () in
+  Ivm_obs.Attribution.set_enabled enabled;
+  let measure () =
+    let db = Database.copy db0 in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun c -> ignore (maintain db c)) batches;
+    (Unix.gettimeofday () -. t0) *. 1e9
+  in
+  ignore (measure ());
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let dt = measure () in
+    if dt < !best then best := dt
+  done;
+  Ivm_obs.Attribution.set_enabled prev;
+  !best
+
+(** E15: what does per-rule cost attribution cost?  The same seeded
+    stream of mixed update batches is maintained with attribution off
+    and on, for Counting and for DRed; the acceptance bar is ≤10%
+    overhead (EXPERIMENTS.md E15). *)
+let attribution_overhead () : Json.t =
+  let nodes = 200 and edges = 1000 and n_batches = 40 in
+  let db0, rng = graph_db ~src:Programs.hop_tri_hop ~seed:31 ~nodes ~edges () in
+  (* Cumulative stream: generate each batch against the state left by its
+     predecessors so the deletions stay valid for every timed pass. *)
+  let batches =
+    let tracker = Database.copy db0 in
+    List.init n_batches (fun _ ->
+        let c = Update_gen.mixed rng tracker "link" ~nodes ~dels:3 ~ins:3 in
+        ignore (Counting.maintain tracker c);
+        c)
+  in
+  let algo name maintain =
+    let off_ns = timed_pass db0 batches maintain false in
+    let on_ns = timed_pass db0 batches maintain true in
+    Json.Obj
+      [
+        ("algorithm", Json.Str name);
+        ("off_ns", Json.Num off_ns);
+        ("on_ns", Json.Num on_ns);
+        ("overhead_pct", Json.Num ((on_ns -. off_ns) /. off_ns *. 100.));
+      ]
+  in
+  Json.Obj
+    [
+      ("experiment", Json.Str "attribution_overhead");
+      ( "description",
+        Json.Str
+          (Printf.sprintf
+             "per-rule cost attribution on vs off: hop+tri_hop views, random \
+              graph (%d nodes, %d edges), %d mixed batches of 3 del + 3 ins, \
+              best of 3 passes after warm-up"
+             nodes edges n_batches) );
+      ("batches", Json.int n_batches);
+      ( "algorithms",
+        Json.List
+          [
+            algo "counting" (fun db c -> ignore (Counting.maintain db c));
+            algo "dred" (fun db c -> ignore (Dred.maintain db c));
+          ] );
+    ]
+
 (** Build the report and write it to [out]. *)
 let run ~out () =
   Metrics.reset ();
@@ -262,6 +334,7 @@ let run ~out () =
      left, and the registry dump must see the sweep's per-domain
      counters. *)
   let sweep = parallel_sweep () in
+  let attribution = attribution_overhead () in
   (* Fold the evaluator's per-domain work cells into the registry before
      dumping it. *)
   Stats.sync ();
@@ -271,6 +344,7 @@ let run ~out () =
         ("report", Json.Str "ivm bench metrics");
         ("workloads", Json.List [ w1; w2 ]);
         ("parallel_sweep", sweep);
+        ("attribution_overhead", attribution);
         ("registry", Metrics.to_json ());
       ]
   in

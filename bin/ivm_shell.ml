@@ -50,6 +50,11 @@ let help_text =
   \  trace off        stop tracing and flush the file\n\
   \  trace status     is tracing on, and where\n\
   \  explain          program structure, strata, sizes\n\
+  \  explain last     per-rule cost table of the most recent maintenance\n\
+  \                   batch (wall time, Δ in/out, probes, index builds)\n\
+  \  monitor start PORT  serve /metrics /healthz /statusz /trace on\n\
+  \                   localhost:PORT (HTTP; Prometheus + JSON)\n\
+  \  monitor stop     stop the monitoring endpoint\n\
   \  save FILE        dump rules+facts to a reloadable file\n\
   \  open DIR         open an existing durable store (replay its log), or\n\
   \                   turn the current database durable in a fresh DIR\n\
@@ -81,6 +86,29 @@ let apply_and_report vm changes =
       (fun (view, delta) ->
         Format.printf "Δ%s = %a@." view Relation.pp delta)
       deltas
+
+(* One monitoring endpoint per shell process.  The status callback reads
+   through the ref so 'open DIR' (which swaps the manager) is reflected
+   on /statusz without restarting the server. *)
+let monitor_server : Ivm_monitor.Monitor.t option ref = ref None
+
+let monitor_config (vmref : Vm.t ref) =
+  {
+    Ivm_monitor.Monitor.status = (fun () -> Vm.status_json !vmref);
+    before_metrics = Stats.sync;
+  }
+
+let start_monitor vmref port =
+  match !monitor_server with
+  | Some srv ->
+    Format.printf "monitor already running on port %d ('monitor stop' first)@."
+      (Ivm_monitor.Monitor.port srv)
+  | None ->
+    let srv = Ivm_monitor.Monitor.start ~config:(monitor_config vmref) ~port () in
+    monitor_server := Some srv;
+    Format.printf
+      "monitoring on http://127.0.0.1:%d (/metrics /healthz /statusz /trace)@."
+      (Ivm_monitor.Monitor.port srv)
 
 let sql_keywords = [ "select"; "insert"; "delete"; "update"; "create" ]
 
@@ -156,6 +184,31 @@ let execute ?sql (vmref : Vm.t ref) line =
           (if info.Program.is_base then ""
            else Printf.sprintf "  (%d rules)" (List.length info.Program.defining_rules)))
       (Program.base_preds program @ Program.derived_in_stratum_order program)
+  end
+  else if line = "explain last" then begin
+    match Ivm_obs.Attribution.last () with
+    | Some batch ->
+      Format.printf "%a@." (fun ppf b -> Ivm_obs.Attribution.pp_batch ppf b) batch
+    | None ->
+      if Ivm_obs.Attribution.enabled () then
+        Format.printf "no maintenance batch recorded yet@."
+      else
+        Format.printf
+          "attribution is disabled (IVM_ATTRIBUTION=0); no batches recorded@."
+  end
+  else if String.length line > 14 && String.sub line 0 14 = "monitor start " then begin
+    let port_s = String.trim (String.sub line 14 (String.length line - 14)) in
+    match int_of_string_opt port_s with
+    | Some port when port >= 0 && port < 65536 -> start_monitor vmref port
+    | _ -> Format.printf "usage: monitor start PORT (0 picks a free port)@."
+  end
+  else if line = "monitor stop" then begin
+    match !monitor_server with
+    | Some srv ->
+      Ivm_monitor.Monitor.stop srv;
+      monitor_server := None;
+      Format.printf "monitor stopped@."
+    | None -> Format.printf "monitor is not running@."
   end
   else if String.length line > 5 && String.sub line 0 5 = "save " then begin
     let path = String.trim (String.sub line 5 (String.length line - 5)) in
@@ -326,7 +379,16 @@ let durable_arg =
               snapshotted there and every change batch is logged before it \
               is applied.")
 
-let run file sql semantics algorithm verbose domains durable commands =
+let monitor_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "monitor" ] ~docv:"PORT"
+        ~doc:"Serve $(b,/metrics) (Prometheus), $(b,/healthz), $(b,/statusz) \
+              and $(b,/trace) on localhost:$(docv) for the life of the \
+              process ($(b,0) picks a free port).")
+
+let run file sql semantics algorithm verbose domains durable monitor commands =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -356,8 +418,14 @@ let run file sql semantics algorithm verbose domains durable commands =
       | None -> (None, Vm.of_source ~semantics ~algorithm ?durable ""))
   in
   let vm = ref vm in
+  (match monitor with Some port -> start_monitor vm port | None -> ());
   if commands = [] then repl ?sql:session vm (Unix.isatty Unix.stdin)
-  else List.iter (protect ?sql:session vm) commands
+  else List.iter (protect ?sql:session vm) commands;
+  match !monitor_server with
+  | Some srv ->
+    Ivm_monitor.Monitor.stop srv;
+    monitor_server := None
+  | None -> ()
 
 let cmd =
   let doc = "incrementally maintained materialized views (SIGMOD'93 counting + DRed)" in
@@ -365,6 +433,6 @@ let cmd =
     (Cmd.info "ivm-shell" ~doc)
     Term.(
       const run $ file_arg $ sql_flag $ semantics_arg $ algorithm_arg
-      $ verbose_flag $ domains_arg $ durable_arg $ command_arg)
+      $ verbose_flag $ domains_arg $ durable_arg $ monitor_arg $ command_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -93,6 +93,8 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
         (fun p ->
           if List.mem p affected then begin
             let out = Relation.create (Program.arity program p) in
+            Ivm_obs.Attribution.set_context
+              ~stratum:(Program.stratum program p) ~phase:"delta";
             Trace.span "counting.view"
               ~args:(fun () ->
                 [

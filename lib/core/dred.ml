@@ -668,13 +668,19 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
       List.iter
         (fun unit_preds ->
           let unit_name = String.concat "," unit_preds in
+          (* a unit's predicates share a stratum; each phase retags the
+             ambient attribution context before its fan-outs *)
+          let stratum = Program.stratum program (List.hd unit_preds) in
+          let phase name = Ivm_obs.Attribution.set_context ~stratum ~phase:name in
           Trace.span "dred.unit"
             ~args:(fun () -> [ ("unit", unit_name) ])
             (fun () ->
               let dminus =
                 Trace.span "dred.delete"
                   ~args:(fun () -> [ ("unit", unit_name) ])
-                  (fun () -> delete_overestimate ctx unit_preds)
+                  (fun () ->
+                    phase "delete";
+                    delete_overestimate ctx unit_preds)
               in
               let unit_overdeleted =
                 List.fold_left
@@ -686,11 +692,15 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
               let putbacks =
                 Trace.span "dred.rederive"
                   ~args:(fun () -> [ ("unit", unit_name) ])
-                  (fun () -> rederive ctx unit_preds dminus)
+                  (fun () ->
+                    phase "rederive";
+                    rederive ctx unit_preds dminus)
               in
               Trace.span "dred.insert"
                 ~args:(fun () -> [ ("unit", unit_name) ])
-                (fun () -> insert_new ctx unit_preds);
+                (fun () ->
+                  phase "insert";
+                  insert_new ctx unit_preds);
               List.iter (fun p -> finalize ctx p) unit_preds;
               let unit_rederived =
                 List.fold_left (fun acc p -> acc + Hashtbl.find putbacks p) 0 unit_preds

@@ -227,6 +227,9 @@ let maintain ?(max_rounds = default_max_rounds) (db : Database.t)
       List.iter (fun (pred, delta) -> Delta.set_delta ctx pred ~full:delta) normalized;
       List.iter
         (fun unit_preds ->
+          Ivm_obs.Attribution.set_context
+            ~stratum:(Program.stratum program (List.hd unit_preds))
+            ~phase:"delta";
           match unit_preds with
           | [ p ] when not (Program.recursive program p) ->
             let out = Relation.create (Program.arity program p) in

@@ -94,8 +94,16 @@ let recompute_maintain (db : Database.t) (changes : Changes.t) : unit =
 
     Observability: the whole batch runs under a [maintain_batch] span
     (the root of the batch → stratum → rule span tree), its end-to-end
-    wall clock feeds [ivm_batch_latency_ns{algorithm=...}], and the
-    per-relation gauges are refreshed after commit. *)
+    wall clock feeds [ivm_batch_latency_ns{algorithm=...}] and the
+    [ivm_last_batch_ns] gauge, per-rule cost attribution is collected
+    between {!Ivm_obs.Attribution.batch_begin}/[batch_end] (backing
+    [explain last], the labeled rule families on [/metrics], and the
+    slow-batch log line), and the per-relation gauges are refreshed
+    after commit. *)
+let last_batch_g =
+  Metrics.gauge "ivm_last_batch_ns"
+    ~help:"Wall time of the most recent maintenance batch, nanoseconds"
+
 let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
   let resolved = resolve t in
   let name = algorithm_name resolved in
@@ -110,27 +118,34 @@ let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
       normalized
   in
   let t0 = Unix.gettimeofday () in
-  let deltas =
-    Trace.span "maintain_batch"
-      ~args:(fun () -> [ ("algorithm", name) ])
-      (fun () ->
-        match resolved with
-        | Counting ->
-          let report = Counting.maintain t.db changes in
-          (match Database.semantics t.db with
-          | Database.Set_semantics -> report.Counting.propagated_deltas
-          | Database.Duplicate_semantics -> report.Counting.view_deltas)
-        | Dred ->
-          let report = Dred.maintain t.db changes in
-          report.Dred.view_deltas
-        | Recursive_counting -> Recursive_counting.maintain t.db changes
-        | Recompute | Auto ->
-          recompute_maintain t.db changes;
-          [])
+  Ivm_obs.Attribution.batch_begin ~algorithm:name;
+  let finish () =
+    let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    ignore (Ivm_obs.Attribution.batch_end ~total_wall_ns:wall_ns);
+    Metrics.observe
+      (Metrics.histogram ~labels:[ ("algorithm", name) ] "ivm_batch_latency_ns")
+      wall_ns;
+    Metrics.set last_batch_g (float_of_int wall_ns)
   in
-  Metrics.observe
-    (Metrics.histogram ~labels:[ ("algorithm", name) ] "ivm_batch_latency_ns")
-    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+  let deltas =
+    Fun.protect ~finally:finish (fun () ->
+        Trace.span "maintain_batch"
+          ~args:(fun () -> [ ("algorithm", name) ])
+          (fun () ->
+            match resolved with
+            | Counting ->
+              let report = Counting.maintain t.db changes in
+              (match Database.semantics t.db with
+              | Database.Set_semantics -> report.Counting.propagated_deltas
+              | Database.Duplicate_semantics -> report.Counting.view_deltas)
+            | Dred ->
+              let report = Dred.maintain t.db changes in
+              report.Dred.view_deltas
+            | Recursive_counting -> Recursive_counting.maintain t.db changes
+            | Recompute | Auto ->
+              recompute_maintain t.db changes;
+              []))
+  in
   Database.observe_gauges t.db;
   deltas
 
@@ -328,3 +343,60 @@ let audit (t : t) : (unit, string) result =
   match bad with [] -> Ok () | msgs -> Error (String.concat "\n" msgs)
 
 let pp ppf t = Database.pp ppf t.db
+
+(** The manager's state as JSON — the monitor's [/statusz] body (minus
+    process-level fields like uptime, which the server adds): algorithm,
+    semantics, domain count, per-view tuple counts, durable-store
+    status, and the last batch's wall time. *)
+let status_json (t : t) : Ivm_obs.Json.t =
+  let module Json = Ivm_obs.Json in
+  let program = program t in
+  let views =
+    List.map
+      (fun p ->
+        ( p,
+          Json.Obj
+            [
+              ("stratum", Json.int (Program.stratum program p));
+              ("tuples", Json.int (Relation.cardinal (relation t p)));
+            ] ))
+      (Program.derived_in_stratum_order program)
+  in
+  let bases =
+    List.map
+      (fun p -> (p, Json.int (Relation.cardinal (relation t p))))
+      (List.sort String.compare (Program.base_preds program))
+  in
+  let store =
+    match store_status t with
+    | None -> Json.Null
+    | Some s ->
+      Json.Obj
+        [
+          ("dir", Json.Str s.Ivm_store.Store.dir);
+          ("seq", Json.int s.Ivm_store.Store.seq);
+          ("snapshot_seq", Json.int s.Ivm_store.Store.snapshot_seq);
+          ("snapshot_bytes", Json.int s.Ivm_store.Store.snapshot_bytes);
+          ("wal_records", Json.int s.Ivm_store.Store.wal_records);
+          ("wal_bytes", Json.int s.Ivm_store.Store.wal_bytes);
+        ]
+  in
+  Json.Obj
+    [
+      ("algorithm", Json.Str (algorithm_name (resolve t)));
+      ( "semantics",
+        Json.Str
+          (match semantics t with
+          | Database.Set_semantics -> "set"
+          | Database.Duplicate_semantics -> "duplicate") );
+      ("domains", Json.int (Ivm_par.domains ()));
+      ("views", Json.Obj views);
+      ("base_relations", Json.Obj bases);
+      ("store", store);
+      ( "last_batch_ns",
+        Json.int (int_of_float (Metrics.gauge_value last_batch_g)) );
+      ( "last_batch",
+        match Ivm_obs.Attribution.last () with
+        | None -> Json.Null
+        | Some b -> Ivm_obs.Attribution.batch_json b );
+    ]

@@ -147,3 +147,11 @@ val remove_rule_text : t -> string -> unit
 val audit : t -> (unit, string) result
 
 val pp : Format.formatter -> t -> unit
+
+(** The manager's state as JSON — the monitor's [/statusz] body (minus
+    process-level fields like uptime, which the server adds): algorithm,
+    semantics, domain count, per-view tuple counts (with strata),
+    durable-store status ([null] when not durable), and the most recent
+    batch's wall time plus its per-rule attribution
+    ({!Ivm_obs.Attribution.batch_json}). *)
+val status_json : t -> Ivm_obs.Json.t

@@ -72,6 +72,8 @@ let prepare_agg_inputs (cr : Compile.t) (inputs : int -> Rule_eval.subgoal_input
 let eval_nonrecursive db ~cache pred =
   let program = Database.program db in
   let out = Relation.create (Program.arity program pred) in
+  Ivm_obs.Attribution.set_context ~stratum:(Program.stratum program pred)
+    ~phase:"materialize";
   Trace.span "seminaive.materialize"
     ~args:(fun () ->
       [ ("pred", pred); ("tuples", string_of_int (Relation.cardinal out)) ])
@@ -108,6 +110,10 @@ let eval_recursive_unit db ~cache (unit_preds : string list) :
              not terminate on recursive views (Section 8); use set semantics"
             (List.hd unit_preds)));
   let in_unit p = List.mem p unit_preds in
+  (* one context for the whole unit: its predicates share a stratum *)
+  Ivm_obs.Attribution.set_context
+    ~stratum:(Program.stratum program (List.hd unit_preds))
+    ~phase:"fixpoint";
   let totals : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
   let deltas : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
   List.iter

@@ -41,6 +41,7 @@ let derivations_c = Metrics.counter "ivm_derivations_total"
 let tuples_scanned_c = Metrics.counter "ivm_tuples_scanned_total"
 let probes_c = Metrics.counter "ivm_probes_total"
 let rule_applications_c = Metrics.counter "ivm_rule_applications_total"
+let index_builds_c = Metrics.counter "ivm_index_builds_total"
 
 (* ---------------- per-domain cells ---------------- *)
 
@@ -49,6 +50,7 @@ type cell = {
   mutable cell_scanned : int;
   mutable cell_probes : int;
   mutable cell_rules : int;
+  mutable cell_index_builds : int;
 }
 
 let cells_lock = Mutex.create ()
@@ -61,7 +63,8 @@ let cells : cell list ref = ref []
 let cell_key : cell Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       let c =
-        { cell_derivations = 0; cell_scanned = 0; cell_probes = 0; cell_rules = 0 }
+        { cell_derivations = 0; cell_scanned = 0; cell_probes = 0;
+          cell_rules = 0; cell_index_builds = 0 }
       in
       Mutex.lock cells_lock;
       cells := c :: !cells;
@@ -84,6 +87,15 @@ let add_rule_application () =
   let c = Domain.DLS.get cell_key in
   c.cell_rules <- c.cell_rules + 1
 
+let add_index_build () =
+  let c = Domain.DLS.get cell_key in
+  c.cell_index_builds <- c.cell_index_builds + 1
+
+(* The relation layer can't depend on this library, so it exposes a hook
+   ref; installing it here makes every demand-built overlay/base index
+   count toward the work totals (and per-rule attribution). *)
+let () = Ivm_relation.Relation.on_index_build := add_index_build
+
 (** Sum one field over all cells, saturating at [max_int]. *)
 let sum_cells get =
   Mutex.lock cells_lock;
@@ -101,6 +113,7 @@ let derivations () = sum_cells (fun c -> c.cell_derivations)
 let tuples_scanned () = sum_cells (fun c -> c.cell_scanned)
 let probes () = sum_cells (fun c -> c.cell_probes)
 let rule_applications () = sum_cells (fun c -> c.cell_rules)
+let index_builds () = sum_cells (fun c -> c.cell_index_builds)
 
 (** Mirror the cell sums into the registered metrics so registry dumps
     ({!Ivm_obs.Metrics.pp} / [to_json]) show current totals.  Call at
@@ -109,7 +122,8 @@ let sync () =
   derivations_c.Metrics.count <- derivations ();
   tuples_scanned_c.Metrics.count <- tuples_scanned ();
   probes_c.Metrics.count <- probes ();
-  rule_applications_c.Metrics.count <- rule_applications ()
+  rule_applications_c.Metrics.count <- rule_applications ();
+  index_builds_c.Metrics.count <- index_builds ()
 
 (** Reset the four work counters (only; other registered metrics keep
     their values — use {!Ivm_obs.Metrics.reset} for everything, plus this
@@ -121,19 +135,22 @@ let reset () =
       c.cell_derivations <- 0;
       c.cell_scanned <- 0;
       c.cell_probes <- 0;
-      c.cell_rules <- 0)
+      c.cell_rules <- 0;
+      c.cell_index_builds <- 0)
     !cells;
   Mutex.unlock cells_lock;
   derivations_c.Metrics.count <- 0;
   tuples_scanned_c.Metrics.count <- 0;
   probes_c.Metrics.count <- 0;
-  rule_applications_c.Metrics.count <- 0
+  rule_applications_c.Metrics.count <- 0;
+  index_builds_c.Metrics.count <- 0
 
 type snapshot = {
   snap_derivations : int;
   snap_tuples_scanned : int;
   snap_probes : int;
   snap_rule_applications : int;
+  snap_index_builds : int;
 }
 
 let snapshot () =
@@ -142,6 +159,7 @@ let snapshot () =
     snap_tuples_scanned = tuples_scanned ();
     snap_probes = probes ();
     snap_rule_applications = rule_applications ();
+    snap_index_builds = index_builds ();
   }
 
 (** Work done since [earlier].  Each component clamps at zero: a snapshot
@@ -154,12 +172,42 @@ let since earlier =
     snap_tuples_scanned = d (tuples_scanned ()) earlier.snap_tuples_scanned;
     snap_probes = d (probes ()) earlier.snap_probes;
     snap_rule_applications = d (rule_applications ()) earlier.snap_rule_applications;
+    snap_index_builds = d (index_builds ()) earlier.snap_index_builds;
+  }
+
+(** Snapshot of the {e current domain's} cell only.  Together with
+    {!local_since} this measures exactly the work this domain performed
+    in a region — under parallel fan-out the global {!snapshot} would
+    fold in other domains' concurrent bumps, misattributing their work
+    to whichever rule this domain happens to be evaluating.  Per-rule
+    cost attribution uses this pair. *)
+let local_snapshot () =
+  let c = Domain.DLS.get cell_key in
+  {
+    snap_derivations = c.cell_derivations;
+    snap_tuples_scanned = c.cell_scanned;
+    snap_probes = c.cell_probes;
+    snap_rule_applications = c.cell_rules;
+    snap_index_builds = c.cell_index_builds;
+  }
+
+(** This domain's work since [earlier] (an earlier {!local_snapshot} on
+    the same domain); clamps at zero across {!reset}. *)
+let local_since earlier =
+  let c = Domain.DLS.get cell_key in
+  let d a b = max 0 (a - b) in
+  {
+    snap_derivations = d c.cell_derivations earlier.snap_derivations;
+    snap_tuples_scanned = d c.cell_scanned earlier.snap_tuples_scanned;
+    snap_probes = d c.cell_probes earlier.snap_probes;
+    snap_rule_applications = d c.cell_rules earlier.snap_rule_applications;
+    snap_index_builds = d c.cell_index_builds earlier.snap_index_builds;
   }
 
 let pp_snapshot ppf s =
-  Format.fprintf ppf "derivations=%d scanned=%d probes=%d rules=%d"
+  Format.fprintf ppf "derivations=%d scanned=%d probes=%d rules=%d idxbuilds=%d"
     s.snap_derivations s.snap_tuples_scanned s.snap_probes
-    s.snap_rule_applications
+    s.snap_rule_applications s.snap_index_builds
 
 (** Run [f], returning its result and the work it performed.  Nesting is
     fine: an outer [measure] includes the work of any inner ones (see the

@@ -13,7 +13,7 @@
 
     The counters are registered metrics ([ivm_derivations_total],
     [ivm_tuples_scanned_total], [ivm_probes_total],
-    [ivm_rule_applications_total]), visible to the shell's [metrics]
+    [ivm_rule_applications_total], [ivm_index_builds_total]), visible to the shell's [metrics]
     command and the bench [--metrics-json] report; {!sync} refreshes the
     registered handles from the cells before a registry dump.
     Sums saturate at [max_int] (no wrap-around).
@@ -24,7 +24,7 @@
     zero, so a snapshot taken before a [reset] yields zeros rather than
     negative values. *)
 
-(** Reset the four work counters to zero.  Snapshots taken earlier become
+(** Reset the work counters to zero.  Snapshots taken earlier become
     stale: {!since} reports zeros for them, not negative work.  Other
     registered metrics keep their values ({!Ivm_obs.Metrics.reset} zeroes
     the registry but not the per-domain cells behind these four — call
@@ -48,16 +48,23 @@ val probes : unit -> int
 (** Rule (re-)evaluations started. *)
 val rule_applications : unit -> int
 
+(** Demand-built relation indexes (counted via the
+    [Ivm_relation.Relation.on_index_build] hook this module installs at
+    init). *)
+val index_builds : unit -> int
+
 val add_derivation : unit -> unit
 val add_scanned : unit -> unit
 val add_probe : unit -> unit
 val add_rule_application : unit -> unit
+val add_index_build : unit -> unit
 
 type snapshot = {
   snap_derivations : int;
   snap_tuples_scanned : int;
   snap_probes : int;
   snap_rule_applications : int;
+  snap_index_builds : int;
 }
 
 val snapshot : unit -> snapshot
@@ -65,6 +72,18 @@ val snapshot : unit -> snapshot
 (** Work done since [earlier]; each component clamps at zero (see the
     module comment on resets). *)
 val since : snapshot -> snapshot
+
+(** Snapshot of the {e current domain's} cell only — with {!local_since}
+    this measures exactly the work this domain performed in a region,
+    immune to concurrent bumps from other domains.  Per-rule cost
+    attribution ({!Ivm_obs.Attribution}) relies on this: under parallel
+    fan-out the global {!snapshot}/{!since} pair would misattribute
+    other domains' work to this rule. *)
+val local_snapshot : unit -> snapshot
+
+(** This domain's work since [earlier] (an earlier {!local_snapshot}
+    taken on the same domain); clamps at zero across {!reset}. *)
+val local_since : snapshot -> snapshot
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
 

@@ -1,0 +1,44 @@
+(** The live monitoring endpoint: a small single-threaded HTTP/1.0
+    server on a dedicated domain.
+
+    One accept loop, one request per connection, [Connection: close].
+    The server only {e reads} shared state — the mutex-protected metrics
+    registry, the trace ring, the caller's status callback — so scraping
+    never blocks maintenance.
+
+    Endpoints: [GET /metrics] (Prometheus text exposition 0.0.4),
+    [GET /healthz] (liveness JSON), [GET /statusz] (caller-supplied
+    status document plus uptime/pid/trace fields), [GET /trace] (drains
+    the {!Ivm_obs.Trace} ring as a Chrome [trace_event] JSON array —
+    repeated GETs see disjoint batches).  Anything else is a 404. *)
+
+type config = {
+  status : unit -> Ivm_obs.Json.t;
+      (** the [/statusz] document; an [Obj]'s fields are spliced after
+          the process fields, any other value appears under ["status"] *)
+  before_metrics : unit -> unit;
+      (** runs before each [/metrics] or [/statusz] render — mirror
+          non-registry state into the registry here (e.g.
+          [Ivm_eval.Stats.sync]) *)
+}
+
+(** Empty status, no pre-render hook. *)
+val default_config : config
+
+type t
+
+(** Start serving on [port] ([0] picks an ephemeral port — read it back
+    with {!port}).  Binds [host], default loopback: the monitor exposes
+    process internals, so binding wider is an explicit choice.  The
+    accept loop runs on its own domain; every running server is
+    [at_exit]-stopped so a process that forgets {!stop} still exits.
+    @raise Unix.Unix_error when the address is in use or not
+    bindable. *)
+val start : ?host:string -> ?config:config -> port:int -> unit -> t
+
+(** The port actually bound (meaningful after [start ~port:0]). *)
+val port : t -> int
+
+(** Stop accepting, wake and join the accept domain, close the socket.
+    Idempotent. *)
+val stop : t -> unit

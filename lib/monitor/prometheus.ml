@@ -1,0 +1,133 @@
+(** Prometheus text exposition (format version 0.0.4) over the
+    {!Ivm_obs.Metrics} registry.
+
+    One [# HELP]/[# TYPE] header per metric family (help text from
+    {!Ivm_obs.Metrics.help}), then the family's samples.  Histograms
+    expand to cumulative [_bucket{le="…"}] samples — upper bounds are the
+    registry's inclusive log₂ bucket bounds, which matches Prometheus's
+    inclusive [le] — plus the [+Inf] bucket, [_sum], and [_count].
+
+    Escaping per the exposition format: in help text backslash and
+    newline; in label values additionally the double quote.  Metric and
+    label {e names} are emitted as-is (ours are all [a-z_]-safe);
+    arbitrary text — rule sources in the attribution families — only
+    ever appears in label {e values}, where escaping makes it legal. *)
+
+module Metrics = Ivm_obs.Metrics
+
+let escape_help b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s
+
+let escape_label_value b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s
+
+(** [name{k="v",…}] with label values escaped; bare [name] when the label
+    set is empty.  [extra] appends synthetic labels (the histogram
+    [le]). *)
+let sample_name b name (labels : Metrics.labels) ?(extra = []) () =
+  Buffer.add_string b name;
+  match labels @ extra with
+  | [] -> ()
+  | kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        escape_label_value b v;
+        Buffer.add_char b '"')
+      kvs;
+    Buffer.add_char b '}'
+
+let add_float b (f : float) =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%.17g" f)
+
+let add_sample b name labels ?extra value =
+  sample_name b name labels ?extra ();
+  Buffer.add_char b ' ';
+  add_float b value;
+  Buffer.add_char b '\n'
+
+let type_name = function
+  | Metrics.Counter _ -> "counter"
+  | Metrics.Gauge _ -> "gauge"
+  | Metrics.Histogram _ -> "histogram"
+
+let add_header b name metric =
+  (match Metrics.help name with
+  | Some h ->
+    Buffer.add_string b "# HELP ";
+    Buffer.add_string b name;
+    Buffer.add_char b ' ';
+    escape_help b h;
+    Buffer.add_char b '\n'
+  | None -> ());
+  Buffer.add_string b "# TYPE ";
+  Buffer.add_string b name;
+  Buffer.add_char b ' ';
+  Buffer.add_string b (type_name metric);
+  Buffer.add_char b '\n'
+
+let add_registered b (r : Metrics.registered) =
+  match r.metric with
+  | Metrics.Counter c ->
+    add_sample b r.name r.labels (float_of_int (Metrics.counter_value c))
+  | Metrics.Gauge g -> add_sample b r.name r.labels (Metrics.gauge_value g)
+  | Metrics.Histogram h ->
+    List.iter
+      (fun (upper, cum) ->
+        add_sample b (r.name ^ "_bucket") r.labels
+          ~extra:[ ("le", string_of_int upper) ]
+          (float_of_int cum))
+      (Metrics.cumulative_buckets h);
+    add_sample b (r.name ^ "_bucket") r.labels
+      ~extra:[ ("le", "+Inf") ]
+      (float_of_int (Metrics.histogram_count h));
+    add_sample b (r.name ^ "_sum") r.labels
+      (float_of_int (Metrics.histogram_sum h));
+    add_sample b (r.name ^ "_count") r.labels
+      (float_of_int (Metrics.histogram_count h))
+
+(** Render an explicit list of registered metrics (the testable core —
+    property tests feed synthetic registrations here).  Rows are
+    stable-sorted by family name first: the format requires one header
+    per family with all its samples adjacent, and the registry's
+    canonical [name{labels}] key order can interleave families whose
+    names share a prefix ([_] sorts below [{]). *)
+let render_list (rows : Metrics.registered list) : string =
+  let rows =
+    List.stable_sort
+      (fun (a : Metrics.registered) (b : Metrics.registered) ->
+        String.compare a.name b.name)
+      rows
+  in
+  let b = Buffer.create 4096 in
+  let last_name = ref None in
+  List.iter
+    (fun (r : Metrics.registered) ->
+      if !last_name <> Some r.name then begin
+        last_name := Some r.name;
+        add_header b r.name r.metric
+      end;
+      add_registered b r)
+    rows;
+  Buffer.contents b
+
+(** The whole registry as one exposition document. *)
+let render () : string = render_list (Metrics.dump ())

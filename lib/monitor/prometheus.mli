@@ -1,0 +1,16 @@
+(** Prometheus text exposition (format version 0.0.4) over the
+    {!Ivm_obs.Metrics} registry: one [# HELP]/[# TYPE] header per metric
+    family, then its samples; histograms expand to cumulative
+    [_bucket{le="…"}] samples (inclusive log₂ upper bounds) plus
+    [+Inf], [_sum], and [_count].  Help text and label values are
+    escaped per the format (backslash and newline everywhere, plus the
+    double quote in label values). *)
+
+(** Render an explicit list of registered metrics — the testable core.
+    Rows are stable-sorted by family name first, so every family's
+    samples sit adjacent under a single [# HELP]/[# TYPE] header. *)
+val render_list : Ivm_obs.Metrics.registered list -> string
+
+(** The whole registry ({!Ivm_obs.Metrics.dump}) as one exposition
+    document. *)
+val render : unit -> string

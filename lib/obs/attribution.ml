@@ -1,0 +1,374 @@
+(** Per-rule cost attribution for maintenance batches.
+
+    Aggregate counters ({!Metrics}, [Ivm_eval.Stats]) answer "how much
+    work happened"; this module answers {e which rule} did it.  Both the
+    literature on Datalog materialisation maintenance and our own bench
+    traces show batch cost concentrating in a few rules/strata, so the
+    evaluator records, per rule evaluation: wall time, Δ-tuples in/out,
+    join probes, tuples scanned, derivations, and demand-built overlay
+    indexes.  Rows aggregate per [(rule, stratum, phase)] into a bounded
+    per-batch table; the finished batch backs the shell's [explain last],
+    the monitor's [/statusz], labeled [/metrics] families, and a
+    slow-batch structured log line.
+
+    {b Lifecycle.}  [View_manager] brackets each maintenance batch with
+    {!batch_begin}/{!batch_end}.  In between, the algorithm layers
+    ([Seminaive], [Counting], [Dred], …) publish the ambient {e context}
+    — stratum and phase — sequentially {e before} each parallel fan-out
+    (every task of one fan-out shares that context), and [Rule_eval]
+    calls {!record} once per rule evaluation from whichever domain ran
+    it.  [record] takes plain ints so the work deltas can come from
+    [Stats.local_since] (exact per-domain work; a global snapshot would
+    fold other domains' concurrent bumps into this rule).
+
+    {b Wall-time semantics.}  Row wall times are per-domain and overlap
+    under parallel fan-out, so their sum — {!type-batch.busy_wall_ns} —
+    can legitimately exceed the batch's elapsed
+    {!type-batch.total_wall_ns}; with one domain busy ≤ total (the
+    bracket also covers per-batch bookkeeping outside rule evaluation).
+
+    {b Cost.}  Attribution is on by default; set [IVM_ATTRIBUTION=0] (or
+    [off]/[false]/[no]) to disable, reducing {!record} to one boolean
+    load at each rule evaluation.  Measured overhead is recorded in
+    EXPERIMENTS.md E15. *)
+
+(* ---------------- enable switch ---------------- *)
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "IVM_ATTRIBUTION" with
+    | Some ("0" | "off" | "false" | "no" | "OFF" | "FALSE") -> false
+    | _ -> true)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* ---------------- ambient context ---------------- *)
+
+(* Set sequentially by the algorithm layer before each parallel fan-out;
+   worker domains only read it.  The pool's task handoff (mutex-guarded
+   queue) provides the happens-before edge, so a plain ref suffices. *)
+let context : (int * string) ref = ref (0, "")
+
+(** [set_context ~stratum ~phase] tags subsequent {!record} calls.  Call
+    from the coordinating domain only, never during a fan-out. *)
+let set_context ~stratum ~phase = context := (stratum, phase)
+
+let get_context () = !context
+
+(* ---------------- per-batch table ---------------- *)
+
+type row = {
+  rule : string;
+  stratum : int;
+  phase : string;  (** e.g. ["delta"], ["delete"], ["rederive"], ["insert"] *)
+  mutable evals : int;  (** rule evaluations folded into this row *)
+  mutable wall_ns : int;
+  mutable din : int;  (** Δ-tuples seeding the evaluations *)
+  mutable dout : int;  (** derivations emitted *)
+  mutable probes : int;
+  mutable scanned : int;
+  mutable derivations : int;
+  mutable index_builds : int;
+}
+
+type batch = {
+  algorithm : string;
+  seq : int;  (** batch number since process start (1-based) *)
+  total_wall_ns : int;  (** elapsed wall clock of the whole batch *)
+  busy_wall_ns : int;  (** Σ row wall; may exceed total under parallelism *)
+  truncated : int;  (** evaluations folded into no row (table full) *)
+  rows : row list;  (** wall-time descending *)
+}
+
+(* The table is bounded: a pathological program can't grow it without
+   limit.  Overflow evaluations are counted, not silently dropped. *)
+let max_rows = 512
+
+type collecting = {
+  c_algorithm : string;
+  c_seq : int;
+  c_rows : (string * int * string, row) Hashtbl.t;
+  mutable c_truncated : int;
+}
+
+let lock = Mutex.create ()
+let batch_seq = ref 0
+let current : collecting option ref = ref None
+let history_limit = 8
+let history : batch list ref = ref []
+
+let batch_begin ~algorithm =
+  if !enabled_flag then begin
+    Mutex.lock lock;
+    incr batch_seq;
+    current :=
+      Some
+        {
+          c_algorithm = algorithm;
+          c_seq = !batch_seq;
+          c_rows = Hashtbl.create 64;
+          c_truncated = 0;
+        };
+    Mutex.unlock lock
+  end
+
+(** Fold one rule evaluation into the current batch (no-op when disabled
+    or outside a batch).  Called from worker domains; serialized on an
+    internal lock — the lock is per {e rule evaluation}, not per tuple,
+    so contention stays negligible next to the join work itself. *)
+let record ~rule ~wall_ns ~din ~dout ~probes ~scanned ~derivations
+    ~index_builds =
+  if !enabled_flag then begin
+    Mutex.lock lock;
+    (match !current with
+    | None -> ()
+    | Some c -> (
+      let stratum, phase = !context in
+      let key = (rule, stratum, phase) in
+      match Hashtbl.find_opt c.c_rows key with
+      | Some r ->
+        r.evals <- r.evals + 1;
+        r.wall_ns <- r.wall_ns + wall_ns;
+        r.din <- r.din + din;
+        r.dout <- r.dout + dout;
+        r.probes <- r.probes + probes;
+        r.scanned <- r.scanned + scanned;
+        r.derivations <- r.derivations + derivations;
+        r.index_builds <- r.index_builds + index_builds
+      | None ->
+        if Hashtbl.length c.c_rows >= max_rows then
+          c.c_truncated <- c.c_truncated + 1
+        else
+          Hashtbl.replace c.c_rows key
+            { rule; stratum; phase; evals = 1; wall_ns; din; dout; probes;
+              scanned; derivations; index_builds }));
+    Mutex.unlock lock
+  end
+
+(* ---------------- labeled metrics ---------------- *)
+
+(* Cumulative per-rule families, refreshed at batch_end from the
+   finalized rows (quiescent — no handle contention with workers).
+   Label cardinality is bounded by the program's rule count plus
+   max_rows. *)
+type handles = {
+  h_wall : Metrics.counter;
+  h_din : Metrics.counter;
+  h_dout : Metrics.counter;
+  h_probes : Metrics.counter;
+  h_idx : Metrics.counter;
+  h_hist : Metrics.histogram;
+}
+
+let handle_cache : (string, handles) Hashtbl.t = Hashtbl.create 64
+
+let handles_for rule =
+  match Hashtbl.find_opt handle_cache rule with
+  | Some h -> h
+  | None ->
+    let labels = [ ("rule", rule) ] in
+    let h =
+      {
+        h_wall =
+          Metrics.counter ~labels "ivm_rule_wall_ns_total"
+            ~help:"Wall time spent evaluating this rule, nanoseconds";
+        h_din =
+          Metrics.counter ~labels "ivm_rule_delta_in_total"
+            ~help:"Delta tuples seeding this rule's evaluations";
+        h_dout =
+          Metrics.counter ~labels "ivm_rule_delta_out_total"
+            ~help:"Delta tuples derived by this rule";
+        h_probes =
+          Metrics.counter ~labels "ivm_rule_probes_total"
+            ~help:"Index probes performed by this rule";
+        h_idx =
+          Metrics.counter ~labels "ivm_rule_index_builds_total"
+            ~help:"Overlay/base indexes built on demand during this rule";
+        h_hist =
+          Metrics.histogram ~labels "ivm_rule_eval_ns"
+            ~help:"Per-evaluation wall time of this rule, nanoseconds";
+      }
+    in
+    Hashtbl.replace handle_cache rule h;
+    h
+
+let publish_metrics (rows : row list) =
+  List.iter
+    (fun r ->
+      let h = handles_for r.rule in
+      Metrics.add h.h_wall r.wall_ns;
+      Metrics.add h.h_din r.din;
+      Metrics.add h.h_dout r.dout;
+      Metrics.add h.h_probes r.probes;
+      Metrics.add h.h_idx r.index_builds;
+      (* one observation per rule eval would need per-eval samples; the
+         mean over the row keeps the histogram honest enough for
+         latency-shape questions without storing every sample *)
+      if r.evals > 0 then
+        for _ = 1 to r.evals do
+          Metrics.observe h.h_hist (r.wall_ns / r.evals)
+        done)
+    rows
+
+(* ---------------- slow-batch log ---------------- *)
+
+let slow_threshold_ms : float option ref =
+  ref
+    (match Sys.getenv_opt "IVM_SLOW_BATCH_MS" with
+    | Some s -> float_of_string_opt s
+    | None -> None)
+
+(** Override the [IVM_SLOW_BATCH_MS] threshold ([None] disables). *)
+let set_slow_threshold_ms t = slow_threshold_ms := t
+
+let row_json (r : row) : Json.t =
+  Json.Obj
+    [
+      ("rule", Json.Str r.rule);
+      ("stratum", Json.int r.stratum);
+      ("phase", Json.Str r.phase);
+      ("evals", Json.int r.evals);
+      ("wall_ns", Json.int r.wall_ns);
+      ("delta_in", Json.int r.din);
+      ("delta_out", Json.int r.dout);
+      ("probes", Json.int r.probes);
+      ("scanned", Json.int r.scanned);
+      ("derivations", Json.int r.derivations);
+      ("index_builds", Json.int r.index_builds);
+    ]
+
+let batch_json (b : batch) : Json.t =
+  Json.Obj
+    [
+      ("algorithm", Json.Str b.algorithm);
+      ("seq", Json.int b.seq);
+      ("total_wall_ns", Json.int b.total_wall_ns);
+      ("busy_wall_ns", Json.int b.busy_wall_ns);
+      ("truncated", Json.int b.truncated);
+      ("rules", Json.List (List.map row_json b.rows));
+    ]
+
+let log_slow (b : batch) threshold_ms =
+  let total_ms = float_of_int b.total_wall_ns /. 1e6 in
+  if total_ms > threshold_ms then begin
+    let top = List.filteri (fun i _ -> i < 3) b.rows in
+    let line =
+      Json.Obj
+        [
+          ("event", Json.Str "slow_batch");
+          ("algorithm", Json.Str b.algorithm);
+          ("seq", Json.int b.seq);
+          ("total_ms", Json.Num total_ms);
+          ("threshold_ms", Json.Num threshold_ms);
+          ("busy_ms", Json.Num (float_of_int b.busy_wall_ns /. 1e6));
+          ("top_rules", Json.List (List.map row_json top));
+        ]
+    in
+    prerr_endline (Json.to_string line)
+  end
+
+(* ---------------- finalization & access ---------------- *)
+
+(** Close the current batch: sort rows by wall time, store it in the
+    bounded history, refresh the labeled metric families, and emit the
+    slow-batch log line if over threshold.  Returns the finalized batch
+    ([None] when attribution is off or no batch was open). *)
+let batch_end ~total_wall_ns : batch option =
+  if not !enabled_flag then None
+  else begin
+    Mutex.lock lock;
+    let finished =
+      match !current with
+      | None -> None
+      | Some c ->
+        current := None;
+        let rows = Hashtbl.fold (fun _ r acc -> r :: acc) c.c_rows [] in
+        let rows =
+          List.sort
+            (fun a b ->
+              match compare b.wall_ns a.wall_ns with
+              | 0 -> compare (a.rule, a.stratum, a.phase) (b.rule, b.stratum, b.phase)
+              | n -> n)
+            rows
+        in
+        let busy = List.fold_left (fun acc r -> acc + r.wall_ns) 0 rows in
+        let b =
+          {
+            algorithm = c.c_algorithm;
+            seq = c.c_seq;
+            total_wall_ns;
+            busy_wall_ns = busy;
+            truncated = c.c_truncated;
+            rows;
+          }
+        in
+        history := b :: (if List.length !history >= history_limit
+                         then List.filteri (fun i _ -> i < history_limit - 1) !history
+                         else !history);
+        Some b
+    in
+    Mutex.unlock lock;
+    (match finished with
+    | Some b ->
+      publish_metrics b.rows;
+      (match !slow_threshold_ms with
+      | Some t -> log_slow b t
+      | None -> ())
+    | None -> ());
+    finished
+  end
+
+(** Most recently finished batch, if any. *)
+let last () : batch option =
+  Mutex.lock lock;
+  let b = match !history with [] -> None | b :: _ -> Some b in
+  Mutex.unlock lock;
+  b
+
+(** Finished batches, newest first (bounded history). *)
+let recent () : batch list =
+  Mutex.lock lock;
+  let bs = !history in
+  Mutex.unlock lock;
+  bs
+
+(* ---------------- rendering ---------------- *)
+
+let ns_pp ppf ns =
+  if ns >= 1_000_000_000 then
+    Format.fprintf ppf "%.2fs" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then
+    Format.fprintf ppf "%.2fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then Format.fprintf ppf "%.1fus" (float_of_int ns /. 1e3)
+  else Format.fprintf ppf "%dns" ns
+
+(** The [explain last] cost table: batch header, then one line per row,
+    slowest first ([top] bounds the rows printed; defaults to all). *)
+let pp_batch ?top ppf (b : batch) =
+  Format.fprintf ppf "batch #%d  algorithm=%s  total=%a  busy=%a  rules=%d%s@."
+    b.seq b.algorithm ns_pp b.total_wall_ns ns_pp b.busy_wall_ns
+    (List.length b.rows)
+    (if b.truncated > 0 then
+       Printf.sprintf "  (truncated: %d evals beyond %d-row table)"
+         b.truncated max_rows
+     else "");
+  let rows =
+    match top with
+    | None -> b.rows
+    | Some k -> List.filteri (fun i _ -> i < k) b.rows
+  in
+  Format.fprintf ppf
+    "  %-10s %7s %5s %-9s %6s %7s %7s %9s %8s %6s@." "wall" "evals"
+    "strat" "phase" "din" "dout" "probes" "scanned" "derived" "idx";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "  %-10s %7d %5d %-9s %6d %7d %7d %9d %8d %6d  %s@."
+        (Format.asprintf "%a" ns_pp r.wall_ns)
+        r.evals r.stratum
+        (if r.phase = "" then "-" else r.phase)
+        r.din r.dout r.probes r.scanned r.derivations r.index_builds r.rule)
+    rows;
+  if top <> None && List.length b.rows > List.length rows then
+    Format.fprintf ppf "  … %d more rules@." (List.length b.rows - List.length rows)

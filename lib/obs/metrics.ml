@@ -19,11 +19,16 @@
     {!percentile} answers with the containing bucket's upper bound, i.e.
     within 2x of the true value.
 
-    The registry is process-global and not thread-safe: register, bump and
-    read from one domain at a time.  Producers that run on multiple domains
-    stage their counts in per-domain state and fold in at quiescence — see
-    [Ivm_eval.Stats] for the evaluator's work counters and the pool's
-    per-participant counters in [Ivm_par.Pool]. *)
+    The registry {e table} is mutex-protected: registration, enumeration
+    ({!dump}), {!reset} and {!clear} may run from any domain — the live
+    monitoring endpoint ({!Ivm_monitor}) renders [dump ()] from its accept
+    domain while maintenance registers per-relation gauges.  Bumps on
+    handles stay plain unsynchronized field writes: a reader racing a bump
+    can observe a slightly stale value (never a torn one), which is the
+    usual scrape-time contract.  Producers that need {e exact} totals
+    across domains stage their counts in per-domain state and fold in at
+    quiescence — see [Ivm_eval.Stats] for the evaluator's work counters
+    and the pool's per-participant counters in [Ivm_par.Pool]. *)
 
 type labels = (string * string) list
 
@@ -44,6 +49,24 @@ type registered = { name : string; labels : labels; metric : metric }
 
 let registry : (string, registered) Hashtbl.t = Hashtbl.create 64
 
+(* Guards [registry] and [help_table].  Handle bumps are NOT under this
+   lock (single field writes; see the module comment). *)
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+(* Per metric-family help text, keyed by metric name (one help per
+   family, whatever its label sets — the Prometheus exposition format
+   allows one [# HELP] line per family). *)
+let help_table : (string, string) Hashtbl.t = Hashtbl.create 64
+
+(** Attach (or replace) the help text of metric family [name]. *)
+let set_help name help = locked (fun () -> Hashtbl.replace help_table name help)
+
+let help name = locked (fun () -> Hashtbl.find_opt help_table name)
+
 (** Canonical key: name plus sorted [k=v] labels. *)
 let key name (labels : labels) =
   match labels with
@@ -59,30 +82,33 @@ let kind_name = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
 
-let register name labels make extract =
-  let k = key name labels in
-  match Hashtbl.find_opt registry k with
-  | Some r -> (
-    match extract r.metric with
-    | Some h -> h
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Metrics: %s already registered as a %s" k
-           (kind_name r.metric)))
-  | None ->
-    let h, m = make () in
-    Hashtbl.replace registry k { name; labels = List.sort compare labels; metric = m };
-    h
+let register ?help name labels make extract =
+  locked (fun () ->
+      (match help with Some h -> Hashtbl.replace help_table name h | None -> ());
+      let k = key name labels in
+      match Hashtbl.find_opt registry k with
+      | Some r -> (
+        match extract r.metric with
+        | Some h -> h
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as a %s" k
+               (kind_name r.metric)))
+      | None ->
+        let h, m = make () in
+        Hashtbl.replace registry k
+          { name; labels = List.sort compare labels; metric = m };
+        h)
 
-let counter ?(labels = []) name : counter =
-  register name labels
+let counter ?(labels = []) ?help name : counter =
+  register ?help name labels
     (fun () ->
       let c = { count = 0 } in
       (c, Counter c))
     (function Counter c -> Some c | _ -> None)
 
-let gauge ?(labels = []) name : gauge =
-  register name labels
+let gauge ?(labels = []) ?help name : gauge =
+  register ?help name labels
     (fun () ->
       let g = { value = 0. } in
       (g, Gauge g))
@@ -90,8 +116,8 @@ let gauge ?(labels = []) name : gauge =
 
 let n_buckets = 64
 
-let histogram ?(labels = []) name : histogram =
-  register name labels
+let histogram ?(labels = []) ?help name : histogram =
+  register ?help name labels
     (fun () ->
       let h =
         { buckets = Array.make n_buckets 0; hcount = 0; hsum = 0;
@@ -165,30 +191,49 @@ let percentile (h : histogram) p =
     !result
   end
 
+(** [(upper_bound, cumulative_count)] per bucket, from bucket 0 through
+    the bucket holding the largest observation (empty list on an empty
+    histogram).  Upper bounds are inclusive ({!bucket_upper}), counts are
+    cumulative — exactly the shape Prometheus [_bucket{le=...}] samples
+    want (the renderer appends the [+Inf] bucket itself). *)
+let cumulative_buckets (h : histogram) : (int * int) list =
+  if h.hcount = 0 then []
+  else begin
+    let last = bucket_of h.hmax in
+    let acc = ref 0 in
+    List.init (last + 1) (fun i ->
+        acc := !acc + h.buckets.(i);
+        (bucket_upper i, !acc))
+  end
+
 (* ---------------- enumeration ---------------- *)
 
 (** All registered metrics, sorted by canonical key. *)
 let dump () : registered list =
-  Hashtbl.fold (fun _ r acc -> r :: acc) registry []
+  locked (fun () -> Hashtbl.fold (fun _ r acc -> r :: acc) registry [])
   |> List.sort (fun a b -> compare (key a.name a.labels) (key b.name b.labels))
 
 (** Zero every registered metric; handles stay valid. *)
 let reset () =
-  Hashtbl.iter
-    (fun _ r ->
-      match r.metric with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.value <- 0.
-      | Histogram h ->
-        Array.fill h.buckets 0 n_buckets 0;
-        h.hcount <- 0;
-        h.hsum <- 0;
-        h.hmin <- max_int;
-        h.hmax <- min_int)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ r ->
+          match r.metric with
+          | Counter c -> c.count <- 0
+          | Gauge g -> g.value <- 0.
+          | Histogram h ->
+            Array.fill h.buckets 0 n_buckets 0;
+            h.hcount <- 0;
+            h.hsum <- 0;
+            h.hmin <- max_int;
+            h.hmax <- min_int)
+        registry)
 
 (** Drop every registration (tests use this for isolation). *)
-let clear () = Hashtbl.reset registry
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset registry;
+      Hashtbl.reset help_table)
 
 let pp_value ppf = function
   | Counter c -> Format.fprintf ppf "%d" c.count

@@ -1,0 +1,125 @@
+(** The metrics registry: named counters, gauges, and log₂-bucket
+    histograms with optional labels.
+
+    Handles are cheap mutable records — registration does one hashtable
+    lookup, after which a bump is a single field write, so hot paths
+    register once and hold the handle (see [Ivm_eval.Stats]).  Registering
+    the same [(name, labels)] pair again returns the {e same} handle, so
+    independent call sites share one time series.
+
+    Counters are {b overflow-safe}: additions saturate at [max_int] instead
+    of wrapping negative.  {!reset} zeroes every registered metric but
+    keeps all handles valid — snapshots taken before a reset are stale and
+    must not be subtracted across it (see [Ivm_eval.Stats.since]).
+
+    Histograms use base-2 log buckets: bucket 0 holds values [<= 0], bucket
+    [i >= 1] holds values from [2^(i-1)] inclusive to [2^i] exclusive.
+    That fixes the memory cost (64 ints) while spanning nanosecond
+    latencies to billion-tuple sizes; {!percentile} answers with the
+    containing bucket's upper bound, i.e. within 2x of the true value.
+
+    The registry {e table} (registration, {!dump}, {!reset}, {!clear},
+    help texts) is mutex-protected and safe to use from any domain — the
+    live monitoring endpoint ([Ivm_monitor]) renders {!dump} from its
+    accept domain.  Bumps on handles stay plain field writes: a
+    concurrent reader can observe a slightly stale value, never a torn
+    one.  Producers needing exact cross-domain totals stage per-domain
+    state and fold in at quiescence ([Ivm_eval.Stats],
+    [Ivm_par.Pool]). *)
+
+type labels = (string * string) list
+
+(** The handle records are deliberately concrete: hot paths read and
+    write the fields directly ([Ivm_eval.Stats] mirrors its per-domain
+    cell sums straight into [count]). *)
+
+type counter = { mutable count : int }
+
+type gauge = { mutable value : float }
+
+type histogram = {
+  buckets : int array;  (** 64 log₂ buckets *)
+  mutable hcount : int;
+  mutable hsum : int;
+  mutable hmin : int;
+  mutable hmax : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type registered = { name : string; labels : labels; metric : metric }
+
+(* ---------------- registration ---------------- *)
+
+(** [counter ?labels ?help name] registers (or retrieves) the counter of
+    this [(name, labels)] series.  [help], when given, (re)binds the
+    family's help text — see {!set_help}.
+    @raise Invalid_argument if the series exists with a different kind. *)
+val counter : ?labels:labels -> ?help:string -> string -> counter
+
+val gauge : ?labels:labels -> ?help:string -> string -> gauge
+val histogram : ?labels:labels -> ?help:string -> string -> histogram
+
+(** Attach (or replace) the help text of metric family [name] — one help
+    per family, rendered as the [# HELP] line of the Prometheus
+    exposition. *)
+val set_help : string -> string -> unit
+
+val help : string -> string option
+
+(* ---------------- updates ---------------- *)
+
+(** Saturating add: never wraps past [max_int].  Negative [n] subtracts. *)
+val add : counter -> int -> unit
+
+val inc : counter -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> int -> unit
+
+(* ---------------- reads ---------------- *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+val histogram_min : histogram -> int
+val histogram_max : histogram -> int
+
+(** Bucket index of a value: 0 for [v <= 0], else [floor(log2 v) + 1],
+    clamped to the last bucket. *)
+val bucket_of : int -> int
+
+(** Inclusive upper bound of bucket [i] ([0] for bucket 0). *)
+val bucket_upper : int -> int
+
+val n_buckets : int
+
+(** [percentile h p] for [p] in [[0, 1]]: the upper bound of the bucket
+    containing the [ceil(p * count)]-th smallest observation (0 on an
+    empty histogram).  Within a factor of 2 of the exact answer. *)
+val percentile : histogram -> float -> int
+
+(** [(upper_bound, cumulative_count)] per bucket, bucket 0 through the
+    bucket holding the largest observation (empty on an empty
+    histogram).  The shape Prometheus [_bucket{le=...}] samples want;
+    the renderer appends [+Inf] itself. *)
+val cumulative_buckets : histogram -> (int * int) list
+
+(* ---------------- enumeration ---------------- *)
+
+(** All registered metrics, sorted by canonical [name{k=v,…}] key. *)
+val dump : unit -> registered list
+
+(** Zero every registered metric; handles stay valid. *)
+val reset : unit -> unit
+
+(** Drop every registration and help text (tests use this for
+    isolation).  Previously returned handles keep working but are no
+    longer enumerated. *)
+val clear : unit -> unit
+
+(** One metric per line, [name{labels} = value]. *)
+val pp : Format.formatter -> unit -> unit
+
+(** The registry as JSON (used by the bench [--metrics-json] report). *)
+val to_json : unit -> Json.t

@@ -64,6 +64,17 @@ let state =
 let enabled () = state.on
 let default_capacity = 4096
 
+(* Trace loss is itself observable: /metrics exposes how many events the
+   ring evicted and how big the ring is, so a truncated /trace drain is
+   detectable instead of silent. *)
+let dropped_gauge =
+  Metrics.gauge "ivm_trace_dropped"
+    ~help:"Trace events evicted from the ring buffer since enable"
+
+let capacity_gauge =
+  Metrics.gauge "ivm_trace_ring_capacity"
+    ~help:"Capacity of the trace ring buffer (0 until first enabled)"
+
 (* Spans can be emitted from worker domains during parallel fan-out
    ([Ivm_par]); the ring cursor and file channel are shared, so event
    emission is serialized on [record_lock].  The [depth] counter stays a
@@ -78,7 +89,10 @@ let now_us () = (Unix.gettimeofday () -. state.t0) *. 1e6
 let record_ring ev =
   let cap = Array.length state.ring in
   if cap > 0 then begin
-    if state.ring_len = cap then state.dropped <- state.dropped + 1
+    if state.ring_len = cap then begin
+      state.dropped <- state.dropped + 1;
+      Metrics.set dropped_gauge (float_of_int state.dropped)
+    end
     else state.ring_len <- state.ring_len + 1;
     state.ring.(state.ring_next) <- ev;
     state.ring_next <- (state.ring_next + 1) mod cap
@@ -120,7 +134,9 @@ let enable ?(capacity = default_capacity) () =
   state.ring_len <- 0;
   state.ring_next <- 0;
   state.depth <- 0;
-  state.dropped <- 0
+  state.dropped <- 0;
+  Metrics.set dropped_gauge 0.;
+  Metrics.set capacity_gauge (float_of_int capacity)
 
 (** Start tracing into [path] (Chrome trace format) and the ring buffer.
     Truncates an existing file. *)
@@ -148,14 +164,38 @@ let disable () =
 let file_path () = state.path
 let dropped () = state.dropped
 
-(** Ring contents, oldest first. *)
-let ring_events () : event list =
+(* Readers race worker-domain emission, so snapshots take [record_lock]. *)
+let ring_snapshot () =
   let cap = Array.length state.ring in
   if cap = 0 || state.ring_len = 0 then []
   else begin
     let start = (state.ring_next - state.ring_len + cap) mod cap in
     List.init state.ring_len (fun i -> state.ring.((start + i) mod cap))
   end
+
+(** Ring contents, oldest first. *)
+let ring_events () : event list =
+  Mutex.lock record_lock;
+  let evs = ring_snapshot () in
+  Mutex.unlock record_lock;
+  evs
+
+(** Ring contents oldest first, emptying the ring atomically — consumed
+    by the monitor's [/trace] endpoint so repeated drains see disjoint
+    event batches.  [dropped] accounting is untouched (it counts ring
+    evictions, not drains). *)
+let drain () : event list =
+  Mutex.lock record_lock;
+  let evs = ring_snapshot () in
+  state.ring_len <- 0;
+  state.ring_next <- 0;
+  Mutex.unlock record_lock;
+  evs
+
+(** Events as a Chrome [trace_event] JSON array (the same object shape
+    the file sink writes line by line). *)
+let events_json (evs : event list) : Json.t =
+  Json.List (List.map event_json evs)
 
 (* ---------------- emission ---------------- *)
 

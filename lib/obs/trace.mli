@@ -1,0 +1,80 @@
+(** Span-based tracer with a near-zero-cost disabled path.
+
+    Instrumented code wraps regions in {!span}; when tracing is off (the
+    default) that is one boolean load and a direct call.  When on, each
+    span records a Chrome [trace_event] {e complete} event (["ph": "X"])
+    with microsecond timestamp and duration, delivered to two sinks:
+
+    - an in-memory {b ring buffer} (always, bounded, oldest dropped —
+      eviction count and capacity are exposed as the
+      [ivm_trace_dropped] / [ivm_trace_ring_capacity] gauges, so trace
+      loss is visible on [/metrics]);
+    - an optional {b JSONL writer} whose output loads directly in
+      [chrome://tracing] / Perfetto.
+
+    Span [args] are passed as a thunk evaluated {e after} the spanned
+    function returns — so instrumentation can report deltas of work
+    counters measured across the span without paying for them when
+    tracing is off.
+
+    Emission is safe from worker domains (serialized on an internal
+    lock); control operations ({!enable}, {!disable}) belong to the
+    coordinating domain. *)
+
+type kind = Span | Instant
+
+type event = {
+  kind : kind;  (** a span is a complete event even at zero duration *)
+  name : string;
+  cat : string;
+  ts_us : float;  (** microseconds since {!enable}-time *)
+  dur_us : float;  (** span duration; [0] for instants *)
+  depth : int;  (** span-nesting depth at emission *)
+  args : (string * string) list;
+}
+
+val enabled : unit -> bool
+val default_capacity : int
+
+(** Start tracing into the ring buffer only ([capacity] defaults to
+    {!default_capacity}).  Resets the ring, the drop count, and the
+    clock origin. *)
+val enable : ?capacity:int -> unit -> unit
+
+(** Start tracing into [path] (Chrome trace format, one event per line
+    inside a JSON array) and the ring buffer.  Truncates an existing
+    file. *)
+val enable_file : ?capacity:int -> string -> unit
+
+(** Stop tracing; flushes and closes the file sink if open.  Returns the
+    path written, if any.  The ring keeps its contents and stays
+    readable. *)
+val disable : unit -> string option
+
+val file_path : unit -> string option
+
+(** Ring evictions since the last {!enable}. *)
+val dropped : unit -> int
+
+(** Ring contents, oldest first (non-destructive snapshot). *)
+val ring_events : unit -> event list
+
+(** Ring contents oldest first, emptying the ring atomically — consumed
+    by the monitor's [/trace] endpoint so repeated drains see disjoint
+    event batches.  Does not touch {!dropped}. *)
+val drain : unit -> event list
+
+(** Events as a Chrome [trace_event] JSON array. *)
+val events_json : event list -> Json.t
+
+(** [span name f] runs [f], recording a complete event around it when
+    tracing is enabled.  [args] is evaluated after [f] returns (once,
+    only when tracing).  Exceptions propagate; the event is still
+    recorded with an ["exn"] argument. *)
+val span :
+  ?cat:string -> ?args:(unit -> (string * string) list) -> string ->
+  (unit -> 'a) -> 'a
+
+(** A zero-duration instant event. *)
+val instant :
+  ?cat:string -> ?args:(unit -> (string * string) list) -> string -> unit

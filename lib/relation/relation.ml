@@ -166,6 +166,11 @@ let equal_sets a b =
 let equal_counted a b =
   cardinal a = cardinal b && not (exists (fun t c -> count b t <> c) a)
 
+(* Notified once per index actually built.  This layer cannot depend on
+   the evaluator's counters, so the observer is injected from above
+   ([Ivm_eval.Stats] installs itself at init). *)
+let on_index_build : (unit -> unit) ref = ref (fun () -> ())
+
 let ensure_index r cols =
   if not (List.exists (fun idx -> idx.cols = cols) (Atomic.get r.indexes))
   then begin
@@ -178,7 +183,8 @@ let ensure_index r cols =
     (if not (List.exists (fun idx -> idx.cols = cols) cur) then begin
        let idx = { cols; buckets = Tbl.create (max 16 (cardinal r / 4)) } in
        Tbl.iter (fun t _ -> index_insert idx t) r.counts;
-       Atomic.set r.indexes (idx :: cur)
+       Atomic.set r.indexes (idx :: cur);
+       !on_index_build ()
      end);
     Mutex.unlock r.build_lock
   end

@@ -100,6 +100,12 @@ val equal_counted : t -> t -> bool
     column positions; subsequent {!add}s keep it current. *)
 val ensure_index : t -> int list -> unit
 
+(** Called once per index actually built (under the build lock).  This
+    layer has no dependency on the evaluator, so work accounting is
+    injected from above — [Ivm_eval.Stats] installs its counter here at
+    init.  Replace, don't chain, unless you save the previous value. *)
+val on_index_build : (unit -> unit) ref
+
 (** [probe r cols key f] calls [f tuple count] for every tuple whose
     projection on [cols] equals [key].  Builds the index if missing.
     [cols = []] degenerates to {!iter}. *)

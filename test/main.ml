@@ -28,6 +28,7 @@ let () =
       ("docs", Test_docs.suite);
       ("final_coverage", Test_final_coverage.suite);
       ("obs", Test_obs.suite);
+      ("monitor", Test_monitor.suite);
       ("par", Test_par.suite);
       ("properties", Test_properties.suite);
       ("differential", Test_differential.suite);

@@ -97,6 +97,27 @@ let test_command_table_matches_help () =
     "README shell command table = shell `help` output (same commands, same order)"
     from_help from_readme
 
+let test_monitor_commands_documented () =
+  (* The monitoring/EXPLAIN surface must stay in the shell's help (and
+     hence, via the table check above, in the README). *)
+  let from_help = help_commands () in
+  List.iter
+    (fun cmd ->
+      Alcotest.(check bool) (Printf.sprintf "help lists %S" cmd) true
+        (List.mem cmd from_help))
+    [ "explain last"; "monitor start PORT"; "monitor stop" ];
+  (* and the README's observability section documents the endpoints *)
+  let text = String.concat "\n" (read_lines (readme ())) in
+  let has needle =
+    Alcotest.(check bool) (Printf.sprintf "README mentions %s" needle) true
+      (let nl = String.length needle and tl = String.length text in
+       let rec at i = i + nl <= tl && (String.sub text i nl = needle || at (i + 1)) in
+       at 0)
+  in
+  List.iter has
+    [ "--monitor"; "/metrics"; "/healthz"; "/statusz"; "/trace";
+      "IVM_ATTRIBUTION"; "IVM_SLOW_BATCH_MS" ]
+
 let test_readme_mentions_docs () =
   (* The persistence spec the README and ARCHITECTURE.md point at must
      exist and describe both magic numbers. *)
@@ -118,6 +139,8 @@ let suite =
   [
     Alcotest.test_case "shell command table tracks help" `Quick
       test_command_table_matches_help;
+    Alcotest.test_case "monitor + explain commands documented" `Quick
+      test_monitor_commands_documented;
     Alcotest.test_case "persistence spec present and specific" `Quick
       test_readme_mentions_docs;
   ]
