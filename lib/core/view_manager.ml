@@ -347,7 +347,16 @@ let pp ppf t = Database.pp ppf t.db
 (** The manager's state as JSON — the monitor's [/statusz] body (minus
     process-level fields like uptime, which the server adds): algorithm,
     semantics, domain count, per-view tuple counts, durable-store
-    status, and the last batch's wall time. *)
+    status, and the last batch's wall time.
+
+    The monitor calls this from its accept domain, possibly while
+    {!apply} is mutating relations on another.  The values are {e racy
+    point-in-time reads} — the same contract as a [/metrics] scrape:
+    cardinals taken mid-batch can be mutually inconsistent (each read is
+    an O(1) size-field load, never a traversal, so a concurrent resize
+    cannot misreport beyond staleness).  Callers wanting a consistent
+    snapshot must serialize with [apply] themselves, as [apply] is
+    single-writer by design and takes no lock. *)
 let status_json (t : t) : Ivm_obs.Json.t =
   let module Json = Ivm_obs.Json in
   let program = program t in

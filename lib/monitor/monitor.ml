@@ -16,10 +16,17 @@
     - [GET /trace] — drains the {!Ivm_obs.Trace} ring buffer as a Chrome
       [trace_event] JSON array (repeated GETs see disjoint batches).
 
+    {b Robustness.}  {!start} ignores SIGPIPE process-wide (a scrape
+    client disconnecting mid-response must surface as [EPIPE], not kill
+    the process), and accepted sockets carry a receive/send timeout so a
+    client that connects and stalls is dropped instead of wedging the
+    single-threaded loop.
+
     {b Shutdown.}  The OCaml runtime joins every spawned domain at
     process exit, and on Linux [close] alone does not wake a domain
     blocked in [accept].  {!stop} therefore flips the stop flag, calls
-    [shutdown] on the listening socket {e and} makes a self-connect to
+    [shutdown] on the listening socket {e and} makes a self-connect (to
+    the address actually bound, wildcard mapped to loopback) to
     guarantee the wake-up, then joins the domain.  Every running server
     is also registered for [at_exit] stop, so a process that forgets to
     stop still terminates. *)
@@ -41,6 +48,9 @@ let default_config = { status = (fun () -> Json.Obj []); before_metrics = ignore
 type t = {
   sock : Unix.file_descr;
   port : int;
+  wake_addr : Unix.sockaddr;
+      (** where {!stop}'s self-connect reaches the listener: the bound
+          address from [getsockname], wildcard mapped to loopback *)
   started_at : float;
   stopped : bool Atomic.t;
   mutable domain : unit Domain.t option;
@@ -147,6 +157,14 @@ let handle t fd =
           "not found: try /metrics /healthz /statusz /trace\n")
   | _ -> ()
 
+(* A client that connects but never sends a request (or stops reading a
+   large /metrics body) must not wedge the single-threaded server — and
+   must not wedge [stop], whose self-connect only wakes a blocked
+   [accept], not a blocked [read]/[write].  Kernel socket timeouts turn
+   the stall into a [Unix_error (EAGAIN | EWOULDBLOCK)] that the
+   per-client handler swallows. *)
+let client_timeout_s = 5.0
+
 let accept_loop t =
   while not (Atomic.get t.stopped) do
     match Unix.accept t.sock with
@@ -155,8 +173,14 @@ let accept_loop t =
       () (* shutdown in progress, or a client gave up: re-check the flag *)
     | client, _addr ->
       if not (Atomic.get t.stopped) then (
-        try Fun.protect ~finally:(fun () -> Unix.close client) (fun () -> handle t client)
-        with _ -> () (* a broken client must not kill the server *))
+        try
+          Fun.protect
+            ~finally:(fun () -> Unix.close client)
+            (fun () ->
+              Unix.setsockopt_float client Unix.SO_RCVTIMEO client_timeout_s;
+              Unix.setsockopt_float client Unix.SO_SNDTIMEO client_timeout_s;
+              handle t client)
+        with _ -> () (* a broken or stalled client must not kill the server *))
       else Unix.close client
   done
 
@@ -174,8 +198,7 @@ let stop (t : t) =
        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
        Fun.protect
          ~finally:(fun () -> Unix.close s)
-         (fun () ->
-           Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port)))
+         (fun () -> Unix.connect s t.wake_addr)
      with Unix.Unix_error _ -> ());
     (match t.domain with
     | Some d ->
@@ -196,6 +219,13 @@ let at_exit_registered = ref false
     @raise Unix.Unix_error when the address is in use or not bindable. *)
 let start ?(host = "127.0.0.1") ?(config = default_config) ~port:requested () : t
     =
+  (* A scrape client that disconnects mid-response (curl ^C, Prometheus
+     timeout) makes the pending write raise SIGPIPE, whose default
+     action kills the whole process — the `with _` in accept_loop only
+     catches exceptions, not signals.  Ignored, the write raises
+     [Unix_error EPIPE] instead, which that handler swallows. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> () (* no SIGPIPE on this platform *));
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, requested) in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
@@ -205,15 +235,23 @@ let start ?(host = "127.0.0.1") ?(config = default_config) ~port:requested () : 
    with e ->
      Unix.close sock;
      raise e);
-  let port =
+  let port, wake_addr =
     match Unix.getsockname sock with
-    | Unix.ADDR_INET (_, p) -> p
-    | Unix.ADDR_UNIX _ -> requested
+    | Unix.ADDR_INET (bound, p) ->
+      (* stop's self-connect must target the address actually bound: a
+         wildcard bind is reachable via loopback, anything else only via
+         itself *)
+      let reach =
+        if bound = Unix.inet_addr_any then Unix.inet_addr_loopback else bound
+      in
+      (p, Unix.ADDR_INET (reach, p))
+    | Unix.ADDR_UNIX _ as a -> (requested, a)
   in
   let t =
     {
       sock;
       port;
+      wake_addr;
       started_at = Unix.gettimeofday ();
       stopped = Atomic.make false;
       domain = None;

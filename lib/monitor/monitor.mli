@@ -15,7 +15,10 @@
 type config = {
   status : unit -> Ivm_obs.Json.t;
       (** the [/statusz] document; an [Obj]'s fields are spliced after
-          the process fields, any other value appears under ["status"] *)
+          the process fields, any other value appears under ["status"].
+          Called from the accept domain while maintenance may be
+          running, so the values it reads are racy point-in-time
+          observations — same contract as a [/metrics] scrape. *)
   before_metrics : unit -> unit;
       (** runs before each [/metrics] or [/statusz] render — mirror
           non-registry state into the registry here (e.g.
@@ -32,6 +35,9 @@ type t
     process internals, so binding wider is an explicit choice.  The
     accept loop runs on its own domain; every running server is
     [at_exit]-stopped so a process that forgets {!stop} still exits.
+    Ignores SIGPIPE process-wide (a disconnecting scrape client must
+    raise [EPIPE], not kill the process); accepted sockets get a short
+    receive/send timeout so a stalled client cannot wedge the server.
     @raise Unix.Unix_error when the address is in use or not
     bindable. *)
 val start : ?host:string -> ?config:config -> port:int -> unit -> t

@@ -56,6 +56,54 @@ let set_context ~stratum ~phase = context := (stratum, phase)
 
 let get_context () = !context
 
+(* ---------------- labeled metrics ---------------- *)
+
+(* Cumulative per-rule families.  Counters are refreshed at batch_end
+   from the finalized rows (quiescent — no handle contention with
+   workers); the eval-time histogram is fed one real sample per rule
+   evaluation from [record], under the attribution lock.  Label
+   cardinality is bounded by the program's rule count plus max_rows. *)
+type handles = {
+  h_wall : Metrics.counter;
+  h_din : Metrics.counter;
+  h_dout : Metrics.counter;
+  h_probes : Metrics.counter;
+  h_idx : Metrics.counter;
+  h_hist : Metrics.histogram;
+}
+
+let handle_cache : (string, handles) Hashtbl.t = Hashtbl.create 64
+
+let handles_for rule =
+  match Hashtbl.find_opt handle_cache rule with
+  | Some h -> h
+  | None ->
+    let labels = [ ("rule", rule) ] in
+    let h =
+      {
+        h_wall =
+          Metrics.counter ~labels "ivm_rule_wall_ns_total"
+            ~help:"Wall time spent evaluating this rule, nanoseconds";
+        h_din =
+          Metrics.counter ~labels "ivm_rule_delta_in_total"
+            ~help:"Delta tuples seeding this rule's evaluations";
+        h_dout =
+          Metrics.counter ~labels "ivm_rule_delta_out_total"
+            ~help:"Delta tuples derived by this rule";
+        h_probes =
+          Metrics.counter ~labels "ivm_rule_probes_total"
+            ~help:"Index probes performed by this rule";
+        h_idx =
+          Metrics.counter ~labels "ivm_rule_index_builds_total"
+            ~help:"Overlay/base indexes built on demand during this rule";
+        h_hist =
+          Metrics.histogram ~labels "ivm_rule_eval_ns"
+            ~help:"Per-evaluation wall time of this rule, nanoseconds";
+      }
+    in
+    Hashtbl.replace handle_cache rule h;
+    h
+
 (* ---------------- per-batch table ---------------- *)
 
 type row = {
@@ -124,6 +172,9 @@ let record ~rule ~wall_ns ~din ~dout ~probes ~scanned ~derivations
     (match !current with
     | None -> ()
     | Some c -> (
+      (* one real sample per evaluation — the histogram's latency shape
+         is genuine, not a batch-end reconstruction from row means *)
+      Metrics.observe (handles_for rule).h_hist wall_ns;
       let stratum, phase = !context in
       let key = (rule, stratum, phase) in
       match Hashtbl.find_opt c.c_rows key with
@@ -146,53 +197,9 @@ let record ~rule ~wall_ns ~din ~dout ~probes ~scanned ~derivations
     Mutex.unlock lock
   end
 
-(* ---------------- labeled metrics ---------------- *)
-
-(* Cumulative per-rule families, refreshed at batch_end from the
-   finalized rows (quiescent — no handle contention with workers).
-   Label cardinality is bounded by the program's rule count plus
-   max_rows. *)
-type handles = {
-  h_wall : Metrics.counter;
-  h_din : Metrics.counter;
-  h_dout : Metrics.counter;
-  h_probes : Metrics.counter;
-  h_idx : Metrics.counter;
-  h_hist : Metrics.histogram;
-}
-
-let handle_cache : (string, handles) Hashtbl.t = Hashtbl.create 64
-
-let handles_for rule =
-  match Hashtbl.find_opt handle_cache rule with
-  | Some h -> h
-  | None ->
-    let labels = [ ("rule", rule) ] in
-    let h =
-      {
-        h_wall =
-          Metrics.counter ~labels "ivm_rule_wall_ns_total"
-            ~help:"Wall time spent evaluating this rule, nanoseconds";
-        h_din =
-          Metrics.counter ~labels "ivm_rule_delta_in_total"
-            ~help:"Delta tuples seeding this rule's evaluations";
-        h_dout =
-          Metrics.counter ~labels "ivm_rule_delta_out_total"
-            ~help:"Delta tuples derived by this rule";
-        h_probes =
-          Metrics.counter ~labels "ivm_rule_probes_total"
-            ~help:"Index probes performed by this rule";
-        h_idx =
-          Metrics.counter ~labels "ivm_rule_index_builds_total"
-            ~help:"Overlay/base indexes built on demand during this rule";
-        h_hist =
-          Metrics.histogram ~labels "ivm_rule_eval_ns"
-            ~help:"Per-evaluation wall time of this rule, nanoseconds";
-      }
-    in
-    Hashtbl.replace handle_cache rule h;
-    h
-
+(* Refresh the cumulative per-rule counters from the finalized rows —
+   O(rows), not O(evaluations); the histogram was already fed per-eval
+   in [record]. *)
 let publish_metrics (rows : row list) =
   List.iter
     (fun r ->
@@ -201,14 +208,7 @@ let publish_metrics (rows : row list) =
       Metrics.add h.h_din r.din;
       Metrics.add h.h_dout r.dout;
       Metrics.add h.h_probes r.probes;
-      Metrics.add h.h_idx r.index_builds;
-      (* one observation per rule eval would need per-eval samples; the
-         mean over the row keeps the histogram honest enough for
-         latency-shape questions without storing every sample *)
-      if r.evals > 0 then
-        for _ = 1 to r.evals do
-          Metrics.observe h.h_hist (r.wall_ns / r.evals)
-        done)
+      Metrics.add h.h_idx r.index_builds)
     rows
 
 (* ---------------- slow-batch log ---------------- *)
