@@ -308,7 +308,7 @@ let e5 () =
   let band_edges db ~layer ~width =
     Relation.fold
       (fun t _ acc ->
-        match t.(0) with
+        match Tuple.get t 0 with
         | Value.Int src when src / width = layer -> t :: acc
         | _ -> acc)
       (Database.relation db "link")
@@ -494,8 +494,9 @@ let e8 () =
         if k = 0 then acc
         else
           let t =
-            [| Value.Int (Prng.int rng 200); Value.Int (Prng.int rng 200);
-               Value.Int (1 + Prng.int rng 50) |]
+            Tuple.make
+              [| Value.Int (Prng.int rng 200); Value.Int (Prng.int rng 200);
+                 Value.Int (1 + Prng.int rng 50) |]
           in
           if Relation.mem stored t then fresh k acc else fresh (k - 1) (t :: acc)
       in

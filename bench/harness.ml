@@ -57,8 +57,9 @@ let warm db algorithm =
   let program = Database.program db in
   let arity = Program.arity program "link" in
   let tup =
-    Array.init arity (fun i ->
-        if i < 2 then Value.Int (-424242 - i) else Value.Int 1)
+    Tuple.make
+      (Array.init arity (fun i ->
+           if i < 2 then Value.Int (-424242 - i) else Value.Int 1))
   in
   let ins = Changes.insertions program "link" [ tup ] in
   let del = Changes.deletions program "link" [ tup ] in

@@ -30,8 +30,9 @@ let flip_pair db pred tuple =
 let fresh_edge db rng ~nodes =
   let stored = Database.relation db "link" in
   let rec go () =
-    let t = [| Value.Int (Prng.int rng nodes); Value.Int (Prng.int rng nodes) |] in
-    if Value.equal t.(0) t.(1) || Relation.mem stored t then go () else t
+    let a = Prng.int rng nodes and b = Prng.int rng nodes in
+    let t = Tuple.make [| Value.Int a; Value.Int b |] in
+    if a = b || Relation.mem stored t then go () else t
   in
   go ()
 
@@ -63,7 +64,7 @@ let micro_tests () =
     layered_db ~src:Programs.transitive_closure ~seed:7 ~layers:10 ~width:8
       ~out_degree:2 ()
   in
-  let e_tc = [| Value.Int 0; Value.Int 79 |] in
+  let e_tc = Tuple.make [| Value.Int 0; Value.Int 79 |] in
   let ins_tc, del_tc = flip_pair db_tc "link" e_tc in
   let t_e5 =
     Test.make ~name:"e5.dred-flip-edge(tc-dag)"
@@ -90,7 +91,7 @@ let micro_tests () =
   in
   let e_agg =
     let t2 = fresh_edge db_agg rng_agg ~nodes:200 in
-    [| t2.(0); t2.(1); Value.Int 7 |]
+    Tuple.make [| Tuple.get t2 0; Tuple.get t2 1; Value.Int 7 |]
   in
   let ins_agg, del_agg = flip_pair db_agg "link" e_agg in
   let t_e8 =
@@ -122,7 +123,7 @@ let micro_tests () =
     Recursive_counting.evaluate db;
     db
   in
-  let e_rc = [| Value.Int 0; Value.Int 9 |] in
+  let e_rc = Tuple.make [| Value.Int 0; Value.Int 9 |] in
   let ins_rc, del_rc = flip_pair db_rc "link" e_rc in
   let t_e12 =
     Test.make ~name:"e12.recursive-counting-flip-edge(dag)"
@@ -214,6 +215,37 @@ let () =
   (match args with
   | "--metrics-json" :: out :: _ ->
     Metrics_report.run ~out ();
+    exit 0
+  | "--regress" :: out :: rest ->
+    (* --regress OUT [--baseline FILE] [--tolerance R]; R defaults to
+       0.25 (IVM_REGRESS_TOLERANCE overrides the default). *)
+    let baseline = ref None and tolerance = ref None in
+    let rec opts = function
+      | "--baseline" :: f :: rest ->
+        baseline := Some f;
+        opts rest
+      | "--tolerance" :: r :: rest ->
+        (match float_of_string_opt r with
+        | Some r when r >= 0. -> tolerance := Some r
+        | _ ->
+          Printf.eprintf "--tolerance expects a non-negative float, got %s\n" r;
+          exit 1);
+        opts rest
+      | x :: _ ->
+        Printf.eprintf "unknown --regress option %s\n" x;
+        exit 1
+      | [] -> ()
+    in
+    opts rest;
+    let tolerance =
+      match !tolerance with
+      | Some t -> t
+      | None -> (
+        match Sys.getenv_opt "IVM_REGRESS_TOLERANCE" with
+        | Some s -> (match float_of_string_opt s with Some t -> t | None -> 0.25)
+        | None -> 0.25)
+    in
+    Regress.run ~out ?baseline:!baseline ~tolerance ();
     exit 0
   | _ -> ());
   let args =

@@ -46,9 +46,9 @@ let () =
     Triggers.subscribe tr "exposure" (fun delta ->
         Relation.iter
           (fun t c ->
-            if c > 0 && Value.equal t.(0) (Value.str "mallory") then
+            if c > 0 && Value.equal (Tuple.get t 0) (Value.str "mallory") then
               Format.printf "  [watch] mallory's exposure is now %a@." Value.pp
-                t.(1))
+                (Tuple.get t 1))
           delta)
   in
   (* rule 3: escalate when a relay is *retracted* (e.g. a corrected feed) *)

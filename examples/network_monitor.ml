@@ -60,7 +60,7 @@ let () =
     let newcost = Value.Int (1 + Prng.int rng 20) in
     let changes =
       Changes.update program "link" ~old_tuple:victim
-        ~new_tuple:[| victim.(0); victim.(1); newcost |]
+        ~new_tuple:(Tuple.make [| Tuple.get victim 0; Tuple.get victim 1; newcost |])
     in
     ignore (Vm.apply vm changes)
   done;

@@ -61,7 +61,7 @@ let rebuild (db : Database.t) (rules : Ast.rule list) ~(extra_base : (string * i
     (Database.distinct_views db);
   db'
 
-let unit_tuple = ([||] : Tuple.t)
+let unit_tuple = Tuple.make [||]
 
 (** [add_rule db ~maintain rule] returns a new database whose program has
     [rule], with all views incrementally maintained. *)

@@ -103,7 +103,7 @@ let body_preds r = List.filter_map literal_pred r.body
 
 let var v = Eterm (Var v)
 let const c = Eterm (Const c)
-let sym s = const (Value.Str s)
+let sym s = const (Value.str s)
 let num n = const (Value.Int n)
 let atom pred args = { pred; args }
 let pos pred args = Lpos (atom pred args)

@@ -88,7 +88,7 @@ and parse_primary s =
     Eterm (Const (Value.Float f))
   | Lexer.STRING str ->
     advance s;
-    Eterm (Const (Value.Str str))
+    Eterm (Const (Value.str str))
   | Lexer.VAR v ->
     advance s;
     Eterm (Var v)
@@ -100,7 +100,7 @@ and parse_primary s =
     Eterm (Const (Value.Bool false))
   | Lexer.IDENT name ->
     advance s;
-    Eterm (Const (Value.Str name))
+    Eterm (Const (Value.str name))
   | Lexer.LPAREN ->
     advance s;
     let e = parse_expr s in

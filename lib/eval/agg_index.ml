@@ -14,12 +14,7 @@ module Tuple = Ivm_relation.Tuple
 module Relation = Ivm_relation.Relation
 module Relation_view = Ivm_relation.Relation_view
 
-module Tbl = Hashtbl.Make (struct
-  type t = Tuple.t
-
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+module Tbl = Hashtbl.Make (Tuple)
 
 (* The [mult] regime applies to the initial build only (set semantics
    clamps stored counts to one contribution per tuple).  Deltas handed to
@@ -40,7 +35,7 @@ let source_pred t = t.spec.Compile.gsource.Compile.cpred
 (** The materialized grouped relation (do not mutate). *)
 let grouped t = t.grouped
 
-let group_tuple key v = Array.append key [| v |]
+let group_tuple key v = Tuple.append key v
 
 (* Fold the matching (key, aggregated value, multiplicity) triples of a
    delta or view. *)
@@ -53,9 +48,11 @@ let iter_contributions spec mult ~iter f =
         if Rule_eval.match_pattern binding spec.Compile.gsource.Compile.cargs tup undo
         then begin
           let key =
-            Array.map
-              (fun s -> match binding.(s) with Some v -> v | None -> assert false)
-              spec.Compile.ggroup
+            Tuple.make
+              (Array.map
+                 (fun s ->
+                   match binding.(s) with Some v -> v | None -> assert false)
+                 spec.Compile.ggroup)
           in
           f key (Rule_eval.expr_value binding spec.Compile.garg) c
         end;

@@ -26,19 +26,24 @@ let with_match spec binding tup k =
   if Rule_eval.match_pattern binding spec.gsource.cargs tup undo then k ();
   Rule_eval.unwind binding !undo
 
+(* Group keys are boxed tuples so every table keyed by them shares the
+   cached-hash fast path with the storage layer. *)
+module Tbl = Hashtbl.Make (Tuple)
+
 let key_of_binding spec binding =
-  Array.map
-    (fun s ->
-      match binding.(s) with
-      | Some v -> v
-      | None -> assert false (* group vars occur in the pattern: always bound *))
-    spec.ggroup
+  Tuple.make
+    (Array.map
+       (fun s ->
+         match binding.(s) with
+         | Some v -> v
+         | None -> assert false (* group vars occur in the pattern: always bound *))
+       spec.ggroup)
 
 (** The grouped relation [T] of [spec] over [view], in full. *)
 let compute ?(mult : mult = fun c -> c) (view : Relation_view.t) (spec : agg_spec) :
     Relation.t =
   let binding = Array.make spec.gnslots None in
-  let states : (Tuple.t, Agg.state) Hashtbl.t = Hashtbl.create 64 in
+  let states : Agg.state Tbl.t = Tbl.create 64 in
   Relation_view.iter
     (fun tup c ->
       let c = mult c in
@@ -46,20 +51,20 @@ let compute ?(mult : mult = fun c -> c) (view : Relation_view.t) (spec : agg_spe
         with_match spec binding tup (fun () ->
             let key = key_of_binding spec binding in
             let st =
-              match Hashtbl.find_opt states key with
+              match Tbl.find_opt states key with
               | Some st -> st
               | None ->
                 let st = Agg.create spec.gfn in
-                Hashtbl.add states key st;
+                Tbl.add states key st;
                 st
             in
             Agg.update st (Rule_eval.expr_value binding spec.garg) c))
     view;
   let out = Relation.create (spec_arity spec) in
-  Hashtbl.iter
+  Tbl.iter
     (fun key st ->
       match Agg.value st with
-      | Some v -> Relation.set_count out (Array.append key [| v |]) 1
+      | Some v -> Relation.set_count out (Tuple.append key v) 1
       | None -> ())
     states;
   out
@@ -100,11 +105,12 @@ let group_value ?(mult : mult = fun c -> c) view spec (key : Tuple.t) :
     (fun k pos ->
       if not (List.mem pos !cols) then begin
         cols := pos :: !cols;
-        vals := key.(k) :: !vals
+        vals := Tuple.get key k :: !vals
       end)
     group_pos;
   let paired = List.combine !cols !vals |> List.sort compare in
-  let cols = List.map fst paired and vals = List.map snd paired in
+  let cols = Array.of_list (List.map fst paired)
+  and vals = List.map snd paired in
   let st = Agg.create spec.gfn in
   let binding = Array.make spec.gnslots None in
   Relation_view.probe view cols (Tuple.of_list vals) (fun tup c ->
@@ -119,13 +125,13 @@ let group_value ?(mult : mult = fun c -> c) view spec (key : Tuple.t) :
 (** Distinct group keys occurring in [delta_u] (insertions or deletions). *)
 let affected_keys (delta_u : Relation.t) (spec : agg_spec) : Tuple.t list =
   let binding = Array.make spec.gnslots None in
-  let keys : (Tuple.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let keys : unit Tbl.t = Tbl.create 16 in
   Relation.iter
     (fun tup _c ->
       with_match spec binding tup (fun () ->
-          Hashtbl.replace keys (key_of_binding spec binding) ()))
+          Tbl.replace keys (key_of_binding spec binding) ()))
     delta_u;
-  Hashtbl.fold (fun k () acc -> k :: acc) keys []
+  Tbl.fold (fun k () acc -> k :: acc) keys []
 
 (** Algorithm 6.1: [Δ(T)] from [Δ(U)] and the old/new versions of [U]. *)
 let delta ?(mult : mult = fun c -> c) ~(old_view : Relation_view.t)
@@ -136,7 +142,7 @@ let delta ?(mult : mult = fun c -> c) ~(old_view : Relation_view.t)
     (fun key ->
       let old_v = group_value ~mult old_view spec key in
       let new_v = group_value ~mult new_view spec key in
-      let tuple v = Array.append key [| v |] in
+      let tuple v = Tuple.append key v in
       match old_v, new_v with
       | Some a, Some b when Value.equal a b -> ()
       | _ ->

@@ -16,7 +16,14 @@
     input, as Section 6.1 notes), then remaining enumerable literals
     greedily by number of bound argument positions (ties to the smaller
     relation); negation filters, comparisons and equality binders run as
-    soon as their variables are bound. *)
+    soon as their variables are bound.
+
+    Probes are {e compiled}: which argument positions are bound when a
+    literal executes is fully determined at plan-build time (boundness only
+    grows along the plan), so each join step carries its probe columns, a
+    resolved access path ({!Relation_view.prepare_probe}) and a reusable
+    key buffer.  The per-binding work is filling the buffer and one hash
+    lookup — no column lists, no [Tuple.of_list], no index search. *)
 
 module Value = Ivm_relation.Value
 module Tuple = Ivm_relation.Tuple
@@ -78,17 +85,18 @@ let cmp_holds op a b =
     bound slots onto [undo]; on failure the binding may be partially
     extended — the caller must still unwind [undo]. *)
 let match_pattern binding (args : cterm array) (tup : Tuple.t) undo =
+  let vals = Tuple.to_array tup in
   let ok = ref true in
   let i = ref 0 in
   let n = Array.length args in
   while !ok && !i < n do
     (match args.(!i) with
-    | Cconst c -> if not (Value.equal c tup.(!i)) then ok := false
+    | Cconst c -> if not (Value.equal c vals.(!i)) then ok := false
     | Cvar s -> (
       match binding.(s) with
-      | Some v -> if not (Value.equal v tup.(!i)) then ok := false
+      | Some v -> if not (Value.equal v vals.(!i)) then ok := false
       | None ->
-        binding.(s) <- Some tup.(!i);
+        binding.(s) <- Some vals.(!i);
         undo := s :: !undo));
     incr i
   done;
@@ -96,32 +104,38 @@ let match_pattern binding (args : cterm array) (tup : Tuple.t) undo =
 
 let unwind binding undo = List.iter (fun s -> binding.(s) <- None) undo
 
-(** Probe columns of an atom under the current binding: positions whose
-    value is already known (constants and bound variables), with the key
-    values, in position order. *)
-let probe_key binding (args : cterm array) =
-  let cols = ref [] and key = ref [] in
-  for i = Array.length args - 1 downto 0 do
-    match args.(i) with
-    | Cconst c ->
-      cols := i :: !cols;
-      key := c :: !key
-    | Cvar s -> (
-      match binding.(s) with
-      | Some v ->
-        cols := i :: !cols;
-        key := v :: !key
-      | None -> ())
-  done;
-  (!cols, Tuple.of_list !key)
-
 (* ------------------------------------------------------------------ *)
 (* Plans                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(** Where a probe-key column's value comes from at execution time. *)
+type filler = Fconst of Value.t | Fslot of slot
+
+(* One join step, probe-compiled: [j_fill.(p)] fills [j_buf.(p)] for the
+   bound column [p] of the key; [j_probe] is the access path resolved at
+   plan-build time.  The key tuple handed to [run_probe] wraps [j_buf]
+   transiently — probes never retain the key (they hand back stored
+   tuples), so the buffer is refilled for the next binding without
+   reallocating. *)
+type cjoin = {
+  j_args : cterm array;
+  j_probe : Relation_view.prepared;
+  j_fill : filler array;
+  j_buf : Value.t array;
+  j_xform : count_xform;
+}
+
+(* A compiled negation filter: every column is bound when it runs, so the
+   fill spec covers the whole tuple. *)
+type cneg = {
+  n_view : Relation_view.t;
+  n_fill : filler array;
+  n_buf : Value.t array;
+}
+
 type step =
-  | Sjoin of cterm array * Relation_view.t * count_xform
-  | Sneg of cterm array * Relation_view.t
+  | Sjoin of cjoin
+  | Sneg of cneg
   | Scmp of cexpr * Ivm_datalog.Ast.cmp_op * cexpr
   | Sbind of slot * cexpr
 
@@ -140,6 +154,33 @@ let rec cexpr_slots = function
     cexpr_slots a @ cexpr_slots b
   | Xneg a -> cexpr_slots a
 
+let buf_dummy = Value.bool false
+
+(* Boundness at placement time is boundness at execution time (it only
+   grows along the plan), so the probe columns — constants plus already
+   bound variables, in position order — are known here, and the access
+   path can be resolved now. *)
+let compile_join bound (args : cterm array) view xform =
+  let fills = ref [] in
+  for i = Array.length args - 1 downto 0 do
+    match args.(i) with
+    | Cconst v -> fills := (i, Fconst v) :: !fills
+    | Cvar s -> if bound.(s) then fills := (i, Fslot s) :: !fills
+  done;
+  let cols = Array.of_list (List.map fst !fills) in
+  let fill = Array.of_list (List.map snd !fills) in
+  {
+    j_args = args;
+    j_probe = Relation_view.prepare_probe view cols;
+    j_fill = fill;
+    j_buf = Array.make (Array.length fill) buf_dummy;
+    j_xform = xform;
+  }
+
+let compile_neg (args : cterm array) view =
+  let fill = Array.map (function Cconst v -> Fconst v | Cvar s -> Fslot s) args in
+  { n_view = view; n_fill = fill; n_buf = Array.make (Array.length fill) buf_dummy }
+
 let build_plan ?seed ~(inputs : int -> subgoal_input) (cr : Compile.t) : step list =
   let n = Array.length cr.clits in
   let placed = Array.make n false in
@@ -154,7 +195,7 @@ let build_plan ?seed ~(inputs : int -> subgoal_input) (cr : Compile.t) : step li
     placed.(i) <- true;
     let args = lit_args cr.clits.(i) in
     (match inputs i with
-    | Enumerate (view, xform) -> push (Sjoin (args, view, xform))
+    | Enumerate (view, xform) -> push (Sjoin (compile_join bound args view xform))
     | Filter_absent _ ->
       raise (Plan_error "cannot enumerate a negated subgoal without a delta"));
     bind_args args
@@ -185,7 +226,7 @@ let build_plan ?seed ~(inputs : int -> subgoal_input) (cr : Compile.t) : step li
             match inputs i with
             | Filter_absent view ->
               placed.(i) <- true;
-              push (Sneg (a.cargs, view));
+              push (Sneg (compile_neg a.cargs view));
               progress := true
             | Enumerate _ -> ())
           | _ -> ())
@@ -250,6 +291,17 @@ let build_plan ?seed ~(inputs : int -> subgoal_input) (cr : Compile.t) : step li
 (* Execution                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let slot_value binding s =
+  match binding.(s) with
+  | Some v -> v
+  | None -> raise (Plan_error "unbound slot at execution")
+
+let fill_buf binding (fill : filler array) (buf : Value.t array) =
+  for p = 0 to Array.length fill - 1 do
+    buf.(p) <-
+      (match fill.(p) with Fconst v -> v | Fslot s -> slot_value binding s)
+  done
+
 let eval_body ?seed ~(inputs : int -> subgoal_input) ~emit (cr : Compile.t) : unit =
   (* Short-circuit: an empty enumerable input means no derivations. *)
   let empty_input = ref false in
@@ -270,27 +322,33 @@ let eval_body ?seed ~(inputs : int -> subgoal_input) ~emit (cr : Compile.t) : un
     let rec run k cnt =
       if cnt <> 0 then
         if k = nsteps then begin
-          let head = Array.map (expr_value binding) cr.chead in
+          let head = Tuple.make (Array.map (expr_value binding) cr.chead) in
           Stats.add_derivation ();
           emit head cnt
         end
         else
           match plan.(k) with
-          | Sjoin (args, view, xform) ->
-            let cols, key = probe_key binding args in
+          | Sjoin j ->
+            fill_buf binding j.j_fill j.j_buf;
+            (* Transient key over the reusable buffer: probes look the key
+               up but only ever hand back stored tuples, so the buffer can
+               be refilled for the next binding. *)
+            let key = Tuple.make j.j_buf in
             Stats.add_probe ();
-            Relation_view.probe view cols key (fun tup c ->
+            Relation_view.run_probe j.j_probe key (fun tup c ->
                 Stats.add_scanned ();
-                let c = xform c in
+                let c = j.j_xform c in
                 if c <> 0 then begin
                   let undo = ref [] in
-                  if match_pattern binding args tup undo then run (k + 1) (cnt * c);
+                  if match_pattern binding j.j_args tup undo then
+                    run (k + 1) (cnt * c);
                   unwind binding !undo
                 end)
-          | Sneg (args, view) ->
-            let tup = Array.map (term_value binding) args in
+          | Sneg ng ->
+            fill_buf binding ng.n_fill ng.n_buf;
             Stats.add_probe ();
-            if not (Relation_view.holds view tup) then run (k + 1) cnt
+            if not (Relation_view.holds ng.n_view (Tuple.make ng.n_buf)) then
+              run (k + 1) cnt
           | Scmp (a, op, b) ->
             if cmp_holds op (expr_value binding a) (expr_value binding b) then
               run (k + 1) cnt

@@ -1,16 +1,18 @@
-module Tbl = Hashtbl.Make (struct
-  type t = Tuple.t
+module Tbl = Hashtbl.Make (Tuple)
 
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+(* One stored tuple with its live derivation count.  The entry is shared
+   between the main table and every secondary-index bucket, so a probe
+   reads the count straight off the bucket — no second [counts] lookup —
+   and an in-place count change ([add] on an existing tuple) touches no
+   index at all. *)
+type entry = { etup : Tuple.t; mutable ecount : int }
 
-(* An index maps the projection of a tuple on [cols] to the set of stored
-   tuples having that projection.  Counts live only in the main table. *)
-type index = { cols : int list; buckets : unit Tbl.t Tbl.t }
+(* An index maps the projection of a tuple on [cols] to the bucket of
+   entries having that projection. *)
+type index = { cols : int array; buckets : entry Tbl.t Tbl.t }
 
-(* [indexes] is demand-built on first probe, which can now happen from
-   several domains at once during parallel delta evaluation (relations are
+(* [indexes] is demand-built on first probe, which can happen from several
+   domains at once during parallel delta evaluation (relations are
    read-only there, but probing builds indexes).  The list is published
    through an [Atomic.t] — an index is fully built before it becomes
    reachable, so concurrent probers either see it complete or build-race
@@ -18,27 +20,34 @@ type index = { cols : int list; buckets : unit Tbl.t Tbl.t }
    remains single-domain, like the rest of the store. *)
 type t = {
   arity : int;
-  counts : int Tbl.t;
+  entries : entry Tbl.t;
   indexes : index list Atomic.t;
   build_lock : Mutex.t;
 }
 
 let create ?(size = 64) arity =
-  { arity; counts = Tbl.create size; indexes = Atomic.make [];
+  { arity; entries = Tbl.create size; indexes = Atomic.make [];
     build_lock = Mutex.create () }
 let arity r = r.arity
-let cardinal r = Tbl.length r.counts
+let cardinal r = Tbl.length r.entries
 
 (** Number of demand-built secondary indexes currently attached (for the
     observability gauges — see {!Ivm_eval.Database.observe_gauges}). *)
 let index_count r = List.length (Atomic.get r.indexes)
-let total_count r = Tbl.fold (fun _ c acc -> acc + c) r.counts 0
-let is_empty r = Tbl.length r.counts = 0
-let count r t = match Tbl.find_opt r.counts t with Some c -> c | None -> 0
-let mem r t = Tbl.mem r.counts t
+let total_count r = Tbl.fold (fun _ e acc -> acc + e.ecount) r.entries 0
+let is_empty r = Tbl.length r.entries = 0
+let count r t = match Tbl.find_opt r.entries t with Some e -> e.ecount | None -> 0
+let mem r t = Tbl.mem r.entries t
 
-let index_insert idx t =
-  let key = Tuple.project idx.cols t in
+let cols_equal (a : int array) (b : int array) =
+  a == b
+  || (Array.length a = Array.length b
+      &&
+      let rec go i = i >= Array.length a || (a.(i) = b.(i) && go (i + 1)) in
+      go 0)
+
+let index_insert idx e =
+  let key = Tuple.project idx.cols e.etup in
   let bucket =
     match Tbl.find_opt idx.buckets key with
     | Some b -> b
@@ -47,7 +56,7 @@ let index_insert idx t =
       Tbl.add idx.buckets key b;
       b
   in
-  Tbl.replace bucket t ()
+  Tbl.replace bucket e.etup e
 
 let index_remove idx t =
   let key = Tuple.project idx.cols t in
@@ -57,75 +66,118 @@ let index_remove idx t =
     Tbl.remove b t;
     if Tbl.length b = 0 then Tbl.remove idx.buckets key
 
-let insert_tuple r t =
-  List.iter (fun idx -> index_insert idx t) (Atomic.get r.indexes)
-
-let remove_tuple r t =
-  List.iter (fun idx -> index_remove idx t) (Atomic.get r.indexes)
-
 let check_arity r t =
-  if Array.length t <> r.arity then
+  if Tuple.arity t <> r.arity then
     invalid_arg
       (Printf.sprintf "Relation: arity mismatch (expected %d, got %d in %s)"
-         r.arity (Array.length t) (Tuple.to_string t))
+         r.arity (Tuple.arity t) (Tuple.to_string t))
+
+let insert_entry r e =
+  Tbl.replace r.entries e.etup e;
+  List.iter (fun idx -> index_insert idx e) (Atomic.get r.indexes)
+
+let remove_entry r t =
+  Tbl.remove r.entries t;
+  List.iter (fun idx -> index_remove idx t) (Atomic.get r.indexes)
 
 let set_count r t c =
   check_arity r t;
-  let was = Tbl.mem r.counts t in
-  if c = 0 then begin
-    if was then begin
-      Tbl.remove r.counts t;
-      remove_tuple r t
-    end
-  end
-  else begin
-    Tbl.replace r.counts t c;
-    if not was then insert_tuple r t
-  end
+  match Tbl.find_opt r.entries t with
+  | Some e -> if c = 0 then remove_entry r t else e.ecount <- c
+  | None -> if c <> 0 then insert_entry r { etup = t; ecount = c }
 
-let add r t c = if c <> 0 then set_count r t (count r t + c)
+(* The ⊎ hot path: one lookup, and an in-place count bump when the tuple
+   stays resident (no index maintenance, no re-hash). *)
+let add r t c =
+  if c <> 0 then begin
+    check_arity r t;
+    match Tbl.find_opt r.entries t with
+    | Some e ->
+      let c' = e.ecount + c in
+      if c' = 0 then remove_entry r t else e.ecount <- c'
+    | None -> insert_entry r { etup = t; ecount = c }
+  end
 
 let remove r t = set_count r t 0
 
-let iter f r = Tbl.iter f r.counts
-let fold f r init = Tbl.fold f r.counts init
+let iter f r = Tbl.iter (fun _ e -> f e.etup e.ecount) r.entries
+let fold f r init = Tbl.fold (fun _ e acc -> f e.etup e.ecount acc) r.entries init
 
 exception Found
 
 let exists f r =
   try
-    Tbl.iter (fun t c -> if f t c then raise Found) r.counts;
+    iter (fun t c -> if f t c then raise Found) r;
     false
   with Found -> true
 
 let clear r =
-  Tbl.reset r.counts;
+  Tbl.reset r.entries;
   Atomic.set r.indexes []
 
+(* Notified once per index actually built.  This layer cannot depend on
+   the evaluator's counters, so the observer is injected from above
+   ([Ivm_eval.Stats] installs itself at init). *)
+let on_index_build : (unit -> unit) ref = ref (fun () -> ())
+
+let build_index r cols =
+  let idx = { cols; buckets = Tbl.create (max 16 (cardinal r)) } in
+  Tbl.iter (fun _ e -> index_insert idx e) r.entries;
+  idx
+
+let find_index r cols =
+  List.find_opt (fun idx -> cols_equal idx.cols cols) (Atomic.get r.indexes)
+
+let get_index r cols =
+  match find_index r cols with
+  | Some idx -> idx
+  | None ->
+    (* Build-race with a concurrent prober: serialize builds on
+       [build_lock], re-check under the lock, and publish the fully built
+       index with a single [Atomic.set] so lock-free readers never see a
+       partial index. *)
+    Mutex.lock r.build_lock;
+    let idx =
+      match find_index r cols with
+      | Some idx -> idx
+      | None ->
+        let idx = build_index r cols in
+        Atomic.set r.indexes (idx :: Atomic.get r.indexes);
+        !on_index_build ();
+        idx
+    in
+    Mutex.unlock r.build_lock;
+    idx
+
+let ensure_index r cols = ignore (get_index r cols : index)
+
 let copy r =
-  let copy_index idx =
-    let buckets = Tbl.create (Tbl.length idx.buckets) in
-    Tbl.iter (fun key bucket -> Tbl.add buckets key (Tbl.copy bucket)) idx.buckets;
-    { cols = idx.cols; buckets }
-  in
-  {
-    arity = r.arity;
-    counts = Tbl.copy r.counts;
-    indexes = Atomic.make (List.map copy_index (Atomic.get r.indexes));
-    build_lock = Mutex.create ();
-  }
+  (* Fresh entry records (counts are mutable), then each index rebuilt
+     over them — a copy behaves like the live relation, indexes included,
+     without lazily rebuilding on first probe. *)
+  let out = create ~size:(cardinal r) r.arity in
+  Tbl.iter
+    (fun t e -> Tbl.replace out.entries t { etup = e.etup; ecount = e.ecount })
+    r.entries;
+  Atomic.set out.indexes
+    (List.map (fun idx -> build_index out idx.cols) (Atomic.get r.indexes));
+  out
 
 let union_into ~into r = iter (fun t c -> add into t c) r
 
+(* ⊎ and set-difference build {e index-free} results: the old
+   implementation deep-copied every secondary index of [a] only to drop
+   it, an O(|a| · indexes) waste per call.  Consumers rebuild indexes on
+   demand if they ever probe the result. *)
 let union a b =
-  let r = copy a in
-  Atomic.set r.indexes [];
+  let r = create ~size:(cardinal a + cardinal b) a.arity in
+  iter (fun t c -> add r t c) a;
   union_into ~into:r b;
   r
 
 let diff a b =
-  let r = copy a in
-  Atomic.set r.indexes [];
+  let r = create ~size:(cardinal a + cardinal b) a.arity in
+  iter (fun t c -> add r t c) a;
   iter (fun t c -> add r t (-c)) b;
   r
 
@@ -166,54 +218,44 @@ let equal_sets a b =
 let equal_counted a b =
   cardinal a = cardinal b && not (exists (fun t c -> count b t <> c) a)
 
-(* Notified once per index actually built.  This layer cannot depend on
-   the evaluator's counters, so the observer is injected from above
-   ([Ivm_eval.Stats] installs itself at init). *)
-let on_index_build : (unit -> unit) ref = ref (fun () -> ())
+(* ------------------------------------------------------------------ *)
+(* Probing                                                              *)
+(* ------------------------------------------------------------------ *)
 
-let ensure_index r cols =
-  if not (List.exists (fun idx -> idx.cols = cols) (Atomic.get r.indexes))
-  then begin
-    (* Build-race with a concurrent prober: serialize builds on
-       [build_lock], re-check under the lock, and publish the fully built
-       index with a single [Atomic.set] so lock-free readers never see a
-       partial index. *)
-    Mutex.lock r.build_lock;
-    let cur = Atomic.get r.indexes in
-    (if not (List.exists (fun idx -> idx.cols = cols) cur) then begin
-       let idx = { cols; buckets = Tbl.create (max 16 (cardinal r / 4)) } in
-       Tbl.iter (fun t _ -> index_insert idx t) r.counts;
-       Atomic.set r.indexes (idx :: cur);
-       !on_index_build ()
-     end);
-    Mutex.unlock r.build_lock
-  end
+(* Full-tuple fast path: probing on every column in natural order is a
+   direct main-table lookup, no index.  Detected once, at handle
+   resolution — not per probe call. *)
+let natural_full r (cols : int array) =
+  Array.length cols = r.arity
+  &&
+  let rec go i = i >= r.arity || (cols.(i) = i && go (i + 1)) in
+  go 0
 
-let rec natural_prefix n = function
-  | [] -> n = 0
-  | c :: rest -> c = n && natural_prefix (n + 1) rest
+type handle = { hrel : t; hkind : kind }
 
-let probe r cols key f =
-  if cols = [] then iter f r
-  else if List.length cols = r.arity && natural_prefix 0 cols then begin
-    (* full-tuple membership probe: direct lookup, no index needed *)
-    match Tbl.find_opt r.counts key with
-    | Some c -> f key c
-    | None -> ()
-  end
-  else begin
-    ensure_index r cols;
-    let idx = List.find (fun idx -> idx.cols = cols) (Atomic.get r.indexes) in
+and kind =
+  | Kscan  (** no bound columns: enumerate everything *)
+  | Kdirect  (** all columns bound in natural order: main-table lookup *)
+  | Kindex of index  (** resolved secondary index *)
+
+let probe_handle r cols =
+  if Array.length cols = 0 then { hrel = r; hkind = Kscan }
+  else if natural_full r cols then { hrel = r; hkind = Kdirect }
+  else { hrel = r; hkind = Kindex (get_index r cols) }
+
+let probe_via h key f =
+  match h.hkind with
+  | Kscan -> iter f h.hrel
+  | Kdirect -> (
+    match Tbl.find_opt h.hrel.entries key with
+    | Some e -> f e.etup e.ecount
+    | None -> ())
+  | Kindex idx -> (
     match Tbl.find_opt idx.buckets key with
     | None -> ()
-    | Some bucket ->
-      Tbl.iter
-        (fun t () ->
-          match Tbl.find_opt r.counts t with
-          | Some c -> f t c
-          | None -> ())
-        bucket
-  end
+    | Some bucket -> Tbl.iter (fun _ e -> f e.etup e.ecount) bucket)
+
+let probe r cols key f = probe_via (probe_handle r cols) key f
 
 let of_list arity l =
   let r = create ~size:(List.length l) arity in
@@ -234,7 +276,8 @@ let pp ppf r =
     let pp_body ppf t =
       Format.pp_print_seq
         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
-        Value.pp ppf (Array.to_seq t)
+        Value.pp ppf
+        (Array.to_seq (Tuple.to_array t))
     in
     if c = 1 then Format.fprintf ppf "%a" pp_body t
     else Format.fprintf ppf "%a %d" pp_body t c

@@ -67,10 +67,13 @@ val copy : t -> t
 (** [union_into ~into r] folds [r] into [into] with [⊎]. *)
 val union_into : into:t -> t -> unit
 
-(** Fresh [⊎] of the arguments. *)
+(** Fresh [⊎] of the arguments.  The result carries no indexes (they are
+    rebuilt on demand if the result is ever probed) — copying the left
+    argument's indexes only to discard them was pure waste. *)
 val union : t -> t -> t
 
-(** [diff a b] is [a ⊎ (−1 · b)]: subtracts counts. *)
+(** [diff a b] is [a ⊎ (−1 · b)]: subtracts counts.  Index-free like
+    {!union}. *)
 val diff : t -> t -> t
 
 (** All counts negated — used to turn an insertion delta into a deletion. *)
@@ -98,7 +101,7 @@ val equal_counted : t -> t -> bool
 
 (** [ensure_index r cols] builds (once) a hash index keyed by the listed
     column positions; subsequent {!add}s keep it current. *)
-val ensure_index : t -> int list -> unit
+val ensure_index : t -> int array -> unit
 
 (** Called once per index actually built (under the build lock).  This
     layer has no dependency on the evaluator, so work accounting is
@@ -106,10 +109,28 @@ val ensure_index : t -> int list -> unit
     init.  Replace, don't chain, unless you save the previous value. *)
 val on_index_build : (unit -> unit) ref
 
-(** [probe r cols key f] calls [f tuple count] for every tuple whose
-    projection on [cols] equals [key].  Builds the index if missing.
-    [cols = []] degenerates to {!iter}. *)
-val probe : t -> int list -> Tuple.t -> (Tuple.t -> int -> unit) -> unit
+(** A probe access path resolved once — at plan-build time rather than per
+    probe call.  Resolution classifies the column set (no columns → scan;
+    the full tuple in natural order → direct main-table lookup; otherwise
+    a secondary index, built now if missing) so {!probe_via} does no
+    per-call classification, no index list search, and no second count
+    lookup.
+
+    Handles are transient: {!clear} detaches the indexes a handle points
+    at, so resolve per evaluation, not per program. *)
+type handle
+
+val probe_handle : t -> int array -> handle
+
+(** [probe_via h key f] calls [f tuple count] for every tuple whose
+    projection on the handle's columns equals [key].  The tuples passed to
+    [f] are the stored ones, never [key] itself, so callers may reuse
+    [key]'s buffer across calls. *)
+val probe_via : handle -> Tuple.t -> (Tuple.t -> int -> unit) -> unit
+
+(** [probe r cols key f] is [probe_via (probe_handle r cols) key f] —
+    the one-shot form.  [cols = [||]] degenerates to {!iter}. *)
+val probe : t -> int array -> Tuple.t -> (Tuple.t -> int -> unit) -> unit
 
 val of_list : int -> (Tuple.t * int) list -> t
 

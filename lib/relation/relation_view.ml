@@ -34,15 +34,35 @@ let fold f v init =
   iter (fun t c -> acc := f t c !acc) v;
   !acc
 
-let probe v cols key f =
+type prepared =
+  | Pconcrete of Relation.handle
+  | Poverlay of {
+      base : Relation.t;
+      delta : Relation.t;
+      hbase : Relation.handle;
+      hdelta : Relation.handle;
+    }
+
+let prepare_probe v cols =
   match v with
-  | Concrete r -> Relation.probe r cols key f
+  | Concrete r -> Pconcrete (Relation.probe_handle r cols)
   | Overlay { base; delta } ->
-    Relation.probe base cols key (fun t c ->
+    Poverlay
+      { base; delta;
+        hbase = Relation.probe_handle base cols;
+        hdelta = Relation.probe_handle delta cols }
+
+let run_probe p key f =
+  match p with
+  | Pconcrete h -> Relation.probe_via h key f
+  | Poverlay { base; delta; hbase; hdelta } ->
+    Relation.probe_via hbase key (fun t c ->
         let c = c + Relation.count delta t in
         if c <> 0 then f t c);
-    Relation.probe delta cols key (fun t c ->
+    Relation.probe_via hdelta key (fun t c ->
         if not (Relation.mem base t) && c <> 0 then f t c)
+
+let probe v cols key f = run_probe (prepare_probe v cols) key f
 
 let cardinal_estimate = function
   | Concrete r -> Relation.cardinal r

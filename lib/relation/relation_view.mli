@@ -30,9 +30,22 @@ val iter : (Tuple.t -> int -> unit) -> t -> unit
 
 val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
 
-(** Index-assisted scan of tuples matching [key] on [cols]
-    (see {!Relation.probe}); each visible tuple reported once. *)
-val probe : t -> int list -> Tuple.t -> (Tuple.t -> int -> unit) -> unit
+(** A view probe with its access paths resolved once (see
+    {!Relation.probe_handle}) — one handle for a [Concrete] view, a
+    base/delta pair for an [Overlay].  Like relation handles, prepared
+    probes are transient: resolve per evaluation. *)
+type prepared
+
+val prepare_probe : t -> int array -> prepared
+
+(** [run_probe p key f] reports each visible tuple matching [key] exactly
+    once with its effective count.  [f] receives stored tuples, never
+    [key], so [key]'s buffer may be reused across calls. *)
+val run_probe : prepared -> Tuple.t -> (Tuple.t -> int -> unit) -> unit
+
+(** Index-assisted scan of tuples matching [key] on [cols] — the one-shot
+    [run_probe (prepare_probe v cols)]; each visible tuple reported once. *)
+val probe : t -> int array -> Tuple.t -> (Tuple.t -> int -> unit) -> unit
 
 (** Distinct visible tuples (exact for [Concrete], an upper bound for
     [Overlay] — used only to pick join orders). *)

@@ -1,40 +1,62 @@
-type t = Value.t array
+type t = { vals : Value.t array; hash : int }
 
-let arity = Array.length
-
-let compare a b =
-  let la = Array.length a and lb = Array.length b in
-  if la <> lb then Int.compare la lb
-  else
-    let rec go i =
-      if i >= la then 0
-      else
-        let c = Value.compare a.(i) b.(i) in
-        if c <> 0 then c else go (i + 1)
-    in
-    go 0
-
-let equal a b = compare a b = 0
-
-let hash t =
-  let h = ref (Array.length t) in
-  for i = 0 to Array.length t - 1 do
-    h := (!h * 31) + Value.hash t.(i)
+(* Same column-wise combination as before the hash was cached; Value.hash
+   maps Int 2 and Float 2.0 to the same bucket, so [equal] (which treats
+   them as equal, like Value.compare) still implies equal hashes. *)
+let hash_vals vals =
+  let h = ref (Array.length vals) in
+  for i = 0 to Array.length vals - 1 do
+    h := (!h * 31) + Value.hash vals.(i)
   done;
   !h land max_int
 
-let of_list = Array.of_list
-let to_list = Array.to_list
-let of_ints xs = Array.of_list (List.map Value.int xs)
-let of_strs xs = Array.of_list (List.map Value.str xs)
+let make vals = { vals; hash = hash_vals vals }
 
-let project cols t = Array.of_list (List.map (fun i -> t.(i)) cols)
+let arity t = Array.length t.vals
+let get t i = t.vals.(i)
+let hash t = t.hash
+
+let compare a b =
+  if a == b then 0
+  else
+    let va = a.vals and vb = b.vals in
+    let la = Array.length va and lb = Array.length vb in
+    if la <> lb then Int.compare la lb
+    else
+      let rec go i =
+        if i >= la then 0
+        else
+          let c = Value.compare va.(i) vb.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+(* The cached hashes give a constant-time negative before any column is
+   compared — the common case in hash-table bucket collisions. *)
+let equal a b = a == b || (a.hash = b.hash && compare a b = 0)
+
+let of_list vs = make (Array.of_list vs)
+let of_array = make
+let to_array t = t.vals
+let to_list t = Array.to_list t.vals
+let of_ints xs = make (Array.of_list (List.map Value.int xs))
+let of_strs xs = make (Array.of_list (List.map Value.str xs))
+
+let map f t = make (Array.map f t.vals)
+
+let project cols t = make (Array.map (fun i -> t.vals.(i)) cols)
+
+let append t v =
+  let n = Array.length t.vals in
+  let vals = Array.make (n + 1) v in
+  Array.blit t.vals 0 vals 0 n;
+  make vals
 
 let pp ppf t =
   Format.fprintf ppf "(%a)"
     (Format.pp_print_array
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        Value.pp)
-    t
+    t.vals
 
 let to_string t = Format.asprintf "%a" pp t

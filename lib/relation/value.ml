@@ -24,7 +24,12 @@ let compare a b =
   | Float x, Int y -> Float.compare x (float_of_int y)
   | _ -> Int.compare (kind_rank a) (kind_rank b)
 
-let equal a b = compare a b = 0
+(* The equality hot path: [match_pattern] compares a bound value against
+   every scanned tuple's column.  Physical equality first — interned
+   strings ({!str}) and values copied out of stored tuples share boxes, so
+   the fallback structural walk runs only on genuinely distinct values or
+   un-interned duplicates. *)
+let equal a b = a == b || compare a b = 0
 
 let hash = function
   | Int x -> Hashtbl.hash x
@@ -102,9 +107,55 @@ let pp ppf = function
 
 let to_string v = Format.asprintf "%a" pp v
 
+(* ------------------------------------------------------------------ *)
+(* Hash-consing of strings                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical [Str] boxes, hash-consed through a weak set so the pool never
+   keeps a string alive on its own.  Interning buys the [==] fast path in
+   {!equal} (one pointer compare instead of a byte-wise walk on the join
+   kernel's innermost loop) and makes snapshot/WAL reload share boxes with
+   freshly parsed programs.  Ingress points (the Datalog/SQL parsers, the
+   store codec, {!str}) intern; values already inside tuples stay interned
+   as they flow through joins, so the hot path never touches the pool.
+
+   The pool is guarded by a mutex: interning happens at parse/load time,
+   not during parallel delta evaluation, so the lock is uncontended. *)
+module Pool = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b =
+    match a, b with
+    | Str x, Str y -> String.equal x y
+    | _ -> a == b  (* only Str values enter the pool *)
+
+  let hash = function Str s -> Hashtbl.hash s | v -> Hashtbl.hash v
+end)
+
+let pool = Pool.create 1024
+let pool_lock = Mutex.create ()
+
+let str s =
+  let v = Str s in
+  Mutex.lock pool_lock;
+  let c = try Pool.merge pool v with e -> Mutex.unlock pool_lock; raise e in
+  Mutex.unlock pool_lock;
+  c
+
+(** Canonicalize one value: strings go through the intern pool, other
+    kinds pass through.  The store codec interns every decoded string so a
+    reloaded database joins as fast as a freshly built one. *)
+let intern = function Str s -> str s | v -> v
+
+(** Number of live interned strings (observability / tests). *)
+let interned_count () =
+  Mutex.lock pool_lock;
+  let n = Pool.count pool in
+  Mutex.unlock pool_lock;
+  n
+
 let int x = Int x
 let float x = Float x
-let str s = Str s
 let bool b = Bool b
 
 let is_numeric = function Int _ | Float _ -> true | Str _ | Bool _ -> false

@@ -14,7 +14,11 @@ type t =
   | Bool of bool
 
 val compare : t -> t -> int
+
+(** Physical equality first (interned strings share boxes — see {!str}),
+    then the structural order of {!compare}. *)
 val equal : t -> t -> bool
+
 val hash : t -> int
 
 (** [pp] prints values the way the paper writes them: symbols bare,
@@ -28,8 +32,21 @@ val to_string : t -> string
 
 val int : int -> t
 val float : float -> t
+
+(** [str s] hash-conses: equal strings return the {e same} [Str] box, so
+    {!equal} on two interned strings is one pointer compare.  The pool is
+    weak (it never keeps a string alive) and mutex-guarded; every ingress
+    point — the parsers, the store codec — interns through here. *)
 val str : string -> t
+
 val bool : bool -> t
+
+(** Canonicalize one value: [Str] goes through the intern pool, other
+    kinds pass through unchanged. *)
+val intern : t -> t
+
+(** Live entries in the intern pool (tests and observability). *)
+val interned_count : unit -> int
 
 (** Arithmetic used by head expressions and comparison literals
     (e.g. [hop(S,D,C1+C2)] in Example 6.2).  Integer arithmetic stays

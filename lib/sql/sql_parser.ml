@@ -86,7 +86,7 @@ and parse_primary s =
     Sconst (Value.Float f)
   | Lex.STRING str ->
     advance s;
-    Sconst (Value.Str str)
+    Sconst (Value.str str)
   | Lex.IDENT name ->
     advance s;
     if peek s = Lex.DOT then begin
@@ -261,7 +261,7 @@ let parse_value s =
     Value.Float f
   | Lex.STRING str ->
     advance s;
-    Value.Str str
+    Value.str str
   | Lex.MINUS ->
     advance s;
     (match peek s with
@@ -276,7 +276,7 @@ let parse_value s =
     (* bare identifiers in VALUES are symbolic constants, matching the
        paper's link(a, b) style *)
     advance s;
-    Value.Str name
+    Value.str name
   | _ -> fail s "expected a literal value"
 
 let parse_opt_where s =

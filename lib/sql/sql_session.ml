@@ -86,7 +86,7 @@ let row_lookup t table (tup : Tuple.t) (c : col_ref) : Value.t =
   | _ -> ());
   let cols = columns_of t table in
   match List.find_index (String.equal c.column) cols with
-  | Some i -> tup.(i)
+  | Some i -> Tuple.get tup i
   | None -> fail "table %s has no column %s" table c.column
 
 (** Stored tuples of [table] satisfying [where]. *)
@@ -117,7 +117,7 @@ let exec_statement t (st : statement) : outcome =
           fail "INSERT INTO %s: expected %d values" name (List.length cols))
       tuples;
     Deltas
-      (Vm.insert t.vm name (List.map Array.of_list tuples))
+      (Vm.insert t.vm name (List.map Tuple.of_list tuples))
   | Delete (name, where) ->
     check_base t name;
     let victims = matching_rows t name where in
@@ -137,12 +137,12 @@ let exec_statement t (st : statement) : outcome =
         (fun acc old_tuple ->
           let lookup c = row_lookup t name old_tuple c in
           let new_tuple =
-            Array.of_list
+            Tuple.of_list
               (List.mapi
                  (fun i col ->
                    match List.assoc_opt col sets with
                    | Some e -> eval_sexpr lookup e
-                   | None -> old_tuple.(i))
+                   | None -> Tuple.get old_tuple i)
                  cols)
           in
           Changes.merge acc

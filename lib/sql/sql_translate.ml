@@ -407,7 +407,7 @@ let view_manager ?semantics ?algorithm (src : string) : Ivm.View_manager.t =
   let facts =
     List.map
       (fun (name, tuples) ->
-        (name, List.map (fun vals -> Array.of_list vals) tuples))
+        (name, List.map (fun vals -> Ivm_relation.Tuple.of_list vals) tuples))
       r.facts
   in
   let extra_base = List.map (fun (t, cols) -> (t, List.length cols)) r.tables in

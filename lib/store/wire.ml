@@ -28,7 +28,7 @@ let put_value buf = function
     put_u8 buf 3;
     put_u8 buf (if b then 1 else 0)
 
-let put_tuple buf t = Array.iter (put_value buf) t
+let put_tuple buf t = Array.iter (put_value buf) (Tuple.to_array t)
 
 let put_relation buf r =
   put_u32 buf (Relation.arity r);
@@ -86,7 +86,9 @@ let get_value r =
     let v = Value.Float (Int64.float_of_bits (String.get_int64_le r.src r.pos)) in
     r.pos <- r.pos + 8;
     v
-  | 2 -> Value.Str (get_string r)
+  (* Interned on decode: a reloaded database shares string boxes with
+     freshly parsed programs and keeps the [==] equality fast path. *)
+  | 2 -> Value.str (get_string r)
   | 3 -> (
     match get_u8 r with
     | 0 -> Value.Bool false
@@ -94,7 +96,7 @@ let get_value r =
     | b -> corrupt r (Printf.sprintf "bad bool byte %d" b))
   | tag -> corrupt r (Printf.sprintf "bad value tag %d" tag)
 
-let get_tuple r ~arity = Array.init arity (fun _ -> get_value r)
+let get_tuple r ~arity = Tuple.make (Array.init arity (fun _ -> get_value r))
 
 let get_relation r =
   let arity = get_u32 r in

@@ -20,7 +20,7 @@ module Tuple = Ivm_relation.Tuple
 type edge = int * int
 
 let node n = Value.Int n
-let edge_tuple (a, b) = [| node a; node b |]
+let edge_tuple (a, b) = Tuple.make [| node a; node b |]
 
 let tuples edges = List.map edge_tuple edges
 
@@ -28,7 +28,8 @@ let tuples edges = List.map edge_tuple edges
     integer costs in [1, max_cost]. *)
 let costed_tuples rng ~max_cost edges =
   List.map
-    (fun (a, b) -> [| node a; node b; Value.Int (1 + Prng.int rng max_cost) |])
+    (fun (a, b) ->
+      Tuple.make [| node a; node b; Value.Int (1 + Prng.int rng max_cost) |])
     edges
 
 let dedup edges = List.sort_uniq compare edges

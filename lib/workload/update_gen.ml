@@ -13,7 +13,13 @@ module Changes = Ivm.Changes
     tuples of [pred] (fewer if the relation is smaller). *)
 let deletions rng (db : Database.t) pred k : Changes.t =
   let stored = Database.relation db pred in
-  let all = Relation.fold (fun tup _ acc -> tup :: acc) stored [] in
+  (* Sorted candidates: victim selection must depend only on the PRNG and
+     the relation's contents, never on hash-table iteration order — the
+     perf-regression harness compares final states across kernel versions. *)
+  let all =
+    List.sort Tuple.compare
+      (Relation.fold (fun tup _ acc -> tup :: acc) stored [])
+  in
   let victims = Prng.sample rng k all in
   Changes.deletions (Database.program db) pred victims
 
@@ -24,8 +30,9 @@ let edge_insertions rng (db : Database.t) pred ~nodes k : Changes.t =
   let rec draw k acc =
     if k = 0 then acc
     else
-      let t = [| Value.Int (Prng.int rng nodes); Value.Int (Prng.int rng nodes) |] in
-      if Value.equal t.(0) t.(1) || Relation.mem stored t then draw k acc
+      let a = Prng.int rng nodes and b = Prng.int rng nodes in
+      let t = Tuple.make [| Value.Int a; Value.Int b |] in
+      if a = b || Relation.mem stored t then draw k acc
       else draw (k - 1) (t :: acc)
   in
   Changes.insertions (Database.program db) pred (draw k [])
@@ -38,4 +45,4 @@ let mixed rng db pred ~nodes ~dels ~ins : Changes.t =
 (** Random ground fact over integer columns — for property tests on
     arbitrary arities. *)
 let random_tuple rng ~arity ~domain =
-  Array.init arity (fun _ -> Value.Int (Prng.int rng domain))
+  Tuple.make (Array.init arity (fun _ -> Value.Int (Prng.int rng domain)))

@@ -186,7 +186,7 @@ let aggregate_joined_on_group_key () =
     (Relation.mem (Vm.relation vm "alert") (Tuple.of_list Value.[ str "z"; int 2 ]));
   ignore (Vm.delete vm "watchlist" [ Tuple.of_strs [ "a" ] ]);
   Alcotest.(check bool) "a retracted" false
-    (Relation.exists (fun t _ -> Value.equal t.(0) (Value.str "a"))
+    (Relation.exists (fun t _ -> Value.equal (Tuple.get t 0) (Value.str "a"))
        (Vm.relation vm "alert"));
   audit_ok vm
 

@@ -180,7 +180,7 @@ let aggregation_group_disappears () =
   ignore (Counting.maintain db changes);
   Alcotest.(check bool)
     "group (a,e) dropped" false
-    (Relation.exists (fun t _ -> Value.equal t.(1) (Value.str "e")) (rel db "min_cost_hop"))
+    (Relation.exists (fun t _ -> Value.equal (Tuple.get t 1) (Value.str "e")) (rel db "min_cost_hop"))
 
 (* Counting is optimal (Theorem 4.1): an update that does not change any
    view produces no view deltas and, with set semantics, cascades nothing

@@ -270,7 +270,11 @@ let test_attribution_batch () =
   Ivm_par.set_domains 1;
   Fun.protect ~finally:(fun () -> Ivm_par.set_domains prev_domains) @@ fun () ->
   let vm = Vm.of_source ~algorithm:Vm.Counting two_strata_src in
+  Ivm_eval.Stats.sync ();
+  let stats_before = Ivm_eval.Stats.snapshot () in
   ignore (Vm.apply vm (Changes.insertions (Vm.program vm) "link" [ t2 "e" "f" ]));
+  Ivm_eval.Stats.sync ();
+  let kernel = Ivm_eval.Stats.since stats_before in
   match Attribution.last () with
   | None -> Alcotest.fail "no batch recorded (attribution disabled?)"
   | Some b ->
@@ -303,7 +307,36 @@ let test_attribution_batch () =
     Alcotest.(check bool) "rows wall-descending" true (sorted b.Attribution.rows);
     (* delta flowed: at least one rule saw input and produced output *)
     Alcotest.(check bool) "some rule consumed delta" true
-      (List.exists (fun r -> r.Attribution.din > 0) b.Attribution.rows)
+      (List.exists (fun r -> r.Attribution.din > 0) b.Attribution.rows);
+    (* per-rule probe/scan counters partition the kernel's global
+       counters for the batch: every probe the compiled plans issue is
+       attributed to exactly one rule (no double counting, nothing
+       escapes the attributed windows) *)
+    let sum f = List.fold_left (fun a r -> a + f r) 0 b.Attribution.rows in
+    Alcotest.(check int) "row probes partition kernel probes"
+      kernel.Ivm_eval.Stats.snap_probes
+      (sum (fun r -> r.Attribution.probes));
+    Alcotest.(check int) "row scans partition kernel scans"
+      kernel.Ivm_eval.Stats.snap_tuples_scanned
+      (sum (fun r -> r.Attribution.scanned));
+    (* both join rules consumed delta, so the compiled plans must have
+       probed — a kernel that stopped reporting probes would zero these *)
+    Alcotest.(check bool) "kernel probed at all" true
+      (kernel.Ivm_eval.Stats.snap_probes > 0);
+    List.iter
+      (fun r ->
+        if r.Attribution.din > 0 then
+          Alcotest.(check bool)
+            ("delta-consuming rule probed: " ^ r.Attribution.rule)
+            true
+            (r.Attribution.probes > 0);
+        (* each derived tuple of these join-only rules came from a
+           scanned match *)
+        Alcotest.(check bool)
+          ("dout bounded by scanned: " ^ r.Attribution.rule)
+          true
+          (r.Attribution.dout <= r.Attribution.scanned))
+      b.Attribution.rows
 
 let test_attribution_disabled () =
   Attribution.set_enabled false;

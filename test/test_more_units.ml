@@ -22,24 +22,24 @@ let relation_misc () =
 
 let relation_index_lifecycle () =
   let r = rel_of_pairs "ab; ac; bc" in
-  Relation.ensure_index r [ 1 ];
-  Relation.ensure_index r [ 1 ];
+  Relation.ensure_index r [| 1 |];
+  Relation.ensure_index r [| 1 |];
   (* idempotent *)
   let hits = ref 0 in
-  Relation.probe r [ 1 ] (Tuple.of_strs [ "c" ]) (fun _ _ -> incr hits);
+  Relation.probe r [| 1 |] (Tuple.of_strs [ "c" ]) (fun _ _ -> incr hits);
   Alcotest.(check int) "column-1 probe" 2 !hits;
   (* full-tuple probe uses direct lookup *)
   let hit = ref 0 in
-  Relation.probe r [ 0; 1 ] (Tuple.of_strs [ "a"; "b" ]) (fun _ c -> hit := c);
+  Relation.probe r [| 0; 1 |] (Tuple.of_strs [ "a"; "b" ]) (fun _ c -> hit := c);
   Alcotest.(check int) "membership probe" 1 !hit;
   (* copies carry indexes and stay independent *)
   let r2 = Relation.copy r in
   Relation.add r2 (Tuple.of_strs [ "z"; "c" ]) 1;
   let hits2 = ref 0 in
-  Relation.probe r2 [ 1 ] (Tuple.of_strs [ "c" ]) (fun _ _ -> incr hits2);
+  Relation.probe r2 [| 1 |] (Tuple.of_strs [ "c" ]) (fun _ _ -> incr hits2);
   Alcotest.(check int) "copy sees its own insert" 3 !hits2;
   let hits1 = ref 0 in
-  Relation.probe r [ 1 ] (Tuple.of_strs [ "c" ]) (fun _ _ -> incr hits1);
+  Relation.probe r [| 1 |] (Tuple.of_strs [ "c" ]) (fun _ _ -> incr hits1);
   Alcotest.(check int) "original untouched" 2 !hits1
 
 let relation_diff_negate () =

@@ -249,15 +249,17 @@ let test_recompute_dominates edges =
     Program.make (Ivm_datalog.Parser.parse_rules Ivm_workload.Programs.hop)
   in
   let db = Database.create ~semantics:Database.Set_semantics program in
-  let fixed = [ [| Value.Int (-1); Value.Int (-2) |]; [| Value.Int (-2); Value.Int (-3) |] ] in
+  let fixed =
+    [ Tuple.of_ints [ -1; -2 ]; Tuple.of_ints [ -2; -3 ] ]
+  in
   let generated =
-    List.map (fun (a, b) -> [| Value.Int a; Value.Int b |]) edges
+    List.map (fun (a, b) -> Tuple.make [| Value.Int a; Value.Int b |]) edges
   in
   Database.load db "link" (fixed @ generated);
   Seminaive.evaluate db;
   (* insert one edge outside both domains: always a valid change *)
   let batch =
-    Changes.insertions program "link" [ [| Value.Int 1000; Value.Int 1001 |] ]
+    Changes.insertions program "link" [ Tuple.of_ints [ 1000; 1001 ] ]
   in
   let counting_db = Database.copy db and recompute_db = Database.copy db in
   let before = Stats.snapshot () in

@@ -102,7 +102,7 @@ let split_merge_roundtrip () =
   (* Par_eval.split partitions; merging the parts restores the relation *)
   let r = Relation.create 2 in
   for i = 0 to 40 do
-    Relation.add r [| Value.Int (i mod 13); Value.Int (i mod 7) |] ((i mod 3) + 1)
+    Relation.add r (Tuple.of_ints [ i mod 13; i mod 7 ]) ((i mod 3) + 1)
   done;
   let parts = Ivm_eval.Par_eval.split r ~chunks:4 in
   Alcotest.(check bool) "several parts" true (Array.length parts >= 2);

@@ -125,11 +125,12 @@ let aggregation_prop =
             if k = 0 then acc
             else
               let t =
-                [|
-                  Value.Int (Prng.int rng nodes);
-                  Value.Int (Prng.int rng nodes);
-                  Value.Int (1 + Prng.int rng 9);
-                |]
+                Tuple.make
+                  [|
+                    Value.Int (Prng.int rng nodes);
+                    Value.Int (Prng.int rng nodes);
+                    Value.Int (1 + Prng.int rng 9);
+                  |]
               in
               if Relation.mem stored t then fresh k acc else fresh (k - 1) (t :: acc)
           in
@@ -182,8 +183,8 @@ let dred_props =
         Database.load db "link"
           (Graph_gen.tuples (Graph_gen.random rng ~nodes ~edges));
         Database.load db "node"
-          (List.init nodes (fun i -> [| Value.Int i |]));
-        Database.load db "source" [ [| Value.Int 0 |] ];
+          (List.init nodes (fun i -> Tuple.make [| Value.Int i |]));
+        Database.load db "source" [ Tuple.make [| Value.Int 0 |] ];
         Seminaive.evaluate db;
         let oracle = Database.copy db in
         let ok = ref true in
@@ -530,6 +531,92 @@ let sql_parser_total_prop =
       | exception Ivm_sql.Sql_parser.Parse_error _ -> true
       | exception Ivm_sql.Sql_lexer.Lex_error _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Interning and cached tuple hashes (PR 5 kernel pass)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Mixed-kind values, strings drawn from a small alphabet so duplicates
+   (and thus interning collisions) are common. *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Value.int (n mod 7)) small_nat;
+        map (fun n -> Value.float (float_of_int (n mod 7))) small_nat;
+        map
+          (fun n -> Value.str (String.make ((n mod 3) + 1) (Char.chr (97 + (n mod 4)))))
+          small_nat;
+        map Value.bool bool;
+      ])
+
+let mixed_tuple_gen =
+  QCheck.Gen.(map Tuple.of_list (list_size (int_range 0 5) value_gen))
+
+let arb_mixed_tuple = QCheck.make ~print:Tuple.to_string mixed_tuple_gen
+
+let interning_props =
+  [
+    q ~count:500 "interning: equal strings share one box"
+      QCheck.(string_of_size (QCheck.Gen.int_range 0 12))
+      (fun s ->
+        (* String.sub forces a distinct heap string with equal contents *)
+        Value.str s == Value.str (String.sub s 0 (String.length s)));
+    q ~count:500 "interning preserves Value.equal and Value.hash"
+      (QCheck.make QCheck.Gen.(pair value_gen value_gen))
+      (fun (a, b) ->
+        let ia = Value.intern a and ib = Value.intern b in
+        Value.equal ia a && Value.hash ia = Value.hash a
+        && Value.equal a b = Value.equal ia ib
+        && ((not (Value.equal a b)) || Value.hash ia = Value.hash ib));
+    q ~count:500 "cached hash: Tuple.equal implies equal Tuple.hash"
+      (QCheck.pair arb_mixed_tuple arb_mixed_tuple)
+      (fun (a, b) -> (not (Tuple.equal a b)) || Tuple.hash a = Tuple.hash b);
+    q ~count:500 "cached hash survives rebuild / map / project / append"
+      arb_mixed_tuple
+      (fun t ->
+        let rebuilt = Tuple.of_list (Tuple.to_list t) in
+        let all = Array.init (Tuple.arity t) (fun i -> i) in
+        Tuple.equal rebuilt t
+        && Tuple.hash rebuilt = Tuple.hash t
+        && Tuple.equal (Tuple.map (fun v -> v) t) t
+        && Tuple.equal (Tuple.project all t) t
+        && Tuple.hash (Tuple.project all t) = Tuple.hash t
+        && Tuple.arity (Tuple.append t (Value.int 9)) = Tuple.arity t + 1);
+  ]
+
+(* Snapshot/WAL codec round-trip: decoded relations are equal (counts
+   included) and every decoded string is the canonical interned box, as if
+   it had been freshly parsed — the store and a new session share one
+   intern table. *)
+let wire_roundtrip_prop =
+  let rel_of_tuples ts =
+    let ts = List.filter (fun t -> Tuple.arity t = 3) ts in
+    Relation.of_tuples 3 ts
+  in
+  q ~count:300 "wire round-trip interns strings"
+    (QCheck.make
+       QCheck.Gen.(
+         map rel_of_tuples
+           (list_size (int_range 0 15)
+              (map Tuple.of_list (list_repeat 3 value_gen)))))
+    (fun r ->
+      let buf = Buffer.create 256 in
+      Ivm_store.Wire.put_relation buf r;
+      let decoded =
+        Ivm_store.Wire.get_relation (Ivm_store.Wire.reader (Buffer.contents buf))
+      in
+      let interned = ref true in
+      Relation.iter
+        (fun t _ ->
+          Array.iter
+            (fun v ->
+              match v with
+              | Value.Str s -> if not (v == Value.str s) then interned := false
+              | _ -> ())
+            (Tuple.to_array t))
+        decoded;
+      Relation.equal_counted decoded r && !interned)
+
 (* Overlay views behave exactly like the forced union. *)
 let overlay_semantics_prop =
   q ~count:200 "overlay ≡ materialized union" (QCheck.pair arb_rel arb_rel)
@@ -556,7 +643,7 @@ let overlay_semantics_prop =
       let probed = ref [] in
       Relation.iter
         (fun t _ ->
-          Ivm_relation.Relation_view.probe v [ 0 ] (Tuple.project [ 0 ] t)
+          Ivm_relation.Relation_view.probe v [| 0 |] (Tuple.project [| 0 |] t)
             (fun u c -> probed := (u, c) :: !probed))
         forced;
       let deduped =
@@ -577,3 +664,4 @@ let suite =
   @ [ rc_vs_dred_prop; sql_equiv_prop; dump_roundtrip_prop;
       trigger_composition_prop; parser_total_prop; sql_parser_total_prop;
       overlay_semantics_prop ]
+  @ interning_props @ [ wire_roundtrip_prop ]

@@ -46,7 +46,7 @@ let tuple_basics () =
   Alcotest.(check bool) "equal" true (Tuple.equal t (Tuple.of_ints [ 1; 2; 3 ]));
   Alcotest.(check bool)
     "project" true
-    (Tuple.equal (Tuple.project [ 2; 0 ] t) (Tuple.of_ints [ 3; 1 ]));
+    (Tuple.equal (Tuple.project [| 2; 0 |] t) (Tuple.of_ints [ 3; 1 ]));
   Alcotest.(check bool)
     "length-first compare" true
     (Tuple.compare (Tuple.of_ints [ 9 ]) (Tuple.of_ints [ 1; 1 ]) < 0);
@@ -102,19 +102,19 @@ let rel_set_delta () =
 
 let rel_index_probe () =
   let r = rel_of_pairs "ab; ac; bc; bd 2" in
-  Relation.ensure_index r [ 0 ];
+  Relation.ensure_index r [| 0 |];
   let hits = ref [] in
-  Relation.probe r [ 0 ] (Tuple.of_strs [ "b" ]) (fun t c -> hits := (t, c) :: !hits);
+  Relation.probe r [| 0 |] (Tuple.of_strs [ "b" ]) (fun t c -> hits := (t, c) :: !hits);
   Alcotest.(check int) "two b-edges" 2 (List.length !hits);
   (* index follows subsequent mutation *)
   Relation.add r (Tuple.of_strs [ "b"; "e" ]) 1;
   Relation.add r (Tuple.of_strs [ "b"; "c" ]) (-1);
   let hits = ref 0 in
-  Relation.probe r [ 0 ] (Tuple.of_strs [ "b" ]) (fun _ _ -> incr hits);
+  Relation.probe r [| 0 |] (Tuple.of_strs [ "b" ]) (fun _ _ -> incr hits);
   Alcotest.(check int) "after updates" 2 !hits;
   (* probe on both columns *)
   let hit = ref 0 in
-  Relation.probe r [ 0; 1 ] (Tuple.of_strs [ "b"; "d" ]) (fun _ c -> hit := c);
+  Relation.probe r [| 0; 1 |] (Tuple.of_strs [ "b"; "d" ]) (fun _ c -> hit := c);
   Alcotest.(check int) "exact probe sees count" 2 !hit
 
 let rel_printing () =
@@ -148,7 +148,7 @@ let view_overlay_probe () =
   let delta = rel_of_pairs "ab -1; ae" in
   let v = Relation_view.overlay base delta in
   let hits = ref [] in
-  Relation_view.probe v [ 0 ] (Tuple.of_strs [ "a" ]) (fun t _ -> hits := t :: !hits);
+  Relation_view.probe v [| 0 |] (Tuple.of_strs [ "a" ]) (fun t _ -> hits := t :: !hits);
   let names = List.sort compare (List.map Tuple.to_string !hits) in
   Alcotest.(check (list string)) "a-edges" [ "(a, c)"; "(a, e)" ] names
 

@@ -87,7 +87,7 @@ let costed_tuples () =
   List.iter
     (fun t ->
       Alcotest.(check int) "arity 3" 3 (Tuple.arity t);
-      match t.(2) with
+      match Tuple.get t 2 with
       | Value.Int c -> Alcotest.(check bool) "cost in range" true (c >= 1 && c <= 5)
       | _ -> Alcotest.fail "integer cost expected")
     ts
