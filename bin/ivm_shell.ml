@@ -52,7 +52,16 @@ let help_text =
   \  explain          program structure, strata, sizes\n\
   \  explain last     per-rule cost table of the most recent maintenance\n\
   \                   batch (wall time, Δ in/out, probes, index builds)\n\
-  \  monitor start PORT  serve /metrics /healthz /statusz /trace on\n\
+  \  explain N        the same table N batches back (0 = most recent;\n\
+  \                   an 8-batch history is kept)\n\
+  \  provenance on/off/status  derivation-provenance capture: bounded\n\
+  \                   per-tuple supports + batch lineage (backs why/lineage)\n\
+  \  why FACT.        derivation tree of a view tuple down to base facts,\n\
+  \                   from the captured supports (needs 'provenance on')\n\
+  \  why not FACT.    candidate rule instantiations for an absent tuple,\n\
+  \                   each with its first failing or missing subgoal\n\
+  \  lineage FACT.    batch history of a tuple: first derived, last deleted\n\
+  \  monitor start PORT  serve /metrics /healthz /statusz /trace /why on\n\
   \                   localhost:PORT (HTTP; Prometheus + JSON)\n\
   \  monitor stop     stop the monitoring endpoint\n\
   \  save FILE        dump rules+facts to a reloadable file\n\
@@ -96,6 +105,7 @@ let monitor_config (vmref : Vm.t ref) =
   {
     Ivm_monitor.Monitor.status = (fun () -> Vm.status_json !vmref);
     before_metrics = Stats.sync;
+    explain = Some (fun q -> Vm.explain_json !vmref q);
   }
 
 let start_monitor vmref port =
@@ -107,7 +117,8 @@ let start_monitor vmref port =
     let srv = Ivm_monitor.Monitor.start ~config:(monitor_config vmref) ~port () in
     monitor_server := Some srv;
     Format.printf
-      "monitoring on http://127.0.0.1:%d (/metrics /healthz /statusz /trace)@."
+      "monitoring on http://127.0.0.1:%d (/metrics /healthz /statusz /trace \
+       /why)@."
       (Ivm_monitor.Monitor.port srv)
 
 let sql_keywords = [ "select"; "insert"; "delete"; "update"; "create" ]
@@ -195,6 +206,69 @@ let execute ?sql (vmref : Vm.t ref) line =
       else
         Format.printf
           "attribution is disabled (IVM_ATTRIBUTION=0); no batches recorded@."
+  end
+  else if String.length line > 8 && String.sub line 0 8 = "explain " then begin
+    (* 'explain last' is handled above; here: 'explain N', N batches back *)
+    let arg = String.trim (String.sub line 8 (String.length line - 8)) in
+    let recent = Ivm_obs.Attribution.recent () in
+    let available =
+      match List.length recent with
+      | 0 -> "none recorded yet"
+      | 1 -> "only 0 available"
+      | n -> Printf.sprintf "0..%d available" (n - 1)
+    in
+    match int_of_string_opt arg with
+    | Some n when n >= 0 -> (
+      match List.nth_opt recent n with
+      | Some batch ->
+        Format.printf "%a@." (fun ppf b -> Ivm_obs.Attribution.pp_batch ppf b) batch
+      | None -> Format.printf "no batch %d back (%s)@." n available)
+    | _ ->
+      Format.printf
+        "usage: explain | explain last | explain N (0 = most recent; %s)@."
+        available
+  end
+  else if line = "provenance on" then begin
+    Vm.enable_provenance vm;
+    Format.printf
+      "provenance capture on: supports bootstrapped for %d view tuples@."
+      (Ivm_prov.Prov.tuples_tracked ())
+  end
+  else if line = "provenance off" then begin
+    Vm.disable_provenance vm;
+    Format.printf "provenance capture off (store cleared)@."
+  end
+  else if line = "provenance status" then
+    Format.printf "%s@."
+      (Ivm_obs.Json.to_string (Ivm_prov.Prov.status_json ()))
+  else if String.length line > 8 && String.sub line 0 8 = "why not " then begin
+    match Vm.parse_fact (String.sub line 8 (String.length line - 8)) with
+    | Error e -> Format.printf "error: %s@." e
+    | Ok (pred, tup) ->
+      let access = Vm.provenance_access vm in
+      Format.printf "%a@."
+        (Ivm_prov.Prov_query.pp_whynot pred tup)
+        (Ivm_prov.Prov_query.whynot access pred tup)
+  end
+  else if String.length line > 4 && String.sub line 0 4 = "why " then begin
+    match Vm.parse_fact (String.sub line 4 (String.length line - 4)) with
+    | Error e -> Format.printf "error: %s@." e
+    | Ok (pred, tup) ->
+      if not (Vm.provenance_enabled vm) then
+        Format.printf
+          "note: provenance capture is off — derivations cannot be expanded \
+           ('provenance on' first)@.";
+      let access = Vm.provenance_access vm in
+      Format.printf "%a@." Ivm_prov.Prov_query.pp_why
+        (Ivm_prov.Prov_query.why access pred tup)
+  end
+  else if String.length line > 8 && String.sub line 0 8 = "lineage " then begin
+    match Vm.parse_fact (String.sub line 8 (String.length line - 8)) with
+    | Error e -> Format.printf "error: %s@." e
+    | Ok (pred, tup) ->
+      let access = Vm.provenance_access vm in
+      Format.printf "%a@." Ivm_prov.Prov_query.pp_lineage
+        (Ivm_prov.Prov_query.lineage access pred tup)
   end
   else if String.length line > 14 && String.sub line 0 14 = "monitor start " then begin
     let port_s = String.trim (String.sub line 14 (String.length line - 14)) in

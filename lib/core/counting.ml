@@ -69,6 +69,10 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
              nonrecursive views — use DRed for recursive views" p))
   | None -> ());
   Metrics.inc batches_c;
+  (* Delta emissions enumerate each gained (+) / lost (−) derivation
+     exactly once (Definition 4.1's partition), so sign-driven support
+     capture stays exact. *)
+  if Ivm_prov.Prov.capturing () then Ivm_prov.Prov.set_mode Ivm_prov.Prov.Add;
   let normalized = Changes.normalize_base db changes in
   let affected =
     (* only views transitively depending on a changed base relation can

@@ -274,19 +274,26 @@ let apply_delta_rules_par ctx (crs : Compile.t list) ~(out : Relation.t) : unit 
     caller violated Lemma 4.1's precondition. *)
 let commit ctx : (string * Relation.t) list =
   let applied = ref [] in
+  let cap = Ivm_prov.Prov.capturing () in
   Hashtbl.iter
     (fun pred delta ->
       if not (Relation.is_empty delta) then begin
         let stored = Database.relation ctx.db pred in
         Relation.iter
           (fun tup c ->
-            let c' = Relation.count stored tup + c in
+            let before = Relation.count stored tup in
+            let c' = before + c in
             if c' < 0 then
               invalid_arg
                 (Printf.sprintf
                    "maintenance drove count of %s%s negative (%d); deletions \
                     must be a subset of the database"
                    pred (Tuple.to_string tup) c');
+            if cap then
+              if before <= 0 && c' > 0 then
+                Ivm_prov.Prov.on_transition ~pred tup `Derived
+              else if before > 0 && c' <= 0 then
+                Ivm_prov.Prov.on_transition ~pred tup `Deleted;
             Relation.set_count stored tup c')
           delta;
         applied := (pred, delta) :: !applied

@@ -344,6 +344,15 @@ let delete_overestimate ctx unit_preds =
 
 let marker_pred p = "$dred_overestimate$" ^ p
 
+(* Rederivation rules reach the evaluator's provenance hook under their
+   rewritten text; map it back to the source rule so stored supports name
+   the program's own rules.  Populated only from sequential task
+   construction (never from worker domains). *)
+let rederive_sources : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let prov_source_rule s =
+  match Hashtbl.find_opt rederive_sources s with Some orig -> orig | None -> s
+
 (** The rederivation rule [δ⁺(p) :- δ⁻(p) & s1ν & … & snν] built as an AST
     rule whose first subgoal is a pseudo-predicate enumerating the
     still-deleted overestimate.  Head arguments that are expressions get a
@@ -364,10 +373,17 @@ let rederive_rule (r : Ast.rule) : Ast.rule =
       r.head.args ([], [])
   in
   let marker = { Ast.pred = marker_pred r.head.pred; args = marker_args } in
-  {
-    Ast.head = { r.head with args = marker_args };
-    body = (Ast.Lpos marker :: r.body) @ filters;
-  }
+  let rr =
+    {
+      Ast.head = { r.head with args = marker_args };
+      body = (Ast.Lpos marker :: r.body) @ filters;
+    }
+  in
+  if Ivm_prov.Prov.capturing () then
+    Hashtbl.replace rederive_sources
+      (Ivm_datalog.Pretty.rule_to_string rr)
+      (Ivm_datalog.Pretty.rule_to_string r);
+  rr
 
 (** Step 2 for one unit: puts rederivable tuples back (their hidden counts
     are restored in the unit deltas), semi-naively.  The first pass checks
@@ -638,6 +654,8 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
   if Database.semantics db = Database.Duplicate_semantics then
     raise Duplicate_semantics_unsupported;
   Metrics.inc batches_c;
+  if Ivm_prov.Prov.capturing () then
+    Ivm_prov.Prov.set_rule_rewrite prov_source_rule;
   let program = Database.program db in
   let normalized = Changes.normalize_base db changes in
   let ctx =
@@ -671,7 +689,16 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
           (* a unit's predicates share a stratum; each phase retags the
              ambient attribution context before its fan-outs *)
           let stratum = Program.stratum program (List.hd unit_preds) in
-          let phase name = Ivm_obs.Attribution.set_context ~stratum ~phase:name in
+          let phase name =
+            Ivm_obs.Attribution.set_context ~stratum ~phase:name;
+            (* Delete-phase emissions enumerate lost derivations — their
+               supports are removed regardless of sign; rederivation and
+               insertion emissions add supports. *)
+            if Ivm_prov.Prov.capturing () then
+              Ivm_prov.Prov.set_mode
+                (if String.equal name "delete" then Ivm_prov.Prov.Remove
+                 else Ivm_prov.Prov.Add)
+          in
           Trace.span "dred.unit"
             ~args:(fun () -> [ ("unit", unit_name) ])
             (fun () ->
@@ -725,13 +752,20 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
       let d = Relation.union (Relation.negate del) add in
       if not (Relation.is_empty d) then view_deltas := (p, d) :: !view_deltas)
     (Program.derived_preds program);
+  let cap = Ivm_prov.Prov.capturing () in
   Hashtbl.iter
     (fun pred delta ->
       let stored = Database.relation db pred in
       Relation.iter
         (fun tup c ->
-          let c' = Relation.count stored tup + c in
-          Relation.set_count stored tup (max 0 c'))
+          let before = Relation.count stored tup in
+          let c' = max 0 (before + c) in
+          if cap then
+            if before <= 0 && c' > 0 then
+              Ivm_prov.Prov.on_transition ~pred tup `Derived
+            else if before > 0 && c' <= 0 then
+              Ivm_prov.Prov.on_transition ~pred tup `Deleted;
+          Relation.set_count stored tup c')
         delta)
     ctx.delta;
   (* Registered aggregate indexes consume ±1 set transitions. *)

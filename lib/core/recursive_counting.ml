@@ -217,6 +217,9 @@ let maintain ?(max_rounds = default_max_rounds) (db : Database.t)
       "Recursive_counting.maintain: derivation counting through recursion \
        needs duplicate semantics; use Dred for set semantics";
   Metrics.inc batches_c;
+  (* As in [Counting.maintain]: the per-round delta partition enumerates
+     each gained/lost derivation once, so sign-driven capture is exact. *)
+  if Ivm_prov.Prov.capturing () then Ivm_prov.Prov.set_mode Ivm_prov.Prov.Add;
   let program = Database.program db in
   let normalized = Changes.normalize_base db changes in
   Trace.span "recursive_counting.maintain"

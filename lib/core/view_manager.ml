@@ -119,6 +119,7 @@ let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
   in
   let t0 = Unix.gettimeofday () in
   Ivm_obs.Attribution.batch_begin ~algorithm:name;
+  if Ivm_prov.Prov.capturing () then Ivm_prov.Prov.batch_begin ~algorithm:name;
   let finish () =
     let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
     ignore (Ivm_obs.Attribution.batch_end ~total_wall_ns:wall_ns);
@@ -143,6 +144,13 @@ let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
               report.Dred.view_deltas
             | Recursive_counting -> Recursive_counting.maintain t.db changes
             | Recompute | Auto ->
+              (* A recompute invalidates every stored support wholesale;
+                 [Seminaive.evaluate] then re-records each current
+                 derivation through the evaluator's capture hook.  (No
+                 lineage transitions: recompute overwrites relations
+                 without a commit loop.) *)
+              if Ivm_prov.Prov.capturing () then
+                Ivm_prov.Prov.truncate_supports ~reason:"recompute";
               recompute_maintain t.db changes;
               []))
   in
@@ -292,12 +300,24 @@ let enable_incremental_aggregates (t : t) : unit =
   register_agg_indexes t;
   resnapshot t
 
+(* After a rule change the stored supports may cite a rule that no longer
+   exists (or miss derivations through a new one): drop them all and
+   re-enumerate the current derivations against the rebuilt database. *)
+let refresh_provenance (t : t) ~reason : unit =
+  if Ivm_prov.Prov.capturing () then begin
+    Ivm_prov.Prov.truncate_supports ~reason;
+    Seminaive.replay_derivations t.db
+  end
+
 (** Add a rule to the program, incrementally maintaining all views
     (Section 7, view redefinition). *)
 let add_rule (t : t) (rule : Ast.rule) : unit =
-  t.db <- Rule_changes.add_rule t.db ~maintain:(maintainer t) rule;
+  t.db <-
+    Ivm_prov.Prov.with_suspended (fun () ->
+        Rule_changes.add_rule t.db ~maintain:(maintainer t) rule);
   (* rebuilding the program produced a fresh database: re-register *)
   if t.incremental_aggregates then register_agg_indexes t;
+  refresh_provenance t ~reason:"rule-change";
   resnapshot t
 
 let add_rule_text (t : t) (src : string) : unit = add_rule t (Parser.parse_rule src)
@@ -305,8 +325,11 @@ let add_rule_text (t : t) (src : string) : unit = add_rule t (Parser.parse_rule 
 (** Remove a rule (matched structurally), incrementally maintaining all
     views. *)
 let remove_rule (t : t) (rule : Ast.rule) : unit =
-  t.db <- Rule_changes.remove_rule t.db ~maintain:(maintainer t) rule;
+  t.db <-
+    Ivm_prov.Prov.with_suspended (fun () ->
+        Rule_changes.remove_rule t.db ~maintain:(maintainer t) rule);
   if t.incremental_aggregates then register_agg_indexes t;
+  refresh_provenance t ~reason:"rule-change";
   resnapshot t
 
 let remove_rule_text (t : t) (src : string) : unit =
@@ -317,9 +340,11 @@ let remove_rule_text (t : t) (src : string) : unit =
     under count-bearing configurations, sets under DRed). *)
 let audit (t : t) : (unit, string) result =
   let fresh = Database.copy t.db in
-  (match resolve t with
-  | Recursive_counting -> Recursive_counting.evaluate fresh
-  | Counting | Dred | Recompute | Auto -> Seminaive.evaluate fresh);
+  (* The audit copy's evaluation must not pollute the provenance store. *)
+  Ivm_prov.Prov.with_suspended (fun () ->
+      match resolve t with
+      | Recursive_counting -> Recursive_counting.evaluate fresh
+      | Counting | Dred | Recompute | Auto -> Seminaive.evaluate fresh);
   let compare_counts =
     match resolve t with
     | Counting | Recursive_counting -> true
@@ -343,6 +368,91 @@ let audit (t : t) : (unit, string) result =
   match bad with [] -> Ok () | msgs -> Error (String.concat "\n" msgs)
 
 let pp ppf t = Database.pp ppf t.db
+
+(* ------------------------------------------------------------------ *)
+(* Provenance & lineage                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Switch derivation-provenance capture on ({!Ivm_prov.Prov}) and
+    bootstrap the support store by re-enumerating every current
+    derivation once.  The store is process-global: with several managers
+    in one process, enable capture on only one. *)
+let enable_provenance (t : t) : unit =
+  Ivm_prov.Prov.set_enabled true;
+  Ivm_prov.Prov.set_mode Ivm_prov.Prov.Add;
+  Seminaive.replay_derivations t.db
+
+(** Switch capture off and clear the store. *)
+let disable_provenance (_t : t) : unit = Ivm_prov.Prov.set_enabled false
+
+let provenance_enabled (_t : t) : bool = Ivm_prov.Prov.enabled ()
+
+(** Database-access closures for {!Ivm_prov.Prov_query} — every closure
+    rereads [t.db], so the record survives rule changes. *)
+let provenance_access (t : t) : Ivm_prov.Prov_query.db_access =
+  let prog () = Database.program t.db in
+  {
+    Ivm_prov.Prov_query.rules_for = (fun p -> Program.rules_for (prog ()) p);
+    is_base = (fun p -> List.mem p (Program.base_preds (prog ())));
+    known_pred =
+      (fun p ->
+        let program = prog () in
+        List.mem p (Program.base_preds program)
+        || List.mem p (Program.derived_preds program));
+    arity = (fun p -> Program.arity (prog ()) p);
+    holds = (fun p tup -> Relation.mem (Database.relation t.db p) tup);
+    count = (fun p tup -> Relation.count (Database.relation t.db p) tup);
+    probe =
+      (fun p bound f ->
+        let rel = Database.relation t.db p in
+        match bound with
+        | [] -> Relation.iter (fun tup c -> f tup c) rel
+        | _ ->
+          let cols = Array.of_list (List.map fst bound) in
+          let key = Tuple.of_list (List.map snd bound) in
+          Relation.probe rel cols key f);
+    dup_semantics = Database.semantics t.db = Database.Duplicate_semantics;
+  }
+
+(** Parse ["p(v1, …)"] (trailing period optional) as one ground fact. *)
+let parse_fact (txt : string) : (string * Tuple.t, string) result =
+  let txt = String.trim txt in
+  let txt =
+    if String.length txt > 0 && txt.[String.length txt - 1] = '.' then txt
+    else txt ^ "."
+  in
+  match Parser.split (Parser.parse_program txt) with
+  | [], [ (p, vals) ] -> Ok (p, Tuple.of_list vals)
+  | _ -> Error "expected a single ground fact, e.g. tc(1, 3)"
+  | exception Parser.Parse_error msg -> Error msg
+
+(** One-stop EXPLAIN for the monitor's [/why] endpoint: parse the fact,
+    then bundle [why] (when present) or [why not] (when absent) with its
+    [lineage] into one JSON document. *)
+let explain_json (t : t) (q : string) : (Ivm_obs.Json.t, string) result =
+  let module Json = Ivm_obs.Json in
+  let module Pq = Ivm_prov.Prov_query in
+  match parse_fact q with
+  | Error e -> Error e
+  | Ok (pred, tup) ->
+    let access = provenance_access t in
+    if not (access.Pq.known_pred pred) then
+      Error (Printf.sprintf "unknown predicate %s" pred)
+    else begin
+      let present = access.Pq.holds pred tup in
+      Ok
+        (Json.Obj
+           [
+             ("fact", Json.Str (Pq.fact_to_string pred tup));
+             ("present", Json.Bool present);
+             ("count", Json.int (access.Pq.count pred tup));
+             ("provenance_enabled", Json.Bool (Ivm_prov.Prov.enabled ()));
+             ( (if present then "why" else "whynot"),
+               if present then Pq.why_json (Pq.why access pred tup)
+               else Pq.whynot_json (Pq.whynot access pred tup) );
+             ("lineage", Pq.lineage_json (Pq.lineage access pred tup));
+           ])
+    end
 
 (** The manager's state as JSON — the monitor's [/statusz] body (minus
     process-level fields like uptime, which the server adds): algorithm,
@@ -402,6 +512,7 @@ let status_json (t : t) : Ivm_obs.Json.t =
       ("views", Json.Obj views);
       ("base_relations", Json.Obj bases);
       ("store", store);
+      ("provenance", Ivm_prov.Prov.status_json ());
       ( "last_batch_ns",
         Json.int (int_of_float (Metrics.gauge_value last_batch_g)) );
       ( "last_batch",

@@ -148,6 +148,37 @@ val audit : t -> (unit, string) result
 
 val pp : Format.formatter -> t -> unit
 
+(** {1 Provenance & lineage}
+
+    Derivation-provenance capture ({!Ivm_prov.Prov}) records, per derived
+    tuple, a bounded set of supports — (rule, immediate subgoal tuples) —
+    kept incrementally correct by the maintenance algorithms, plus a
+    batch-lineage history.  The store is process-global: with several
+    managers in one process, enable capture on only one. *)
+
+(** Switch capture on and bootstrap the store by re-enumerating every
+    current derivation once ({!Ivm_eval.Seminaive.replay_derivations}). *)
+val enable_provenance : t -> unit
+
+(** Switch capture off and clear the store. *)
+val disable_provenance : t -> unit
+
+val provenance_enabled : t -> bool
+
+(** Database-access closures for the {!Ivm_prov.Prov_query} layer
+    ([why] / [why not] / [lineage]); reads through to the live database,
+    surviving rule changes. *)
+val provenance_access : t -> Ivm_prov.Prov_query.db_access
+
+(** Parse ["p(v1, …)"] (trailing period optional) as one ground fact. *)
+val parse_fact : string -> (string * Tuple.t, string) result
+
+(** One-stop EXPLAIN for the monitor's [/why] endpoint: [why] (when the
+    fact is present) or [why not] (when absent) bundled with its
+    [lineage] as one JSON document; [Error] on a parse failure or
+    unknown predicate. *)
+val explain_json : t -> string -> (Ivm_obs.Json.t, string) result
+
 (** The manager's state as JSON — the monitor's [/statusz] body (minus
     process-level fields like uptime, which the server adds): algorithm,
     semantics, domain count, per-view tuple counts (with strata),

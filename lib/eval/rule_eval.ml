@@ -319,11 +319,34 @@ let eval_body ?seed ~(inputs : int -> subgoal_input) ~emit (cr : Compile.t) : un
     let plan = Array.of_list (build_plan ?seed ~inputs cr) in
     let binding = Array.make cr.nslots None in
     let nsteps = Array.length plan in
+    (* Provenance capture, hoisted to one load per evaluation: when off,
+       the emission path below pays a single boolean test. *)
+    let cap = Ivm_prov.Prov.capturing () in
+    let rule_str =
+      if cap then Ivm_datalog.Pretty.rule_to_string cr.source else ""
+    in
+    let record_support head cnt =
+      let subs = ref [] in
+      for j = Array.length cr.clits - 1 downto 0 do
+        match cr.clits.(j) with
+        | Catom a ->
+          let vals =
+            Array.map
+              (function Cconst v -> v | Cvar s -> slot_value binding s)
+              a.cargs
+          in
+          subs := (a.cpred, Tuple.make vals) :: !subs
+        | Cneg _ | Cagg _ | Ccmp _ -> ()
+      done;
+      Ivm_prov.Prov.record ~pred:cr.head_pred ~rule:rule_str ~head ~count:cnt
+        ~subgoals:!subs
+    in
     let rec run k cnt =
       if cnt <> 0 then
         if k = nsteps then begin
           let head = Tuple.make (Array.map (expr_value binding) cr.chead) in
           Stats.add_derivation ();
+          if cap then record_support head cnt;
           emit head cnt
         end
         else

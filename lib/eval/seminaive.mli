@@ -55,3 +55,10 @@ val eval_recursive_unit :
 (** Materialize every derived predicate from the base relations
     (overwrites previous materializations). *)
 val evaluate : Database.t -> unit
+
+(** Re-enumerate every current derivation once — each rule evaluated
+    against the stored relations with emissions discarded — so that,
+    with provenance capture on ([Ivm_prov.Prov]), the evaluator's
+    capture hook repopulates the support store for an
+    already-materialized database.  No-op when capture is off. *)
+val replay_derivations : Database.t -> unit

@@ -14,7 +14,10 @@
     - [GET /statusz] — the caller-supplied status document plus process
       fields (uptime, pid);
     - [GET /trace] — drains the {!Ivm_obs.Trace} ring buffer as a Chrome
-      [trace_event] JSON array (repeated GETs see disjoint batches).
+      [trace_event] JSON array (repeated GETs see disjoint batches);
+    - [GET /why?q=fact] — the caller-supplied provenance EXPLAIN
+      callback ([why]/[why not]/[lineage] JSON); 404 when none is
+      configured.
 
     {b Robustness.}  {!start} ignores SIGPIPE process-wide (a scrape
     client disconnecting mid-response must surface as [EPIPE], not kill
@@ -41,9 +44,13 @@ type config = {
       (** run before each [/metrics]/[/statusz] render — callers mirror
           non-registry state into the registry here (e.g.
           [Ivm_eval.Stats.sync]) *)
+  explain : (string -> (Json.t, string) result) option;
+      (** serves [GET /why?q=fact] — the percent-decoded [q] value is
+          passed verbatim; [Error] renders as a 400 *)
 }
 
-let default_config = { status = (fun () -> Json.Obj []); before_metrics = ignore }
+let default_config =
+  { status = (fun () -> Json.Obj []); before_metrics = ignore; explain = None }
 
 type t = {
   sock : Unix.file_descr;
@@ -63,6 +70,7 @@ let port t = t.port
 
 let http_status_text = function
   | 200 -> "OK"
+  | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | _ -> "Internal Server Error"
@@ -110,14 +118,53 @@ let read_request_line fd =
 
 let uptime t = Unix.gettimeofday () -. t.started_at
 
+(* RFC 3986 percent-decoding plus the form-encoding convention [+] = space
+   (curl and browsers both produce it for query strings).  Malformed
+   escapes pass through literally. *)
+let percent_decode (s : string) : string =
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+      match (hex s.[!i + 1], hex s.[!i + 2]) with
+      | Some h, Some l ->
+        Buffer.add_char b (Char.chr ((h * 16) + l));
+        i := !i + 2
+      | _ -> Buffer.add_char b '%')
+    | '+' -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let query_param (query : string) (name : string) : string option =
+  List.find_map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | Some i when String.sub kv 0 i = name ->
+        Some (percent_decode (String.sub kv (i + 1) (String.length kv - i - 1)))
+      | _ -> None)
+    (String.split_on_char '&' query)
+
 let handle t fd =
   let line = read_request_line fd in
   match String.split_on_char ' ' line with
   | [ meth; target; _ ] | [ meth; target ] ->
-    let path =
+    let path, query =
       match String.index_opt target '?' with
-      | Some i -> String.sub target 0 i
-      | None -> target
+      | Some i ->
+        ( String.sub target 0 i,
+          String.sub target (i + 1) (String.length target - i - 1) )
+      | None -> (target, "")
     in
     if meth <> "GET" then
       respond fd ~code:405 ~content_type:"text/plain; charset=utf-8"
@@ -152,9 +199,27 @@ let handle t fd =
       | "/trace" ->
         respond fd ~code:200 ~content_type:"application/json"
           (Json.to_string (Trace.events_json (Trace.drain ())) ^ "\n")
+      | "/why" -> (
+        match t.config.explain with
+        | None ->
+          respond fd ~code:404 ~content_type:"text/plain; charset=utf-8"
+            "no explain callback configured\n"
+        | Some explain -> (
+          match query_param query "q" with
+          | None ->
+            respond fd ~code:400 ~content_type:"text/plain; charset=utf-8"
+              "usage: /why?q=pred(v1,...)\n"
+          | Some q -> (
+            match explain q with
+            | Ok doc ->
+              respond fd ~code:200 ~content_type:"application/json"
+                (Json.to_string doc ^ "\n")
+            | Error e ->
+              respond fd ~code:400 ~content_type:"application/json"
+                (Json.to_string (Json.Obj [ ("error", Json.Str e) ]) ^ "\n"))))
       | _ ->
         respond fd ~code:404 ~content_type:"text/plain; charset=utf-8"
-          "not found: try /metrics /healthz /statusz /trace\n")
+          "not found: try /metrics /healthz /statusz /trace /why\n")
   | _ -> ()
 
 (* A client that connects but never sends a request (or stops reading a

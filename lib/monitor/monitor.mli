@@ -10,7 +10,9 @@
     [GET /healthz] (liveness JSON), [GET /statusz] (caller-supplied
     status document plus uptime/pid/trace fields), [GET /trace] (drains
     the {!Ivm_obs.Trace} ring as a Chrome [trace_event] JSON array —
-    repeated GETs see disjoint batches).  Anything else is a 404. *)
+    repeated GETs see disjoint batches), [GET /why?q=fact] (the
+    caller-supplied provenance EXPLAIN callback; 404 when none is
+    configured).  Anything else is a 404. *)
 
 type config = {
   status : unit -> Ivm_obs.Json.t;
@@ -23,6 +25,11 @@ type config = {
       (** runs before each [/metrics] or [/statusz] render — mirror
           non-registry state into the registry here (e.g.
           [Ivm_eval.Stats.sync]) *)
+  explain : (string -> (Ivm_obs.Json.t, string) result) option;
+      (** serves [GET /why?q=fact]: called with the percent-decoded [q]
+          value (e.g. [Ivm.View_manager.explain_json]); [Error] renders
+          as a 400.  Runs on the accept domain while maintenance may be
+          mutating relations — same racy-read contract as {!status}. *)
 }
 
 (** Empty status, no pre-render hook. *)

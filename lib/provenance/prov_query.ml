@@ -1,0 +1,933 @@
+(** Query layer over the provenance store — see the interface. *)
+
+module Tuple = Ivm_relation.Tuple
+module Value = Ivm_relation.Value
+module Ast = Ivm_datalog.Ast
+module Pretty = Ivm_datalog.Pretty
+module Json = Ivm_obs.Json
+
+type db_access = {
+  rules_for : string -> Ast.rule list;
+  is_base : string -> bool;
+  known_pred : string -> bool;
+  arity : string -> int;
+  holds : string -> Tuple.t -> bool;
+  count : string -> Tuple.t -> int;
+  probe : string -> (int * Value.t) list -> (Tuple.t -> int -> unit) -> unit;
+  dup_semantics : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation over partial environments                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr lookup (e : Ast.expr) : Value.t option =
+  match e with
+  | Ast.Eterm (Ast.Const v) -> Some v
+  | Ast.Eterm (Ast.Var x) -> lookup x
+  | Ast.Eadd (a, b) -> arith2 lookup Value.add a b
+  | Ast.Esub (a, b) -> arith2 lookup Value.sub a b
+  | Ast.Emul (a, b) -> arith2 lookup Value.mul a b
+  | Ast.Ediv (a, b) -> arith2 lookup Value.div a b
+  | Ast.Eneg a -> (
+    match eval_expr lookup a with
+    | Some v -> ( try Some (Value.neg v) with Value.Type_error _ -> None)
+    | None -> None)
+
+and arith2 lookup f a b =
+  match (eval_expr lookup a, eval_expr lookup b) with
+  | Some va, Some vb -> ( try Some (f va vb) with Value.Type_error _ -> None)
+  | _ -> None
+
+(* Numeric comparison across Int/Float, the kind order otherwise —
+   matching the evaluator's comparison-literal semantics. *)
+let cmp_values (op : Ast.cmp_op) a b =
+  let c =
+    if Value.is_numeric a && Value.is_numeric b then
+      Float.compare (Value.as_number a) (Value.as_number b)
+    else Value.compare a b
+  in
+  match op with
+  | Ast.Eq -> c = 0
+  | Ast.Neq -> c <> 0
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+let ground_atom lookup (a : Ast.atom) : Tuple.t option =
+  let rec go acc = function
+    | [] -> Some (Tuple.of_list (List.rev acc))
+    | e :: rest -> (
+      match eval_expr lookup e with
+      | Some v -> go (v :: acc) rest
+      | None -> None)
+  in
+  go [] a.Ast.args
+
+let fact_to_string pred tup =
+  pred ^ "("
+  ^ String.concat ", " (List.map Value.to_string (Tuple.to_list tup))
+  ^ ")"
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let contains_sub s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb > 0 && go 0
+
+(* ------------------------------------------------------------------ *)
+(* Support validation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** A support is valid when its rule is still in the program, its
+    recorded subgoals match the rule's positive atoms in order and all
+    still hold, the rule's filters pass under the induced bindings, and
+    the head expressions evaluate back to the node's tuple.  Aggregate
+    literals (and anything left unbound by them) are not re-evaluated —
+    validation is partial there by design. *)
+let validate_support access pred tuple (s : Prov.support) =
+  (not (access.is_base pred))
+  &&
+  match
+    List.find_opt
+      (fun r -> String.equal (Pretty.rule_to_string r) s.rule)
+      (access.rules_for pred)
+  with
+  | None -> false
+  | Some r ->
+    let env : (string, Value.t) Hashtbl.t = Hashtbl.create 16 in
+    let lookup x = Hashtbl.find_opt env x in
+    let unify_arg e v =
+      match e with
+      | Ast.Eterm (Ast.Var x) -> (
+        match lookup x with
+        | Some v' -> Value.equal v' v
+        | None ->
+          Hashtbl.add env x v;
+          true)
+      | e -> (
+        match eval_expr lookup e with
+        | Some v' -> Value.equal v' v
+        | None -> false)
+    in
+    let unify_atom (a : Ast.atom) tup =
+      let vals = Tuple.to_list tup in
+      List.length a.Ast.args = List.length vals
+      && List.for_all2 unify_arg a.Ast.args vals
+    in
+    (* Pass 1: positive atoms consume the recorded subgoals in order. *)
+    let sg = ref (Array.to_list s.subgoals) in
+    let pos_ok =
+      List.for_all
+        (fun lit ->
+          match lit with
+          | Ast.Lpos a -> (
+            match !sg with
+            | (p, t) :: rest when String.equal p a.Ast.pred ->
+              sg := rest;
+              access.holds p t && unify_atom a t
+            | _ -> false)
+          | _ -> true)
+        r.Ast.body
+      && !sg = []
+    in
+    pos_ok
+    &&
+    (* Pass 2: filters to fixpoint — comparisons check or bind, ground
+       negations check; aggregates are accepted unverified. *)
+    let exact = ref true in
+    let ok = ref true in
+    let pending =
+      ref
+        (List.filter
+           (function Ast.Lpos _ -> false | _ -> true)
+           r.Ast.body)
+    in
+    let progress = ref true in
+    while !progress && !ok do
+      progress := false;
+      pending :=
+        List.filter
+          (fun lit ->
+            match lit with
+            | Ast.Lpos _ -> false
+            | Ast.Lcmp (l, op, rr) -> (
+              match (eval_expr lookup l, eval_expr lookup rr) with
+              | Some a, Some b ->
+                if not (cmp_values op a b) then ok := false;
+                progress := true;
+                false
+              | None, Some v -> (
+                match (l, op) with
+                | Ast.Eterm (Ast.Var x), Ast.Eq ->
+                  Hashtbl.add env x v;
+                  progress := true;
+                  false
+                | _ -> true)
+              | Some v, None -> (
+                match (rr, op) with
+                | Ast.Eterm (Ast.Var x), Ast.Eq ->
+                  Hashtbl.add env x v;
+                  progress := true;
+                  false
+                | _ -> true)
+              | None, None -> true)
+            | Ast.Lneg a -> (
+              match ground_atom lookup a with
+              | Some tup ->
+                if access.holds a.Ast.pred tup then ok := false;
+                progress := true;
+                false
+              | None -> true)
+            | Ast.Lagg _ ->
+              exact := false;
+              progress := true;
+              false)
+          !pending
+    done;
+    if !pending <> [] then exact := false;
+    !ok
+    &&
+    (* Head: every evaluable argument must reproduce the tuple. *)
+    let vals = Tuple.to_list tuple in
+    List.length r.Ast.head.Ast.args = List.length vals
+    && List.for_all2
+         (fun e v ->
+           match eval_expr lookup e with
+           | Some v' -> Value.equal v' v
+           | None -> not !exact)
+         r.Ast.head.Ast.args vals
+
+(* ------------------------------------------------------------------ *)
+(* why                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type tree = { t_pred : string; t_tuple : Tuple.t; t_kind : kind }
+
+and kind =
+  | Base
+  | Derived of { supports : deriv list; truncated : bool; elided : int }
+  | Cycle
+  | Depth_limit
+  | Unsupported
+
+and deriv = {
+  d_rule : string;
+  d_mult : int;
+  d_note : string option;
+  d_children : tree list;
+}
+
+type why_result = Why_unknown_pred | Why_absent | Why_tree of tree
+
+let why ?(max_depth = 8) ?(max_width = 4) access pred tuple =
+  if not (access.known_pred pred) then Why_unknown_pred
+  else if not (access.holds pred tuple) then Why_absent
+  else begin
+    let rec node path depth p t =
+      let mk k = { t_pred = p; t_tuple = t; t_kind = k } in
+      if access.is_base p then mk Base
+      else if
+        List.exists
+          (fun (p', t') -> String.equal p p' && Tuple.equal t t')
+          path
+      then mk Cycle
+      else if depth >= max_depth then mk Depth_limit
+      else begin
+        let sups =
+          List.filter (validate_support access p t) (Prov.supports_of ~pred:p t)
+        in
+        let truncated = Prov.supports_truncated ~pred:p t in
+        match sups with
+        | [] -> mk Unsupported
+        | _ ->
+          let shown = take max_width sups in
+          let elided = List.length sups - List.length shown in
+          let path = (p, t) :: path in
+          let deriv (s : Prov.support) =
+            {
+              d_rule = s.Prov.rule;
+              d_mult = s.Prov.mult;
+              d_note =
+                (if contains_sub s.Prov.rule "groupby(" then
+                   Some "aggregate subgoal not expanded"
+                 else None);
+              d_children =
+                List.map
+                  (fun (p', t') -> node path (depth + 1) p' t')
+                  (Array.to_list s.Prov.subgoals);
+            }
+          in
+          mk (Derived { supports = List.map deriv shown; truncated; elided })
+      end
+    in
+    Why_tree (node [] 0 pred tuple)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* why not                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_rule : string;
+  f_progress : int;
+  f_total : int;
+  f_failing : string option;
+  f_bindings : (string * Value.t) list;
+  f_note : string;
+}
+
+type whynot_result =
+  | Whynot_unknown_pred
+  | Whynot_present of int
+  | Whynot_base
+  | Whynot_no_rules
+  | Whynot_failures of failure list
+
+let lookup_in env x = List.assoc_opt x env
+
+(* Re-evaluate one aggregate literal under [env] (group variables must
+   be bound).  A best-effort mirror of the evaluator's semantics: set
+   semantics weighs each distinct source tuple once, duplicate
+   semantics by its count. *)
+let compute_agg access env (agg : Ast.aggregate) : (Value.t, string) result =
+  let src = agg.Ast.agg_source in
+  if not (access.known_pred src.Ast.pred) then
+    Error ("unknown predicate " ^ src.Ast.pred)
+  else begin
+    let lookup = lookup_in env in
+    let extend_src env tup =
+      let rec go env args vals =
+        match (args, vals) with
+        | [], [] -> Some env
+        | e :: args, v :: vals -> (
+          match e with
+          | Ast.Eterm (Ast.Var x) -> (
+            match List.assoc_opt x env with
+            | Some v' -> if Value.equal v' v then go env args vals else None
+            | None -> go ((x, v) :: env) args vals)
+          | e -> (
+            match eval_expr (lookup_in env) e with
+            | Some v' -> if Value.equal v' v then go env args vals else None
+            | None -> None))
+        | _ -> None
+      in
+      go env src.Ast.args (Tuple.to_list tup)
+    in
+    let bound =
+      List.concat
+        (List.mapi
+           (fun j e ->
+             match eval_expr lookup e with Some v -> [ (j, v) ] | None -> [])
+           src.Ast.args)
+    in
+    let cnt = ref 0 and sum = ref 0.0 and all_int = ref true in
+    let mn = ref None and mx = ref None and bad = ref None in
+    access.probe src.Ast.pred bound (fun tup c ->
+        match extend_src env tup with
+        | None -> ()
+        | Some env' -> (
+          let w = if access.dup_semantics then c else 1 in
+          cnt := !cnt + w;
+          match agg.Ast.agg_fn with
+          | Ast.Count -> ()
+          | fn -> (
+            match eval_expr (lookup_in env') agg.Ast.agg_arg with
+            | None -> bad := Some "aggregated expression not evaluable"
+            | Some v -> (
+              match fn with
+              | Ast.Count -> ()
+              | Ast.Min ->
+                mn :=
+                  Some
+                    (match !mn with
+                    | None -> v
+                    | Some m -> if Value.compare v m < 0 then v else m)
+              | Ast.Max ->
+                mx :=
+                  Some
+                    (match !mx with
+                    | None -> v
+                    | Some m -> if Value.compare v m > 0 then v else m)
+              | Ast.Sum | Ast.Avg -> (
+                try
+                  (match v with Value.Int _ -> () | _ -> all_int := false);
+                  sum := !sum +. (Value.as_number v *. float_of_int w)
+                with Value.Type_error _ ->
+                  bad := Some "non-numeric value under sum/avg")))));
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+      if !cnt = 0 then Error "the group is empty (no source tuples match)"
+      else (
+        match agg.Ast.agg_fn with
+        | Ast.Count -> Ok (Value.Int !cnt)
+        | Ast.Min -> (
+          match !mn with Some v -> Ok v | None -> Error "no values")
+        | Ast.Max -> (
+          match !mx with Some v -> Ok v | None -> Error "no values")
+        | Ast.Sum ->
+          Ok
+            (if !all_int && Float.is_integer !sum then
+               Value.Int (int_of_float !sum)
+             else Value.Float !sum)
+        | Ast.Avg -> Ok (Value.Float (!sum /. float_of_int !cnt)))
+  end
+
+let analyze_rule ~max_nodes access tuple (r : Ast.rule) : failure =
+  let rule_str = Pretty.rule_to_string r in
+  let total = List.length r.Ast.body in
+  let mk_fail ~progress ~failing ~env note =
+    {
+      f_rule = rule_str;
+      f_progress = progress;
+      f_total = total;
+      f_failing = failing;
+      f_bindings = List.rev env;
+      f_note = note;
+    }
+  in
+  (* Head unification: bind variables, check constants, defer computed
+     arguments until the body binds their variables. *)
+  let vals = Tuple.to_list tuple in
+  if List.length r.Ast.head.Ast.args <> List.length vals then
+    mk_fail ~progress:(-1) ~failing:None ~env:[] "head arity mismatch"
+  else begin
+    let head_fail = ref None in
+    let deferred = ref [] in
+    let env0 =
+      List.fold_left2
+        (fun env e v ->
+          if !head_fail <> None then env
+          else
+            match e with
+            | Ast.Eterm (Ast.Var x) -> (
+              match List.assoc_opt x env with
+              | Some v' ->
+                if Value.equal v' v then env
+                else begin
+                  head_fail :=
+                    Some
+                      (Printf.sprintf
+                         "head variable %s would need to be both %s and %s" x
+                         (Value.to_string v') (Value.to_string v));
+                  env
+                end
+              | None -> (x, v) :: env)
+            | Ast.Eterm (Ast.Const c) ->
+              if Value.equal c v then env
+              else begin
+                head_fail :=
+                  Some
+                    (Printf.sprintf "head constant %s does not match %s"
+                       (Value.to_string c) (Value.to_string v));
+                env
+              end
+            | e ->
+              deferred := (e, v) :: !deferred;
+              env)
+        [] r.Ast.head.Ast.args vals
+    in
+    match !head_fail with
+    | Some msg ->
+      mk_fail ~progress:(-1) ~failing:None ~env:[] ("head cannot match: " ^ msg)
+    | None ->
+      let lits = Array.of_list r.Ast.body in
+      let n = Array.length lits in
+      let used = Array.make n false in
+      let budget = ref max_nodes in
+      let best_progress = ref (-2) in
+      let best =
+        ref (mk_fail ~progress:0 ~failing:None ~env:env0 "no subgoal attempted")
+      in
+      let succeeded = ref false in
+      let record_fail env progress failing note =
+        if progress > !best_progress then begin
+          best_progress := progress;
+          best := mk_fail ~progress ~failing ~env note
+        end
+      in
+      let check_deferred env =
+        let lookup = lookup_in env in
+        let rec go = function
+          | [] -> Ok ()
+          | (e, v) :: rest -> (
+            match eval_expr lookup e with
+            | Some v' ->
+              if Value.equal v' v then go rest
+              else
+                Error
+                  (Printf.sprintf "head expression evaluates to %s, not %s"
+                     (Value.to_string v') (Value.to_string v))
+            | None -> Error "head expression not determined by the body")
+        in
+        go !deferred
+      in
+      let extend env (a : Ast.atom) tup =
+        let rec go env args vals =
+          match (args, vals) with
+          | [], [] -> Some env
+          | e :: args, v :: vals -> (
+            match e with
+            | Ast.Eterm (Ast.Var x) -> (
+              match List.assoc_opt x env with
+              | Some v' -> if Value.equal v' v then go env args vals else None
+              | None -> go ((x, v) :: env) args vals)
+            | e -> (
+              match eval_expr (lookup_in env) e with
+              | Some v' -> if Value.equal v' v then go env args vals else None
+              | None -> None))
+          | _ -> None
+        in
+        go env a.Ast.args (Tuple.to_list tup)
+      in
+      (* Pick the next literal: ready comparisons first, then binding
+         comparisons, ground negations, the most-bound positive atom,
+         ready aggregates; [`Stuck] when something is left but nothing
+         can make progress. *)
+      let pick env =
+        let lookup = lookup_in env in
+        let evb e = eval_expr lookup e in
+        let ready_cmp = ref None and binder = ref None in
+        let ready_neg = ref None and best_pos = ref None in
+        let ready_agg = ref None in
+        Array.iteri
+          (fun i lit ->
+            if not used.(i) then
+              match lit with
+              | Ast.Lcmp (l, op, rr) -> (
+                match (evb l, evb rr) with
+                | Some a, Some b ->
+                  if !ready_cmp = None then ready_cmp := Some (i, op, a, b)
+                | None, Some v -> (
+                  match (l, op) with
+                  | Ast.Eterm (Ast.Var x), Ast.Eq ->
+                    if !binder = None then binder := Some (i, x, v)
+                  | _ -> ())
+                | Some v, None -> (
+                  match (rr, op) with
+                  | Ast.Eterm (Ast.Var x), Ast.Eq ->
+                    if !binder = None then binder := Some (i, x, v)
+                  | _ -> ())
+                | None, None -> ())
+              | Ast.Lneg a -> (
+                match ground_atom lookup a with
+                | Some tup ->
+                  if !ready_neg = None then ready_neg := Some (i, a, tup)
+                | None -> ())
+              | Ast.Lagg agg ->
+                if
+                  List.for_all
+                    (fun x -> lookup x <> None)
+                    agg.Ast.agg_group_by
+                  && !ready_agg = None
+                then ready_agg := Some (i, agg)
+              | Ast.Lpos a ->
+                let nb =
+                  List.length
+                    (List.filter (fun e -> evb e <> None) a.Ast.args)
+                in
+                let better =
+                  match !best_pos with
+                  | Some (_, _, nb') -> nb > nb'
+                  | None -> true
+                in
+                if better then best_pos := Some (i, a, nb))
+          lits;
+        match (!ready_cmp, !binder, !ready_neg, !best_pos, !ready_agg) with
+        | Some c, _, _, _, _ -> Some (`Cmp c)
+        | None, Some b, _, _, _ -> Some (`Bind b)
+        | None, None, Some ng, _, _ -> Some (`Neg ng)
+        | None, None, None, Some p, _ -> Some (`Pos p)
+        | None, None, None, None, Some ag -> Some (`Agg ag)
+        | None, None, None, None, None ->
+          let stuck = ref None in
+          Array.iteri
+            (fun i _ -> if (not used.(i)) && !stuck = None then stuck := Some i)
+            lits;
+          Option.map (fun i -> `Stuck i) !stuck
+      in
+      let rec step env progress =
+        if (not !succeeded) && !budget > 0 then begin
+          decr budget;
+          match pick env with
+          | None -> (
+            match check_deferred env with
+            | Ok () -> succeeded := true
+            | Error msg -> record_fail env progress None msg)
+          | Some (`Cmp (i, op, a, b)) ->
+            used.(i) <- true;
+            if cmp_values op a b then step env (progress + 1)
+            else
+              record_fail env progress
+                (Some (Pretty.literal_to_string lits.(i)))
+                (Printf.sprintf "comparison is false (%s vs %s)"
+                   (Value.to_string a) (Value.to_string b));
+            used.(i) <- false
+          | Some (`Bind (i, x, v)) ->
+            used.(i) <- true;
+            step ((x, v) :: env) (progress + 1);
+            used.(i) <- false
+          | Some (`Neg (i, a, tup)) ->
+            used.(i) <- true;
+            if access.holds a.Ast.pred tup then
+              record_fail env progress
+                (Some (Pretty.literal_to_string lits.(i)))
+                ("negated subgoal holds: " ^ fact_to_string a.Ast.pred tup)
+            else step env (progress + 1);
+            used.(i) <- false
+          | Some (`Pos (i, a, _)) ->
+            used.(i) <- true;
+            let lookup = lookup_in env in
+            let bound =
+              List.concat
+                (List.mapi
+                   (fun j e ->
+                     match eval_expr lookup e with
+                     | Some v -> [ (j, v) ]
+                     | None -> [])
+                   a.Ast.args)
+            in
+            let found = ref false in
+            if access.known_pred a.Ast.pred then
+              access.probe a.Ast.pred bound (fun tup _c ->
+                  if (not !succeeded) && !budget > 0 then
+                    match extend env a tup with
+                    | Some env' ->
+                      found := true;
+                      step env' (progress + 1)
+                    | None -> ());
+            if (not !found) && not !succeeded then
+              record_fail env progress
+                (Some (Pretty.literal_to_string lits.(i)))
+                (if bound = [] then
+                   Printf.sprintf "no %s facts at all" a.Ast.pred
+                 else
+                   Printf.sprintf "no matching %s fact under these bindings"
+                     a.Ast.pred);
+            used.(i) <- false
+          | Some (`Agg (i, agg)) ->
+            used.(i) <- true;
+            (match compute_agg access env agg with
+            | Ok v -> (
+              let x = agg.Ast.agg_result in
+              match lookup_in env x with
+              | Some v' ->
+                if Value.equal v' v then step env (progress + 1)
+                else
+                  record_fail env progress
+                    (Some (Pretty.literal_to_string lits.(i)))
+                    (Printf.sprintf "aggregate evaluates to %s, not %s"
+                       (Value.to_string v) (Value.to_string v'))
+              | None -> step ((x, v) :: env) (progress + 1))
+            | Error msg ->
+              record_fail env progress
+                (Some (Pretty.literal_to_string lits.(i)))
+                msg);
+            used.(i) <- false
+          | Some (`Stuck i) ->
+            record_fail env progress
+              (Some (Pretty.literal_to_string lits.(i)))
+              "subgoal cannot be instantiated (unbound variables)"
+        end
+      in
+      step env0 0;
+      if !succeeded then
+        mk_fail ~progress:total ~failing:None ~env:env0
+          "every subgoal is satisfiable — a derivation exists, so the \
+           stored view may be stale"
+      else if !budget <= 0 && !best_progress < 0 then
+        mk_fail ~progress:0 ~failing:None ~env:env0
+          "search budget exhausted before a definite failure was found"
+      else !best
+  end
+
+let whynot ?(max_nodes = 20_000) access pred tuple =
+  if not (access.known_pred pred) then Whynot_unknown_pred
+  else begin
+    let c = access.count pred tuple in
+    if c > 0 then Whynot_present c
+    else if access.is_base pred then Whynot_base
+    else
+      match access.rules_for pred with
+      | [] -> Whynot_no_rules
+      | rules ->
+        Whynot_failures (List.map (analyze_rule ~max_nodes access tuple) rules)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* lineage                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type lineage_report = {
+  l_pred : string;
+  l_tuple : Tuple.t;
+  l_present : bool;
+  l_count : int;
+  l_info : Prov.lineage option;
+  l_batches : Prov.batch_info list;
+}
+
+type lineage_result = Lineage_unknown_pred | Lineage of lineage_report
+
+let lineage access pred tuple =
+  if not (access.known_pred pred) then Lineage_unknown_pred
+  else
+    Lineage
+      {
+        l_pred = pred;
+        l_tuple = tuple;
+        l_present = access.holds pred tuple;
+        l_count = access.count pred tuple;
+        l_info = Prov.lineage_of ~pred tuple;
+        l_batches = Prov.batches ();
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec render_tree buf indent t =
+  let pad = String.make indent ' ' in
+  let fact = fact_to_string t.t_pred t.t_tuple in
+  match t.t_kind with
+  | Base -> Buffer.add_string buf (Printf.sprintf "%s%s  [base fact]\n" pad fact)
+  | Cycle ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  [cycle: already shown above]\n" pad fact)
+  | Depth_limit ->
+    Buffer.add_string buf (Printf.sprintf "%s%s  [depth limit]\n" pad fact)
+  | Unsupported ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%s%s  [present, but no stored support — derived before capture \
+          was enabled, or truncated]\n"
+         pad fact)
+  | Derived { supports; truncated; elided } ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  [derived%s]\n" pad fact
+         (if truncated then ", support set truncated" else ""));
+    List.iter
+      (fun d ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s  via %s%s%s\n" pad d.d_rule
+             (if d.d_mult > 1 then Printf.sprintf " (x%d)" d.d_mult else "")
+             (match d.d_note with Some n -> "  [" ^ n ^ "]" | None -> ""));
+        List.iter (render_tree buf (indent + 4)) d.d_children)
+      supports;
+    if elided > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "%s  (+%d more supports not shown)\n" pad elided)
+
+let pp_why fmt = function
+  | Why_unknown_pred -> Format.pp_print_string fmt "unknown predicate\n"
+  | Why_absent ->
+    Format.pp_print_string fmt
+      "the tuple is not in the view — try 'why not'\n"
+  | Why_tree t ->
+    let buf = Buffer.create 256 in
+    render_tree buf 0 t;
+    Format.pp_print_string fmt (Buffer.contents buf)
+
+let pp_bindings fmt = function
+  | [] -> ()
+  | bs ->
+    Format.fprintf fmt " with %s"
+      (String.concat ", "
+         (List.map (fun (x, v) -> x ^ "=" ^ Value.to_string v) bs))
+
+let pp_whynot pred tuple fmt = function
+  | Whynot_unknown_pred -> Format.fprintf fmt "unknown predicate %s\n" pred
+  | Whynot_present c ->
+    Format.fprintf fmt
+      "%s IS present (count %d) — use 'why' for its derivations\n"
+      (fact_to_string pred tuple) c
+  | Whynot_base ->
+    Format.fprintf fmt
+      "%s is an absent base fact — it was never inserted (or was deleted); \
+       insert it with +%s.\n"
+      (fact_to_string pred tuple)
+      (fact_to_string pred tuple)
+  | Whynot_no_rules ->
+    Format.fprintf fmt "no rules derive %s\n" (fact_to_string pred tuple)
+  | Whynot_failures fs ->
+    Format.fprintf fmt "%s is absent; candidate rules:\n"
+      (fact_to_string pred tuple);
+    List.iter
+      (fun f ->
+        Format.fprintf fmt "  rule: %s\n" f.f_rule;
+        if f.f_progress < 0 then Format.fprintf fmt "    %s\n" f.f_note
+        else begin
+          Format.fprintf fmt "    deepest attempt satisfied %d/%d subgoals%a\n"
+            f.f_progress f.f_total pp_bindings f.f_bindings;
+          match f.f_failing with
+          | Some lit ->
+            Format.fprintf fmt "    first failing subgoal: %s — %s\n" lit
+              f.f_note
+          | None -> Format.fprintf fmt "    %s\n" f.f_note
+        end)
+      fs
+
+let algorithm_of batches seq =
+  match List.find_opt (fun b -> b.Prov.seq = seq) batches with
+  | Some b -> Some b.Prov.algorithm
+  | None -> None
+
+let batch_str batches seq =
+  match algorithm_of batches seq with
+  | Some a -> Printf.sprintf "batch %d (%s)" seq a
+  | None -> Printf.sprintf "batch %d" seq
+
+let pp_lineage fmt = function
+  | Lineage_unknown_pred -> Format.pp_print_string fmt "unknown predicate\n"
+  | Lineage r -> (
+    Format.fprintf fmt "%s: %s\n"
+      (fact_to_string r.l_pred r.l_tuple)
+      (if r.l_present then Printf.sprintf "present (count %d)" r.l_count
+       else "absent");
+    match r.l_info with
+    | None ->
+      Format.pp_print_string fmt
+        "  no lineage recorded (derived before provenance was enabled, or \
+         capture is off)\n"
+    | Some info ->
+      (match info.Prov.first_derived with
+      | Some b ->
+        Format.fprintf fmt "  first derived: %s\n" (batch_str r.l_batches b)
+      | None -> Format.pp_print_string fmt "  first derived: before capture\n");
+      (match info.Prov.last_deleted with
+      | Some b ->
+        Format.fprintf fmt "  last deleted: %s\n" (batch_str r.l_batches b)
+      | None -> Format.pp_print_string fmt "  last deleted: never\n");
+      if info.Prov.events <> [] then begin
+        Format.pp_print_string fmt "  events (newest first):\n";
+        List.iter
+          (fun (e : Prov.event) ->
+            Format.fprintf fmt "    %s: %s\n" (batch_str r.l_batches e.batch)
+              (match e.kind with `Derived -> "derived" | `Deleted -> "deleted"))
+          info.Prov.events
+      end)
+
+(* ---------------- JSON ---------------- *)
+
+let value_json = function
+  | Value.Int n -> Json.int n
+  | Value.Float f -> Json.Num f
+  | Value.Str s -> Json.Str s
+  | Value.Bool b -> Json.Bool b
+
+let fact_json pred tup =
+  Json.Obj
+    [
+      ("pred", Json.Str pred);
+      ("args", Json.List (List.map value_json (Tuple.to_list tup)));
+    ]
+
+let rec tree_json t =
+  let base k extra =
+    Json.Obj
+      ((("fact", fact_json t.t_pred t.t_tuple) :: ("kind", Json.Str k) :: extra))
+  in
+  match t.t_kind with
+  | Base -> base "base" []
+  | Cycle -> base "cycle" []
+  | Depth_limit -> base "depth_limit" []
+  | Unsupported -> base "unsupported" []
+  | Derived { supports; truncated; elided } ->
+    base "derived"
+      [
+        ("truncated", Json.Bool truncated);
+        ("elided", Json.int elided);
+        ("supports", Json.List (List.map deriv_json supports));
+      ]
+
+and deriv_json d =
+  Json.Obj
+    ([
+       ("rule", Json.Str d.d_rule);
+       ("mult", Json.int d.d_mult);
+       ("subgoals", Json.List (List.map tree_json d.d_children));
+     ]
+    @ match d.d_note with Some n -> [ ("note", Json.Str n) ] | None -> [])
+
+let why_json = function
+  | Why_unknown_pred -> Json.Obj [ ("result", Json.Str "unknown_pred") ]
+  | Why_absent -> Json.Obj [ ("result", Json.Str "absent") ]
+  | Why_tree t ->
+    Json.Obj [ ("result", Json.Str "tree"); ("tree", tree_json t) ]
+
+let failure_json f =
+  Json.Obj
+    [
+      ("rule", Json.Str f.f_rule);
+      ("satisfied", Json.int f.f_progress);
+      ("body_literals", Json.int f.f_total);
+      ( "failing",
+        match f.f_failing with Some l -> Json.Str l | None -> Json.Null );
+      ( "bindings",
+        Json.Obj (List.map (fun (x, v) -> (x, value_json v)) f.f_bindings) );
+      ("note", Json.Str f.f_note);
+    ]
+
+let whynot_json = function
+  | Whynot_unknown_pred -> Json.Obj [ ("result", Json.Str "unknown_pred") ]
+  | Whynot_present c ->
+    Json.Obj [ ("result", Json.Str "present"); ("count", Json.int c) ]
+  | Whynot_base -> Json.Obj [ ("result", Json.Str "base_absent") ]
+  | Whynot_no_rules -> Json.Obj [ ("result", Json.Str "no_rules") ]
+  | Whynot_failures fs ->
+    Json.Obj
+      [
+        ("result", Json.Str "failures");
+        ("rules", Json.List (List.map failure_json fs));
+      ]
+
+let lineage_json = function
+  | Lineage_unknown_pred -> Json.Obj [ ("result", Json.Str "unknown_pred") ]
+  | Lineage r ->
+    let opt_int = function Some n -> Json.int n | None -> Json.Null in
+    Json.Obj
+      [
+        ("result", Json.Str "lineage");
+        ("fact", fact_json r.l_pred r.l_tuple);
+        ("present", Json.Bool r.l_present);
+        ("count", Json.int r.l_count);
+        ( "info",
+          match r.l_info with
+          | None -> Json.Null
+          | Some info ->
+            Json.Obj
+              [
+                ("first_derived", opt_int info.Prov.first_derived);
+                ("last_deleted", opt_int info.Prov.last_deleted);
+                ( "events",
+                  Json.List
+                    (List.map
+                       (fun (e : Prov.event) ->
+                         Json.Obj
+                           [
+                             ("batch", Json.int e.batch);
+                             ( "kind",
+                               Json.Str
+                                 (match e.kind with
+                                 | `Derived -> "derived"
+                                 | `Deleted -> "deleted") );
+                           ])
+                       info.Prov.events) );
+              ] );
+        ( "batches",
+          Json.List
+            (List.map
+               (fun (b : Prov.batch_info) ->
+                 Json.Obj
+                   [
+                     ("seq", Json.int b.seq);
+                     ("algorithm", Json.Str b.algorithm);
+                   ])
+               r.l_batches) );
+      ]

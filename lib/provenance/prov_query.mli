@@ -1,0 +1,114 @@
+(** Query layer over the provenance store: [why] derivation trees,
+    [why not] failure analysis, and [lineage] batch history.
+
+    This module never touches the database directly — callers hand it a
+    {!db_access} record of closures (built by [Ivm.View_manager]), which
+    keeps the provenance library below the evaluator in the build graph.
+
+    [why] {e validates at read time}: every stored support is re-checked
+    against the live database (its rule still exists, its subgoals still
+    hold, comparisons pass, the head expressions still evaluate to the
+    node's tuple) and stale supports are dropped, so a tree edge is an
+    actual current derivation even if the store lags (DRed set semantics
+    can leave supports whose multiplicities drifted). *)
+
+module Tuple = Ivm_relation.Tuple
+module Value = Ivm_relation.Value
+
+(** Database access closures.  [probe p bound f] calls [f tuple count]
+    for every present tuple of [p] whose listed (column, value)
+    constraints match; [bound = []] scans. *)
+type db_access = {
+  rules_for : string -> Ivm_datalog.Ast.rule list;
+  is_base : string -> bool;
+  known_pred : string -> bool;
+  arity : string -> int;
+  holds : string -> Tuple.t -> bool;
+  count : string -> Tuple.t -> int;
+  probe : string -> (int * Value.t) list -> (Tuple.t -> int -> unit) -> unit;
+  dup_semantics : bool;  (** duplicate semantics: aggregate re-checks
+                             weight source tuples by count *)
+}
+
+(** {1 why} *)
+
+type tree = { t_pred : string; t_tuple : Tuple.t; t_kind : kind }
+
+and kind =
+  | Base  (** a base fact — a leaf *)
+  | Derived of { supports : deriv list; truncated : bool; elided : int }
+      (** validated supports; [truncated] — the capture-side bound
+          dropped some; [elided] — the width bound hid some here *)
+  | Cycle  (** this tuple already appears on the path to the root *)
+  | Depth_limit
+  | Unsupported
+      (** present, but no stored support survived validation (captured
+          before enablement, or truncated — re-run the bootstrap) *)
+
+and deriv = {
+  d_rule : string;  (** pretty-printed source rule *)
+  d_mult : int;
+  d_note : string option;  (** e.g. aggregate subgoals not expanded *)
+  d_children : tree list;
+}
+
+type why_result = Why_unknown_pred | Why_absent | Why_tree of tree
+
+(** Depth default 8, width (supports shown per node) default 4. *)
+val why :
+  ?max_depth:int -> ?max_width:int -> db_access -> string -> Tuple.t ->
+  why_result
+
+(** Re-validate one stored support against the live database (exposed
+    for the property suite, which checks every tree edge independently). *)
+val validate_support : db_access -> string -> Tuple.t -> Prov.support -> bool
+
+(** {1 why not} *)
+
+type failure = {
+  f_rule : string;
+  f_progress : int;
+      (** body literals satisfied on the deepest partial instantiation;
+          [-1] when the head itself cannot match *)
+  f_total : int;  (** body literals in the rule *)
+  f_failing : string option;  (** the first failing literal, pretty-printed *)
+  f_bindings : (string * Value.t) list;  (** bindings at the failure *)
+  f_note : string;
+}
+
+type whynot_result =
+  | Whynot_unknown_pred
+  | Whynot_present of int  (** the tuple is in the view (with this count) *)
+  | Whynot_base  (** base predicate: absent because never inserted *)
+  | Whynot_no_rules
+  | Whynot_failures of failure list  (** one per candidate rule *)
+
+(** Bounded backtracking search per candidate rule: unify the head,
+    instantiate body literals most-bound-first, and report the deepest
+    failure.  [max_nodes] (default 20000) bounds the whole search. *)
+val whynot : ?max_nodes:int -> db_access -> string -> Tuple.t -> whynot_result
+
+(** {1 lineage} *)
+
+type lineage_report = {
+  l_pred : string;
+  l_tuple : Tuple.t;
+  l_present : bool;
+  l_count : int;
+  l_info : Prov.lineage option;
+  l_batches : Prov.batch_info list;  (** the batch ring, for naming *)
+}
+
+type lineage_result = Lineage_unknown_pred | Lineage of lineage_report
+
+val lineage : db_access -> string -> Tuple.t -> lineage_result
+
+(** {1 Rendering} *)
+
+val fact_to_string : string -> Tuple.t -> string
+val pp_why : Format.formatter -> why_result -> unit
+val pp_whynot : string -> Tuple.t -> Format.formatter -> whynot_result -> unit
+val pp_lineage : Format.formatter -> lineage_result -> unit
+val why_json : why_result -> Ivm_obs.Json.t
+val whynot_json : whynot_result -> Ivm_obs.Json.t
+val lineage_json : lineage_result -> Ivm_obs.Json.t

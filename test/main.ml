@@ -32,4 +32,5 @@ let () =
       ("par", Test_par.suite);
       ("properties", Test_properties.suite);
       ("differential", Test_differential.suite);
+      ("prov", Test_prov.suite);
     ]

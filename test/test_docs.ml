@@ -105,7 +105,8 @@ let test_monitor_commands_documented () =
     (fun cmd ->
       Alcotest.(check bool) (Printf.sprintf "help lists %S" cmd) true
         (List.mem cmd from_help))
-    [ "explain last"; "monitor start PORT"; "monitor stop" ];
+    [ "explain last"; "explain N"; "provenance on/off/status"; "why FACT.";
+      "why not FACT."; "lineage FACT."; "monitor start PORT"; "monitor stop" ];
   (* and the README's observability section documents the endpoints *)
   let text = String.concat "\n" (read_lines (readme ())) in
   let has needle =
@@ -115,8 +116,8 @@ let test_monitor_commands_documented () =
        at 0)
   in
   List.iter has
-    [ "--monitor"; "/metrics"; "/healthz"; "/statusz"; "/trace";
-      "IVM_ATTRIBUTION"; "IVM_SLOW_BATCH_MS" ]
+    [ "--monitor"; "/metrics"; "/healthz"; "/statusz"; "/trace"; "/why";
+      "IVM_ATTRIBUTION"; "IVM_SLOW_BATCH_MS"; "IVM_PROV_MAX_SUPPORTS" ]
 
 let test_readme_mentions_docs () =
   (* The persistence spec the README and ARCHITECTURE.md point at must

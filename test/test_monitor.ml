@@ -414,6 +414,7 @@ let test_http_endpoints () =
         {
           Monitor.status = (fun () -> Vm.status_json !vmref);
           before_metrics = Ivm_eval.Stats.sync;
+          explain = Some (fun q -> Vm.explain_json !vmref q);
         }
       ~port:0 ()
   in
