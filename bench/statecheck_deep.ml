@@ -1,0 +1,107 @@
+(* Long-run driver for the statecheck lifecycle harness: generate and
+   run model-equivalence traces until the budget is spent, shrinking and
+   dumping the first failure as a replayable trace file.
+
+   Deterministic for a given (--seed, --traces, length bounds): QCheck
+   draws from an explicit PRNG state, the harness resolves everything
+   else from the trace itself.
+
+     dune exec bench/statecheck_deep.exe -- --traces 2000 --seed 7 \
+       --out shrunk.trace
+
+   --fault K injects a deliberate bug (every K-th insert-bearing batch
+   silently drops a tuple on the real side only) to demonstrate the
+   harness catches and shrinks it. *)
+
+module Cmd = Ivm_statecheck.Cmd
+module Gen = Ivm_statecheck.Gen
+module Interp = Ivm_statecheck.Interp
+module Q = QCheck
+
+let () =
+  let traces =
+    ref
+      (match Sys.getenv_opt "IVM_STATECHECK_TRACES" with
+      | Some s -> ( try int_of_string s with _ -> 500)
+      | None -> 500)
+  in
+  let seed = ref 424242 in
+  let min_len = ref 25 in
+  let max_len = ref 45 in
+  let fault = ref 0 in
+  let out = ref "" in
+  let script = ref "" in
+  Arg.parse
+    [
+      ("--traces", Arg.Set_int traces, "N  number of traces to run");
+      ("--seed", Arg.Set_int seed, "S  PRNG seed");
+      ("--min-len", Arg.Set_int min_len, "N  minimum commands per trace");
+      ("--max-len", Arg.Set_int max_len, "N  maximum commands per trace");
+      ( "--fault",
+        Arg.Set_int fault,
+        "K  drop a real-side tuple every K-th insert (deliberate bug)" );
+      ("--out", Arg.Set_string out, "FILE  write the shrunk failing trace here");
+      ( "--script",
+        Arg.Set_string script,
+        "FILE  print a trace file as a replayable shell script and exit" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "statecheck_deep [options]";
+  if !script <> "" then begin
+    print_string (Cmd.to_script (Cmd.read_file !script));
+    exit 0
+  end;
+  let fault_opt = if !fault > 0 then Some (Interp.Drop_every !fault) else None in
+  let steps_run = ref 0 in
+  let steps_skipped = ref 0 in
+  let crashes = ref 0 in
+  let damaged = ref 0 in
+  let prop trace =
+    List.iter
+      (function
+        | Cmd.Crash d -> (
+          incr crashes;
+          match d with Cmd.No_damage -> () | _ -> incr damaged)
+        | _ -> ())
+      trace.Cmd.steps;
+    match Interp.run_result ?fault:fault_opt trace with
+    | Ok o ->
+      steps_run := !steps_run + o.Interp.executed;
+      steps_skipped := !steps_skipped + o.Interp.skipped;
+      true
+    | Error msg -> Q.Test.fail_report msg
+  in
+  let cell =
+    Q.Test.make_cell ~count:!traces ~name:"statecheck lifecycle"
+      (Gen.arbitrary ~min_len:!min_len ~max_len:!max_len ())
+      prop
+  in
+  let rand = Random.State.make [| !seed |] in
+  match Q.TestResult.get_state (Q.Test.check_cell ~rand cell) with
+  | Q.TestResult.Success ->
+    Printf.printf
+      "statecheck: %d traces OK (seed %d, %d steps run, %d skipped, %d \
+       crashes, %d with WAL damage)\n"
+      !traces !seed !steps_run !steps_skipped !crashes !damaged
+  | Q.TestResult.Failed { instances = c :: _ } ->
+    let trace = c.Q.TestResult.instance in
+    Printf.eprintf "statecheck: FAILED after %d shrink steps\n%s\n"
+      c.Q.TestResult.shrink_steps
+      (Gen.print_trace trace);
+    if !out <> "" then begin
+      Cmd.write_file !out trace;
+      Printf.eprintf "shrunk trace written to %s\n" !out
+    end;
+    exit 1
+  | Q.TestResult.Failed { instances = [] } ->
+    prerr_endline "statecheck: FAILED (no counterexample retained)";
+    exit 1
+  | Q.TestResult.Failed_other { msg } ->
+    Printf.eprintf "statecheck: FAILED (%s)\n" msg;
+    exit 1
+  | Q.TestResult.Error { instance; exn; backtrace } ->
+    Printf.eprintf "statecheck: ERROR %s\n%s\n%s\n" (Printexc.to_string exn)
+      backtrace
+      (Gen.print_trace instance.Q.TestResult.instance);
+    if !out <> "" then Cmd.write_file !out instance.Q.TestResult.instance;
+    exit 1

@@ -37,11 +37,17 @@ module Stats = Ivm_eval.Stats
 let help_text =
   "  +fact.           insert a base fact (e.g. +link(a,b).)\n\
   \  -fact.           delete a base fact\n\
+  \  apply ±FACT; ±FACT; ...  apply several inserts (+) and deletes (-)\n\
+  \                   as one atomic batch: one maintenance run, one\n\
+  \                   write-ahead-log record (e.g. apply +link(a,b); -link(b,c).)\n\
   \  ?QUERY           run an ad-hoc query (e.g. ?hop(a, X), link(X, Y))\n\
   \  show [pred]      print one or all relations\n\
   \  program          print the current rules\n\
   \  addrule RULE     add a rule incrementally\n\
   \  delrule RULE     remove a rule incrementally\n\
+  \  algorithm NAME   switch the maintenance algorithm in place: counting,\n\
+  \                   dred, recursive-counting, recompute or auto (counts\n\
+  \                   are re-derived when the target needs them)\n\
   \  audit            check views against recomputation\n\
   \  stats            evaluator work counters\n\
   \  metrics          dump the full metrics registry\n\
@@ -70,6 +76,13 @@ let help_text =
   \  log status       durable store status: sequence number, snapshot and\n\
   \                   write-ahead log sizes\n\
   \  compact          fold the write-ahead log into a fresh snapshot\n\
+  \  close            detach the durable store (keep running in memory;\n\
+  \                   the directory stays reopenable)\n\
+  \  crash [truncate N | flip K]  simulate a crash: drop the store handle\n\
+  \                   without snapshotting and optionally damage the WAL\n\
+  \                   tail — N bytes cut off the end, or the byte at\n\
+  \                   offset K bit-flipped ('open DIR' then recovers;\n\
+  \                   this is the statecheck harness's fault injector)\n\
   \  help             this text\n\
   \  quit             exit"
 
@@ -315,6 +328,100 @@ let execute ?sql (vmref : Vm.t ref) line =
       Vm.make_durable vm ~dir;
       Format.printf "initialized store %s; changes are now write-ahead logged@." dir
     end
+  end
+  else if String.length line > 6 && String.sub line 0 6 = "apply " then begin
+    let body = String.trim (String.sub line 6 (String.length line - 6)) in
+    let body =
+      (* one optional trailing period closes the whole batch *)
+      if String.length body > 0 && body.[String.length body - 1] = '.' then
+        String.sub body 0 (String.length body - 1)
+      else body
+    in
+    let entries =
+      String.split_on_char ';' body
+      |> List.filter_map (fun part ->
+             let part = String.trim part in
+             if part = "" then None
+             else if String.length part < 2 || (part.[0] <> '+' && part.[0] <> '-')
+             then failwith "apply: each entry must be +fact or -fact"
+             else begin
+               let sign = if part.[0] = '+' then 1 else -1 in
+               let pred, tup =
+                 parse_fact (String.sub part 1 (String.length part - 1) ^ ".")
+               in
+               Some (pred, (tup, sign))
+             end)
+    in
+    if entries = [] then failwith "usage: apply +fact; -fact; ..."
+    else begin
+      let tbl = Hashtbl.create 7 in
+      List.iter
+        (fun (p, e) ->
+          Hashtbl.replace tbl p
+            (e :: Option.value ~default:[] (Hashtbl.find_opt tbl p)))
+        entries;
+      let per_pred =
+        Hashtbl.fold (fun p es acc -> (p, List.rev es) :: acc) tbl []
+      in
+      apply_and_report vm
+        (Changes.of_list (Vm.program vm) (List.sort compare per_pred))
+    end
+  end
+  else if String.length line > 10 && String.sub line 0 10 = "algorithm " then begin
+    let name = String.trim (String.sub line 10 (String.length line - 10)) in
+    match Vm.algorithm_of_string name with
+    | Some a ->
+      Vm.set_algorithm vm a;
+      Format.printf "algorithm: %s (resolves to %s)@."
+        (Vm.algorithm_name (Vm.algorithm vm))
+        (Vm.algorithm_name (Vm.resolve vm))
+    | None ->
+      Format.printf
+        "unknown algorithm %s (counting, dred, recursive-counting, recompute, \
+         auto)@."
+        name
+  end
+  else if line = "close" then begin
+    match Vm.durable_dir vm with
+    | Some dir ->
+      Vm.close_store vm;
+      Format.printf "store %s detached; running in memory@." dir
+    | None -> Format.printf "not durable (nothing to close)@."
+  end
+  else if line = "crash" || (String.length line > 6 && String.sub line 0 6 = "crash ")
+  then begin
+    match Vm.durable_dir vm with
+    | None -> Format.printf "not durable (nothing to crash out of)@."
+    | Some dir ->
+      let arg =
+        if line = "crash" then ""
+        else String.trim (String.sub line 6 (String.length line - 6))
+      in
+      Vm.close_store vm;
+      let wal = Ivm_store.Store.wal_file dir in
+      (match String.split_on_char ' ' arg |> List.filter (fun s -> s <> "") with
+      | [] -> ()
+      | [ "truncate"; n ] ->
+        let n = int_of_string n in
+        let size = (Unix.stat wal).Unix.st_size in
+        Unix.truncate wal (max 0 (size - n))
+      | [ "flip"; k ] ->
+        let k = int_of_string k in
+        let fd = Unix.openfile wal [ Unix.O_RDWR ] 0 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let b = Bytes.create 1 in
+            ignore (Unix.lseek fd k Unix.SEEK_SET);
+            if Unix.read fd b 0 1 = 1 then begin
+              Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+              ignore (Unix.lseek fd k Unix.SEEK_SET);
+              ignore (Unix.write fd b 0 1)
+            end)
+      | _ -> failwith "usage: crash [truncate N | flip K]");
+      Format.printf "crashed: store handle dropped%s ('open %s' recovers)@."
+        (if arg = "" then "" else " — " ^ arg)
+        dir
   end
   else if line = "show" then show_all vm
   else if String.length line > 5 && String.sub line 0 5 = "show " then

@@ -56,7 +56,7 @@ let algorithm_of_string = function
 
 type t = {
   mutable db : Database.t;
-  algorithm : algorithm;
+  mutable algorithm : algorithm;
   mutable incremental_aggregates : bool;
   mutable store : Ivm_store.Store.t option;
       (** durable mode: every validated batch is WAL-logged (fsync'd)
@@ -271,7 +271,17 @@ let update t pred ~old_tuple ~new_tuple =
 
 let maintainer t : Rule_changes.maintainer =
  fun db changes ->
-  match resolve t with
+  (* resolve [Auto] against the database being maintained, not [t.db]:
+     during a rule change the maintainer runs on the rebuilt database
+     (whose program may have just turned recursive, or stopped being so)
+     while [t.db] still holds the old one *)
+  let resolved =
+    match t.algorithm with
+    | Auto ->
+      if Program.nonrecursive (Database.program db) then Counting else Dred
+    | a -> a
+  in
+  match resolved with
   | Counting -> ignore (Counting.maintain db changes)
   | Dred -> ignore (Dred.maintain db changes)
   | Recursive_counting -> ignore (Recursive_counting.maintain db changes)
@@ -309,14 +319,33 @@ let refresh_provenance (t : t) ~reason : unit =
     Seminaive.replay_derivations t.db
   end
 
+let counted_algorithm = function
+  | Counting | Recursive_counting -> true
+  | Dred | Recompute | Auto -> false
+
+(* A rule change can flip what [Auto] resolves to.  Flipping {e into} a
+   count-bearing resolution (the program stopped being recursive, so Auto
+   now means counting) inherits derivation counts a set maintainer let go
+   stale — re-derive from scratch, exactly as [set_algorithm] does for an
+   explicit switch. *)
+let rederive_if_counts_went_live (t : t) ~prev : unit =
+  let now = resolve t in
+  if counted_algorithm now && not (counted_algorithm prev) then
+    Ivm_prov.Prov.with_suspended (fun () ->
+        match now with
+        | Recursive_counting -> Recursive_counting.evaluate t.db
+        | Counting | Dred | Recompute | Auto -> Seminaive.evaluate t.db)
+
 (** Add a rule to the program, incrementally maintaining all views
     (Section 7, view redefinition). *)
 let add_rule (t : t) (rule : Ast.rule) : unit =
+  let prev = resolve t in
   t.db <-
     Ivm_prov.Prov.with_suspended (fun () ->
         Rule_changes.add_rule t.db ~maintain:(maintainer t) rule);
   (* rebuilding the program produced a fresh database: re-register *)
   if t.incremental_aggregates then register_agg_indexes t;
+  rederive_if_counts_went_live t ~prev;
   refresh_provenance t ~reason:"rule-change";
   resnapshot t
 
@@ -325,15 +354,57 @@ let add_rule_text (t : t) (src : string) : unit = add_rule t (Parser.parse_rule 
 (** Remove a rule (matched structurally), incrementally maintaining all
     views. *)
 let remove_rule (t : t) (rule : Ast.rule) : unit =
+  let prev = resolve t in
   t.db <-
     Ivm_prov.Prov.with_suspended (fun () ->
         Rule_changes.remove_rule t.db ~maintain:(maintainer t) rule);
   if t.incremental_aggregates then register_agg_indexes t;
+  rederive_if_counts_went_live t ~prev;
   refresh_provenance t ~reason:"rule-change";
   resnapshot t
 
 let remove_rule_text (t : t) (src : string) : unit =
   remove_rule t (Parser.parse_rule src)
+
+(** Switch the maintenance algorithm in place.
+
+    Counting maintains nonrecursive programs only — asking for it on a
+    recursive program is rejected eagerly rather than at the next batch.
+    Switching {e to} a count-bearing algorithm (counting / recursive
+    counting) from a set-maintaining one (DRed, recomputation) re-derives
+    every view from scratch first: the set maintainers keep the stored
+    tuple {e sets} exact but let the derivation counts go stale, and the
+    counting algorithms' deltas are only correct against true counts.
+    Like rule changes, a switch is not WAL-logged: on a durable manager it
+    folds the log into a fresh snapshot, so every record in any log tail
+    was appended under the algorithm the snapshot was taken under. *)
+let set_algorithm (t : t) (algorithm : algorithm) : unit =
+  if algorithm <> t.algorithm then begin
+    let prev = resolve t in
+    let target =
+      match algorithm with
+      | Auto -> if Program.nonrecursive (program t) then Counting else Dred
+      | a -> a
+    in
+    if target = Counting && not (Program.nonrecursive (program t)) then
+      invalid_arg
+        "View_manager.set_algorithm: counting maintains nonrecursive \
+         programs only (use dred, recursive-counting or recompute)";
+    t.algorithm <- algorithm;
+    let counted = function
+      | Counting | Recursive_counting -> true
+      | Dred | Recompute | Auto -> false
+    in
+    if counted target && target <> prev then begin
+      Ivm_prov.Prov.with_suspended (fun () ->
+          match target with
+          | Recursive_counting -> Recursive_counting.evaluate t.db
+          | Counting | Dred | Recompute | Auto -> Seminaive.evaluate t.db);
+      if t.incremental_aggregates then register_agg_indexes t;
+      refresh_provenance t ~reason:"algorithm-switch"
+    end;
+    resnapshot t
+  end
 
 (** Audit: recompute every view from scratch and compare with the
     maintained materializations.  [Ok ()] when they agree (counts included

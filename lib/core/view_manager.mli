@@ -70,6 +70,15 @@ val algorithm : t -> algorithm
 (** The algorithm [Auto] resolves to on the current program. *)
 val resolve : t -> algorithm
 
+(** Switch the maintenance algorithm in place.  Counting requires a
+    nonrecursive program (@raise Invalid_argument otherwise).  Switching
+    to a count-bearing algorithm (counting / recursive counting) from a
+    set-maintaining one (DRed, recompute) first re-derives every view
+    from scratch — the set maintainers leave stored derivation counts
+    stale.  Not WAL-logged: on a durable manager the switch folds the log
+    into a fresh snapshot, like rule changes. *)
+val set_algorithm : t -> algorithm -> unit
+
 (** Apply one batch of base-relation changes.  Returns the per-view deltas
     (set transitions under set semantics / DRed, count deltas under
     duplicate semantics); empty for [Recompute].  On a durable manager the

@@ -1,0 +1,308 @@
+(** Resolved statecheck commands and their shell syntax.
+
+    Every command the harness can execute is a [step]; every step prints
+    as exactly one documented [ivm_shell] command line ({!to_line}) and
+    parses back ({!of_line}), so a failing trace is a replayable script —
+    feed the lines to [bin/ivm_shell.exe] (one [-e] per line, or on
+    stdin) and you are driving the same API the harness drove.
+    [test/test_docs.ml] checks {!vocabulary} against the shell's [help]
+    output so the printed syntax cannot drift from the documentation. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Ast = Ivm_datalog.Ast
+module Parser = Ivm_datalog.Parser
+module Pretty = Ivm_datalog.Pretty
+module Vm = Ivm.View_manager
+
+type damage = No_damage | Truncate of int  (** bytes cut off the WAL end *)
+            | Flip of int  (** absolute byte offset bit-flipped *)
+
+type step =
+  | Insert of string * Tuple.t
+  | Delete of string * Tuple.t
+  | Batch of (bool * string * Tuple.t) list
+      (** [(insert?, pred, tuple)] entries applied as one atomic batch *)
+  | Add_rule of Ast.rule
+  | Del_rule of Ast.rule
+  | Algorithm of Vm.algorithm
+  | Audit
+  | Query of string * int  (** derived predicate, arity *)
+  | Open  (** [open store]: make durable, or reopen/recover the store *)
+  | Close
+  | Compact
+  | Crash of damage
+      (** drop the store handle as a kill would, optionally damaging the
+          WAL tail; the next {!Open} recovers *)
+  | Prov_on
+  | Prov_off
+  | Why of string * Tuple.t
+  | Whynot of string * Tuple.t
+  | Monitor_start
+  | Monitor_stop
+
+(** The store directory every trace uses, relative to the replay cwd. *)
+let store_dir = "store"
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let value_str (v : Value.t) : string =
+  match v with
+  | Value.Int n -> string_of_int n
+  | Value.Str s
+    when s <> ""
+         && s.[0] >= 'a'
+         && s.[0] <= 'z'
+         && String.for_all
+              (fun c ->
+                (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+              s -> s
+  | _ -> invalid_arg "Statecheck.Cmd.value_str: not a plain symbol or int"
+
+let fact_str pred tup =
+  Printf.sprintf "%s(%s)" pred
+    (String.concat "," (List.map value_str (Tuple.to_list tup)))
+
+let to_line (s : step) : string =
+  match s with
+  | Insert (p, t) -> Printf.sprintf "+%s." (fact_str p t)
+  | Delete (p, t) -> Printf.sprintf "-%s." (fact_str p t)
+  | Batch entries ->
+    Printf.sprintf "apply %s."
+      (String.concat "; "
+         (List.map
+            (fun (ins, p, t) ->
+              Printf.sprintf "%c%s" (if ins then '+' else '-') (fact_str p t))
+            entries))
+  | Add_rule r -> "addrule " ^ Pretty.rule_to_string r
+  | Del_rule r -> "delrule " ^ Pretty.rule_to_string r
+  | Algorithm a -> "algorithm " ^ Vm.algorithm_name a
+  | Audit -> "audit"
+  | Query (p, arity) ->
+    Printf.sprintf "?%s(%s)" p
+      (String.concat ", " (List.init arity (fun i -> Printf.sprintf "X%d" i)))
+  | Open -> "open " ^ store_dir
+  | Close -> "close"
+  | Compact -> "compact"
+  | Crash No_damage -> "crash"
+  | Crash (Truncate n) -> Printf.sprintf "crash truncate %d" n
+  | Crash (Flip k) -> Printf.sprintf "crash flip %d" k
+  | Prov_on -> "provenance on"
+  | Prov_off -> "provenance off"
+  | Why (p, t) -> Printf.sprintf "why %s." (fact_str p t)
+  | Whynot (p, t) -> Printf.sprintf "why not %s." (fact_str p t)
+  | Monitor_start -> "monitor start 0"
+  | Monitor_stop -> "monitor stop"
+
+(** The shell-help phrase each printable command belongs to —
+    [test_docs] checks every one appears verbatim in [ivm_shell]'s
+    [help] output (and hence, transitively, in the README table). *)
+let vocabulary : string list =
+  [
+    "+fact.";
+    "-fact.";
+    "apply ±FACT; ±FACT; ...";
+    "addrule RULE";
+    "delrule RULE";
+    "algorithm NAME";
+    "audit";
+    "?QUERY";
+    "open DIR";
+    "close";
+    "compact";
+    "crash [truncate N | flip K]";
+    "provenance on/off/status";
+    "why FACT.";
+    "why not FACT.";
+    "monitor start PORT";
+    "monitor stop";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_line of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_line s)) fmt
+
+let parse_fact (txt : string) : string * Tuple.t =
+  match Vm.parse_fact txt with
+  | Ok (p, t) -> (p, t)
+  | Error e -> bad "bad fact %S: %s" txt e
+
+let strip_prefix prefix line =
+  let n = String.length prefix in
+  if String.length line >= n && String.sub line 0 n = prefix then
+    Some (String.trim (String.sub line n (String.length line - n)))
+  else None
+
+let of_line (line : string) : step =
+  let line = String.trim line in
+  if line = "" then bad "empty line"
+  else if line.[0] = '+' then
+    let p, t = parse_fact (String.sub line 1 (String.length line - 1)) in
+    Insert (p, t)
+  else if line.[0] = '-' then
+    let p, t = parse_fact (String.sub line 1 (String.length line - 1)) in
+    Delete (p, t)
+  else if line.[0] = '?' then begin
+    let body = String.sub line 1 (String.length line - 1) in
+    match String.index_opt body '(' with
+    | None -> bad "bad query %S" line
+    | Some i ->
+      let pred = String.trim (String.sub body 0 i) in
+      let args = String.sub body i (String.length body - i) in
+      let arity =
+        1 + String.fold_left (fun n c -> if c = ',' then n + 1 else n) 0 args
+      in
+      Query (pred, arity)
+  end
+  else
+    match strip_prefix "apply " line with
+    | Some body ->
+      let body =
+        if String.length body > 0 && body.[String.length body - 1] = '.' then
+          String.sub body 0 (String.length body - 1)
+        else body
+      in
+      let entries =
+        String.split_on_char ';' body
+        |> List.filter_map (fun part ->
+               let part = String.trim part in
+               if part = "" then None
+               else if part.[0] <> '+' && part.[0] <> '-' then
+                 bad "apply entry %S must start with + or -" part
+               else
+                 let p, t =
+                   parse_fact (String.sub part 1 (String.length part - 1))
+                 in
+                 Some (part.[0] = '+', p, t))
+      in
+      if entries = [] then bad "empty apply batch" else Batch entries
+    | None -> (
+      match strip_prefix "addrule " line with
+      | Some r -> Add_rule (Parser.parse_rule r)
+      | None -> (
+        match strip_prefix "delrule " line with
+        | Some r -> Del_rule (Parser.parse_rule r)
+        | None -> (
+          match strip_prefix "algorithm " line with
+          | Some name -> (
+            match Vm.algorithm_of_string name with
+            | Some a -> Algorithm a
+            | None -> bad "unknown algorithm %S" name)
+          | None -> (
+            match strip_prefix "why not " line with
+            | Some f ->
+              let p, t = parse_fact f in
+              Whynot (p, t)
+            | None -> (
+              match strip_prefix "why " line with
+              | Some f ->
+                let p, t = parse_fact f in
+                Why (p, t)
+              | None -> (
+                match strip_prefix "crash truncate " line with
+                | Some n -> Crash (Truncate (int_of_string n))
+                | None -> (
+                  match strip_prefix "crash flip " line with
+                  | Some k -> Crash (Flip (int_of_string k))
+                  | None -> (
+                    match strip_prefix "open " line with
+                    | Some _ -> Open
+                    | None -> (
+                      match line with
+                      | "audit" -> Audit
+                      | "close" -> Close
+                      | "compact" -> Compact
+                      | "crash" -> Crash No_damage
+                      | "provenance on" -> Prov_on
+                      | "provenance off" -> Prov_off
+                      | "monitor start 0" -> Monitor_start
+                      | "monitor stop" -> Monitor_stop
+                      | _ -> bad "unrecognized command %S" line)))))))))
+
+(* ------------------------------------------------------------------ *)
+(* Traces: a header plus one command per line                           *)
+(* ------------------------------------------------------------------ *)
+
+type trace = {
+  duplicate : bool;  (** duplicate semantics? (else set) *)
+  algorithm : Vm.algorithm;  (** initial maintenance algorithm *)
+  steps : step list;
+}
+
+let semantics_name d = if d then "duplicate" else "set"
+
+(** The permanent seed rule every trace starts from (the interpreter
+    creates the manager with it; replay scripts add it explicitly): it
+    defines the base schema ([link]) and one view, so queries and
+    provenance have something to look at from step one. *)
+let seed_rule_text = "hop(X, Y) :- link(X, Z), link(Z, Y)."
+
+let to_lines (t : trace) : string list =
+  ("# statecheck trace v1" :: Printf.sprintf "# semantics: %s"
+     (semantics_name t.duplicate)
+  :: Printf.sprintf "# algorithm: %s" (Vm.algorithm_name t.algorithm)
+  :: List.map to_line t.steps)
+
+let of_lines (lines : string list) : trace =
+  let duplicate = ref false and algorithm = ref Vm.Auto and steps = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if line.[0] = '#' then begin
+        (match strip_prefix "# semantics:" line with
+        | Some "duplicate" -> duplicate := true
+        | Some "set" -> duplicate := false
+        | _ -> ());
+        match strip_prefix "# algorithm:" line with
+        | Some name -> (
+          match Vm.algorithm_of_string name with
+          | Some a -> algorithm := a
+          | None -> bad "unknown algorithm in header: %S" name)
+        | None -> ()
+      end
+      else steps := of_line line :: !steps)
+    lines;
+  { duplicate = !duplicate; algorithm = !algorithm; steps = List.rev !steps }
+
+let to_string (t : trace) : string = String.concat "\n" (to_lines t) ^ "\n"
+
+let of_string (s : string) : trace = of_lines (String.split_on_char '\n' s)
+
+let write_file path t = Out_channel.with_open_text path (fun oc ->
+    Out_channel.output_string oc (to_string t))
+
+let read_file path : trace =
+  of_string (In_channel.with_open_text path In_channel.input_all)
+
+(** A runnable shell script for the trace: one [ivm_shell] invocation in
+    a scratch directory, the steps fed on stdin (not [-e] — cmdliner
+    would read a deletion like [-link(a, b).] as an option). *)
+let to_script (t : trace) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "#!/bin/sh\n";
+  Buffer.add_string b
+    "# statecheck trace — replays through the real shell.\n\
+     # Run from the repository root.\n";
+  Buffer.add_string b "set -eu\nroot=\"$PWD\"\n";
+  Buffer.add_string b "dune build --root \"$root\" bin/ivm_shell.exe\n";
+  Buffer.add_string b "cd \"$(mktemp -d)\"\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "exec \"$root\"/_build/default/bin/ivm_shell.exe \\\n\
+       \  --semantics %s --algorithm %s <<'TRACE'\n\
+        addrule %s\n"
+       (semantics_name t.duplicate)
+       (Vm.algorithm_name t.algorithm)
+       seed_rule_text);
+  List.iter
+    (fun s -> Buffer.add_string b (to_line s ^ "\n"))
+    t.steps;
+  Buffer.add_string b "TRACE\n";
+  Buffer.contents b

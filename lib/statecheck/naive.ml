@@ -1,0 +1,265 @@
+(** The model's deriver: a deliberately naive, list-based, from-scratch
+    Datalog evaluator, independent of [lib/eval].
+
+    The statecheck harness compares the real system — seminaive
+    evaluation, compiled probe plans, interned values, incremental
+    maintenance, WAL replay — against this module on every command.  It
+    is written for obvious correctness, not speed: relations are sorted
+    tuple lists, stratification is a fixpoint over rank constraints, and
+    each stratum is evaluated by re-running every rule until nothing new
+    appears.  It supports exactly the vocabulary the statecheck program
+    pool uses: positive subgoals, stratified negation, and comparison
+    filters over ground terms (no aggregation, no arithmetic heads).
+
+    Derived relations are computed {e as sets} — the equivalence
+    invariant compares tuple sets (the shared domain of all maintenance
+    algorithms); derivation counts are checked by [View_manager.audit],
+    which the harness also drives as a command. *)
+
+module Value = Ivm_relation.Value
+module Tuple = Ivm_relation.Tuple
+module Ast = Ivm_datalog.Ast
+
+exception Unsupported of string
+
+module Smap = Map.Make (String)
+
+module Tset = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+(** Head predicates of [rules], each exactly once, in first-definition
+    order. *)
+let head_preds (rules : Ast.rule list) : string list =
+  List.fold_left
+    (fun acc r ->
+      if List.mem r.Ast.head.Ast.pred acc then acc
+      else r.Ast.head.Ast.pred :: acc)
+    [] rules
+  |> List.rev
+
+(** Predicates referenced anywhere but never defined: the base schema the
+    rule set implies. *)
+let base_preds (rules : Ast.rule list) : string list =
+  let heads = head_preds rules in
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc p ->
+          if List.mem p heads || List.mem p acc then acc else p :: acc)
+        acc (Ast.body_preds r))
+    [] rules
+  |> List.sort String.compare
+
+(** Does some derived predicate transitively depend on itself?  (Mirrors
+    [Program.nonrecursive], computed independently.) *)
+let recursive (rules : Ast.rule list) : bool =
+  let deps p =
+    List.concat_map
+      (fun r -> if r.Ast.head.Ast.pred = p then Ast.body_preds r else [])
+      rules
+  in
+  let reaches start =
+    let rec go seen = function
+      | [] -> false
+      | p :: rest ->
+        if p = start then true
+        else if List.mem p seen then go seen rest
+        else go (p :: seen) (deps p @ rest)
+    in
+    go [] (deps start)
+  in
+  List.exists reaches (head_preds rules)
+
+(** Stratum ranks: base predicates 0; [head ≥ body] through positive
+    literals, [head ≥ body + 1] through negation.  Iterated to fixpoint —
+    a rank exceeding the predicate count means the program is not
+    stratifiable (the pool never produces one). *)
+let strata (rules : Ast.rule list) : int Smap.t =
+  let heads = head_preds rules in
+  let preds = heads @ base_preds rules in
+  let limit = List.length preds + 1 in
+  (* base predicates live in stratum 0; every derived predicate starts in
+     stratum 1 so each rule runs in [evaluate]'s stratified loop *)
+  let ranks =
+    ref
+      (List.fold_left
+         (fun m p -> Smap.add p (if List.mem p heads then 1 else 0) m)
+         Smap.empty preds)
+  in
+  let rank p = Smap.find p !ranks in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > limit * limit then raise (Unsupported "not stratifiable");
+    List.iter
+      (fun r ->
+        let need =
+          List.fold_left
+            (fun acc lit ->
+              match lit with
+              | Ast.Lpos a -> max acc (rank a.Ast.pred)
+              | Ast.Lneg a -> max acc (rank a.Ast.pred + 1)
+              | Ast.Lagg agg -> max acc (rank agg.Ast.agg_source.Ast.pred + 1)
+              | Ast.Lcmp _ -> acc)
+            0 r.Ast.body
+        in
+        let h = r.Ast.head.Ast.pred in
+        if rank h < need then begin
+          ranks := Smap.add h need !ranks;
+          changed := true
+        end)
+      rules
+  done;
+  !ranks
+
+(* ------------------------------------------------------------------ *)
+(* Rule evaluation over an environment of variable bindings             *)
+(* ------------------------------------------------------------------ *)
+
+let term_value env = function
+  | Ast.Const c -> Some c
+  | Ast.Var "_" -> None
+  | Ast.Var v -> Smap.find_opt v env
+
+let expr_value env = function
+  | Ast.Eterm t -> term_value env t
+  | _ -> raise (Unsupported "arithmetic expressions")
+
+(** Unify an atom's argument terms against [tup], extending [env];
+    [None] on mismatch. *)
+let match_atom env (a : Ast.atom) (tup : Tuple.t) : Value.t Smap.t option =
+  let n = List.length a.Ast.args in
+  if Tuple.arity tup <> n then None
+  else
+    let rec go env i = function
+      | [] -> Some env
+      | arg :: rest -> (
+        let v = Tuple.get tup i in
+        match arg with
+        | Ast.Eterm (Ast.Const c) ->
+          if Value.compare c v = 0 then go env (i + 1) rest else None
+        | Ast.Eterm (Ast.Var "_") -> go env (i + 1) rest
+        | Ast.Eterm (Ast.Var x) -> (
+          match Smap.find_opt x env with
+          | Some bound ->
+            if Value.compare bound v = 0 then go env (i + 1) rest else None
+          | None -> go (Smap.add x v env) (i + 1) rest)
+        | _ -> raise (Unsupported "non-term atom argument"))
+    in
+    go env 0 a.Ast.args
+
+let ground_atom env (a : Ast.atom) : Tuple.t =
+  Tuple.of_list
+    (List.map
+       (fun arg ->
+         match expr_value env arg with
+         | Some v -> v
+         | None -> raise (Unsupported "unbound head/negation variable"))
+       a.Ast.args)
+
+let cmp_holds op a b =
+  let c = Value.compare a b in
+  match op with
+  | Ast.Eq -> c = 0
+  | Ast.Neq -> c <> 0
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+(** All head tuples one rule derives from [facts] (a pred → tuple-set
+    map).  Positive literals are joined first (in body order); negation
+    and comparisons filter the fully extended environments afterwards —
+    safety guarantees their variables are bound by then. *)
+let eval_rule (facts : Tset.t Smap.t) (r : Ast.rule) : Tset.t =
+  let rel p = Option.value ~default:Tset.empty (Smap.find_opt p facts) in
+  let positives, others =
+    List.partition (function Ast.Lpos _ -> true | _ -> false) r.Ast.body
+  in
+  let envs =
+    List.fold_left
+      (fun envs lit ->
+        match lit with
+        | Ast.Lpos a ->
+          List.concat_map
+            (fun env ->
+              Tset.fold
+                (fun tup acc ->
+                  match match_atom env a tup with
+                  | Some env' -> env' :: acc
+                  | None -> acc)
+                (rel a.Ast.pred) [])
+            envs
+        | _ -> assert false)
+      [ Smap.empty ] positives
+  in
+  let envs =
+    List.filter
+      (fun env ->
+        List.for_all
+          (fun lit ->
+            match lit with
+            | Ast.Lpos _ -> assert false
+            | Ast.Lneg a -> not (Tset.mem (ground_atom env a) (rel a.Ast.pred))
+            | Ast.Lcmp (x, op, y) -> (
+              match (expr_value env x, expr_value env y) with
+              | Some a, Some b -> cmp_holds op a b
+              | _ -> raise (Unsupported "unbound comparison variable"))
+            | Ast.Lagg _ -> raise (Unsupported "aggregation"))
+          others)
+      envs
+  in
+  List.fold_left
+    (fun acc env -> Tset.add (ground_atom env r.Ast.head) acc)
+    Tset.empty envs
+
+(** Materialize every derived predicate from scratch: strata in ascending
+    rank order, each iterated to fixpoint by brute force.  [base] maps
+    base predicates to their current tuples.  Returns the full pred →
+    tuple-set map (base included). *)
+let evaluate (rules : Ast.rule list) ~(base : Tuple.t list Smap.t) :
+    Tset.t Smap.t =
+  let ranks = strata rules in
+  let facts =
+    ref
+      (Smap.fold
+         (fun p tuples acc -> Smap.add p (Tset.of_list tuples) acc)
+         base Smap.empty)
+  in
+  (* derived predicates start empty, even if never derivable *)
+  List.iter
+    (fun p -> if not (Smap.mem p !facts) then facts := Smap.add p Tset.empty !facts)
+    (head_preds rules @ base_preds rules);
+  let max_rank = Smap.fold (fun _ r acc -> max r acc) ranks 0 in
+  for stratum = 1 to max_rank do
+    let layer =
+      List.filter (fun r -> Smap.find r.Ast.head.Ast.pred ranks = stratum) rules
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun r ->
+          let out = eval_rule !facts r in
+          let p = r.Ast.head.Ast.pred in
+          let cur = Smap.find p !facts in
+          let next = Tset.union cur out in
+          if not (Tset.equal cur next) then begin
+            facts := Smap.add p next !facts;
+            changed := true
+          end)
+        layer
+    done
+  done;
+  !facts
+
+(** Sorted tuple list of one derived predicate. *)
+let tuples_of (facts : Tset.t Smap.t) (pred : string) : Tuple.t list =
+  match Smap.find_opt pred facts with
+  | None -> []
+  | Some s -> Tset.elements s

@@ -33,4 +33,5 @@ let () =
       ("properties", Test_properties.suite);
       ("differential", Test_differential.suite);
       ("prov", Test_prov.suite);
+      ("statecheck", Test_statecheck.suite);
     ]

@@ -136,10 +136,25 @@ let test_readme_mentions_docs () =
   in
   List.iter has [ "IVMSNAP1"; "IVMWAL01"; "0xEDB88320"; "0xCBF43926" ]
 
+let test_statecheck_vocabulary_documented () =
+  (* Every command the statecheck harness can generate prints as shell
+     syntax whose help phrase must exist verbatim in `help` (and hence,
+     via the table check above, in the README): a failing trace is a
+     replayable script only while this holds. *)
+  let from_help = help_commands () in
+  List.iter
+    (fun cmd ->
+      Alcotest.(check bool)
+        (Printf.sprintf "statecheck command %S documented in help" cmd)
+        true (List.mem cmd from_help))
+    Ivm_statecheck.Cmd.vocabulary
+
 let suite =
   [
     Alcotest.test_case "shell command table tracks help" `Quick
       test_command_table_matches_help;
+    Alcotest.test_case "statecheck vocabulary tracks help" `Quick
+      test_statecheck_vocabulary_documented;
     Alcotest.test_case "monitor + explain commands documented" `Quick
       test_monitor_commands_documented;
     Alcotest.test_case "persistence spec present and specific" `Quick

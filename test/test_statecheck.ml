@@ -1,0 +1,180 @@
+(** Model-based lifecycle testing: generated command traces run against
+    the real [View_manager] and the naive in-memory model in lockstep
+    (see [lib/statecheck]), plus the pinned corpus of minimized traces
+    under [test/traces/].
+
+    The property runs [IVM_STATECHECK_TRACES] traces (default 300) of at
+    least 25 commands each from a fixed seed, so a CI run is
+    deterministic; a failure prints the shrunk trace as a replayable
+    shell script. *)
+
+module Cmd = Ivm_statecheck.Cmd
+module Gen = Ivm_statecheck.Gen
+module Interp = Ivm_statecheck.Interp
+module Vm = Ivm.View_manager
+module Q = QCheck
+
+let traces_count =
+  match Sys.getenv_opt "IVM_STATECHECK_TRACES" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 300)
+  | None -> 300
+
+(* ---------------- the lifecycle property ---------------- *)
+
+let lifecycle_prop ?fault trace =
+  match Interp.run_result ?fault trace with
+  | Ok _ -> true
+  | Error msg -> Q.Test.fail_report msg
+
+(** Run [count] generated traces from a fixed [seed]; Alcotest-fail with
+    the shrunk counterexample (already printed as trace + script by the
+    arbitrary's printer) on any divergence. *)
+let check_lifecycle ?duplicate ?algorithm ~count ~seed name =
+  let cell =
+    Q.Test.make_cell ~count ~name
+      (Gen.arbitrary ~min_len:25 ~max_len:40 ?duplicate ?algorithm ())
+      (lifecycle_prop ?fault:None)
+  in
+  let rand = Random.State.make [| seed |] in
+  match Q.TestResult.get_state (Q.Test.check_cell ~rand cell) with
+  | Q.TestResult.Success -> ()
+  | Q.TestResult.Failed { instances = c :: _ } ->
+    Alcotest.failf "%s: real/model divergence; shrunk trace:\n%s\n%s" name
+      (Gen.print_trace c.Q.TestResult.instance)
+      (String.concat "\n" c.Q.TestResult.msg_l)
+  | Q.TestResult.Failed { instances = [] } ->
+    Alcotest.failf "%s: failed without a counterexample" name
+  | Q.TestResult.Failed_other { msg } -> Alcotest.failf "%s: %s" name msg
+  | Q.TestResult.Error { exn; instance; _ } ->
+    Alcotest.failf "%s: raised %s on\n%s" name (Printexc.to_string exn)
+      (Gen.print_trace instance.Q.TestResult.instance)
+
+let test_lifecycle () =
+  check_lifecycle ~count:traces_count ~seed:0xC0FFEE "statecheck lifecycle"
+
+(* Fixed-seed smokes pinning each algorithm as the initial one (the main
+   property also switches algorithms mid-trace). *)
+let algorithm_smokes =
+  [
+    ("counting", false, Vm.Counting, 101);
+    ("dred", false, Vm.Dred, 102);
+    ("recursive-counting", true, Vm.Recursive_counting, 103);
+    ("recompute", true, Vm.Recompute, 104);
+  ]
+  |> List.map (fun (name, duplicate, algorithm, seed) ->
+         Alcotest.test_case (Printf.sprintf "lifecycle: %s" name) `Quick
+           (fun () ->
+             check_lifecycle ~duplicate ~algorithm
+               ~count:(max 10 (traces_count / 10))
+               ~seed
+               (Printf.sprintf "statecheck %s" name)))
+
+(* ---------------- the pinned corpus ---------------- *)
+
+let traces_dir () =
+  match
+    List.find_opt Sys.file_exists
+      [ "traces"; Filename.concat "test" "traces" ]
+  with
+  | Some d -> d
+  | None -> Alcotest.fail "test/traces directory not found"
+
+let corpus_files () =
+  let dir = traces_dir () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".trace")
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)
+
+let test_corpus () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length files >= 5);
+  List.iter
+    (fun file ->
+      let trace = Cmd.read_file file in
+      match Interp.run_result trace with
+      | Error msg -> Alcotest.failf "%s: %s" file msg
+      | Ok o ->
+        (* pinned traces must execute fully: a skipped step means the
+           trace no longer exercises what it was minimized to pin *)
+        Alcotest.(check int)
+          (Printf.sprintf "%s: every step executes" file)
+          (List.length trace.Cmd.steps)
+          o.Interp.executed)
+    files
+
+let test_corpus_round_trips () =
+  List.iter
+    (fun file ->
+      let trace = Cmd.read_file file in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s round-trips" file)
+        (Cmd.to_lines trace)
+        (Cmd.to_lines (Cmd.of_string (Cmd.to_string trace))))
+    (corpus_files ())
+
+(* ---------------- printer/parser round-trip ---------------- *)
+
+let test_round_trip () =
+  let cell =
+    Q.Test.make_cell ~count:200 ~name:"trace round-trip"
+      (Gen.arbitrary ~min_len:5 ~max_len:30 ())
+      (fun trace ->
+        Cmd.to_lines trace = Cmd.to_lines (Cmd.of_lines (Cmd.to_lines trace)))
+  in
+  match
+    Q.TestResult.get_state
+      (Q.Test.check_cell ~rand:(Random.State.make [| 11 |]) cell)
+  with
+  | Q.TestResult.Success -> ()
+  | _ -> Alcotest.fail "a generated trace did not round-trip through shell syntax"
+
+(* ---------------- the harness catches and shrinks bugs ---------------- *)
+
+let test_fault_is_caught_and_shrunk () =
+  (* Drop a tuple from the real side of every insert-bearing batch: the
+     harness must fail, and list-shrinking must cut the trace from 25+
+     commands to a near-minimal prefix. *)
+  let cell =
+    Q.Test.make_cell ~count:20 ~name:"deliberate fault"
+      (Gen.arbitrary ~min_len:25 ~max_len:40 ())
+      (lifecycle_prop ~fault:(Interp.Drop_every 1))
+  in
+  match
+    Q.TestResult.get_state
+      (Q.Test.check_cell ~rand:(Random.State.make [| 7 |]) cell)
+  with
+  | Q.TestResult.Failed { instances = c :: _ } ->
+    let trace = c.Q.TestResult.instance in
+    let n = List.length trace.Cmd.steps in
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk to a minimal trace (%d commands)" n)
+      true (n <= 3);
+    (* ... and the counterexample is a replayable artifact *)
+    let script = Cmd.to_script trace in
+    Alcotest.(check bool) "script drives the shell" true
+      (let needle = "ivm_shell" in
+       let nl = String.length needle and sl = String.length script in
+       let rec at i =
+         i + nl <= sl && (String.sub script i nl = needle || at (i + 1))
+       in
+       at 0);
+    Alcotest.(check (list string)) "shrunk trace round-trips"
+      (Cmd.to_lines trace)
+      (Cmd.to_lines (Cmd.of_string (Cmd.to_string trace)))
+  | _ -> Alcotest.fail "deliberate fault was not caught by the harness"
+
+let suite =
+  [
+    Alcotest.test_case "pinned corpus replays real = model" `Quick test_corpus;
+    Alcotest.test_case "pinned corpus round-trips" `Quick
+      test_corpus_round_trips;
+    Alcotest.test_case "generated traces round-trip" `Quick test_round_trip;
+    Alcotest.test_case "lifecycle: generated traces, all algorithms" `Slow
+      test_lifecycle;
+  ]
+  @ algorithm_smokes
+  @ [
+      Alcotest.test_case "deliberate fault caught and shrunk" `Quick
+        test_fault_is_caught_and_shrunk;
+    ]
