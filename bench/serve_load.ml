@@ -1,0 +1,160 @@
+(* Load generator for the view server (EXPERIMENTS.md E18).
+
+   Starts an in-process Ivm_serve.Server on an ephemeral port over a
+   durable store, then hammers it with K client domains, each issuing an
+   80/20 query/apply mix over real sockets.  Reports per-op p50/p99
+   latency, throughput, the group-commit amortization the single-writer
+   achieved under concurrency (batches per fsync), and asserts that not
+   one protocol error occurred.
+
+     dune exec bench/serve_load.exe -- --clients 8 --seconds 3 *)
+
+module Vm = Ivm.View_manager
+module Server = Ivm_serve.Server
+module Client = Ivm_serve.Client
+module Relation = Ivm_relation.Relation
+
+let usage = "serve_load [--clients K] [--seconds S] [--readers N] [--dir DIR]"
+
+let clients = ref 8
+let seconds = ref 3.0
+let readers = ref 2
+let dir = ref ""
+
+let rec parse_args = function
+  | [] -> ()
+  | "--clients" :: k :: rest ->
+    clients := int_of_string k;
+    parse_args rest
+  | "--seconds" :: s :: rest ->
+    seconds := float_of_string s;
+    parse_args rest
+  | "--readers" :: n :: rest ->
+    readers := int_of_string n;
+    parse_args rest
+  | "--dir" :: d :: rest ->
+    dir := d;
+    parse_args rest
+  | x :: _ ->
+    Printf.eprintf "unknown argument %s\nusage: %s\n" x usage;
+    exit 2
+
+let percentile sorted p =
+  if Array.length sorted = 0 then 0
+  else
+    sorted.(min (Array.length sorted - 1)
+              (int_of_float (p *. float_of_int (Array.length sorted))))
+
+let program_source () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "hop(X, Y) :- link(X, Z), link(Z, Y).\n";
+  for i = 0 to 99 do
+    Buffer.add_string buf (Printf.sprintf "link(s%d, s%d).\n" i ((i + 1) mod 100))
+  done;
+  Buffer.contents buf
+
+type worker_result = {
+  queries : int array;  (** latencies, ns *)
+  applies : int array;
+  errors : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let fact pred s =
+  match Vm.parse_fact (Printf.sprintf "%s(%s)" pred s) with
+  | Ok (p, t) -> (p, t)
+  | Error msg -> failwith msg
+
+let worker ~port ~id ~deadline () : worker_result =
+  let c = Client.connect ~port () in
+  let queries = ref [] and applies = ref [] and errors = ref 0 in
+  let n = ref 0 in
+  (try
+     while Unix.gettimeofday () < deadline do
+       incr n;
+       let t0 = now_ns () in
+       (try
+          if !n mod 5 = 0 then begin
+            (* a private edge pair: deterministic, never collides across
+               clients, keeps the hop view growing *)
+            let i = !n / 5 in
+            let p1, t1 = fact "link" (Printf.sprintf "c%d_%d, m%d_%d" id i id i) in
+            let _, t2 = fact "link" (Printf.sprintf "m%d_%d, e%d_%d" id i id i) in
+            let delta = Relation.of_list 2 [ (t1, 1); (t2, 1) ] in
+            let _seq, _deltas = Client.apply c [ (p1, delta) ] in
+            applies := (now_ns () - t0) :: !applies
+          end
+          else begin
+            let _cols, _rows =
+              Client.query c (Printf.sprintf "hop(s%d, X)" (!n * 7 mod 100))
+            in
+            queries := (now_ns () - t0) :: !queries
+          end
+        with Client.Server_error _ | Client.Unexpected _ -> incr errors)
+     done
+   with e ->
+     incr errors;
+     Printf.eprintf "client %d died: %s\n%!" id (Printexc.to_string e));
+  Client.close c;
+  {
+    queries = Array.of_list !queries;
+    applies = Array.of_list !applies;
+    errors = !errors;
+  }
+
+let () =
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let dir =
+    if !dir <> "" then !dir
+    else begin
+      let d = Filename.temp_file "ivm_serve_load" "" in
+      Sys.remove d;
+      d
+    end
+  in
+  let vm = Vm.of_source ~durable:dir (program_source ()) in
+  let config = { Server.default_config with readers = !readers } in
+  let srv = Server.start ~config ~vm ~port:0 () in
+  let port = Server.port srv in
+  Printf.printf "serve_load: %d clients x %.1fs against 127.0.0.1:%d (%d readers, durable %s)\n%!"
+    !clients !seconds port !readers dir;
+  let deadline = Unix.gettimeofday () +. !seconds in
+  let workers =
+    List.init !clients (fun id ->
+        Domain.spawn (worker ~port ~id ~deadline))
+  in
+  let results = List.map Domain.join workers in
+  let stats = Server.stats srv in
+  Server.stop srv;
+  let all sel =
+    let a = Array.concat (List.map sel results) in
+    Array.sort compare a;
+    a
+  in
+  let q = all (fun r -> r.queries) and a = all (fun r -> r.applies) in
+  let errors = List.fold_left (fun acc r -> acc + r.errors) 0 results in
+  let ops = Array.length q + Array.length a in
+  Printf.printf "ops        : %d (%d queries, %d applies, %.0f ops/s)\n" ops
+    (Array.length q) (Array.length a)
+    (float_of_int ops /. !seconds);
+  Printf.printf "query ns   : p50 %d  p99 %d\n" (percentile q 0.50)
+    (percentile q 0.99);
+  Printf.printf "apply ns   : p50 %d  p99 %d\n" (percentile a 0.50)
+    (percentile a 0.99);
+  Printf.printf "group commit: %d batches in %d fsyncs (%.2f batches/fsync)\n"
+    stats.Server.committed_batches stats.Server.group_commits
+    (if stats.Server.group_commits = 0 then 0.
+     else
+       float_of_int stats.Server.committed_batches
+       /. float_of_int stats.Server.group_commits);
+  Printf.printf "deltas pushed: %d, sessions served: %d\n"
+    stats.Server.deltas_pushed stats.Server.accepted;
+  Printf.printf "protocol errors: %d\n" (errors + stats.Server.protocol_errors);
+  (* the audit closes the loop: concurrent group commits kept views exact *)
+  (match Vm.audit vm with
+  | Ok () -> Printf.printf "audit: ok, views match recomputation\n"
+  | Error msg ->
+    Printf.printf "audit: MISMATCH %s\n" msg;
+    exit 1);
+  if errors + stats.Server.protocol_errors > 0 then exit 1

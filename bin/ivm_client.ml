@@ -1,0 +1,187 @@
+(* ivm-client: command-line client for ivm-serve (docs/PROTOCOL.md).
+
+     $ dune exec bin/ivm_client.exe -- --port 7401
+     ivm[7401]> query hop(a, X)
+     ivm[7401]> apply +link(a,b); -link(b,c)
+     ivm[7401]> subscribe hop
+     ivm[7401]> await
+
+   'help' works offline; the connection is only opened when the first
+   command needs the server. *)
+
+module Client = Ivm_serve.Client
+module Protocol = Ivm_serve.Protocol
+module Relation = Ivm_relation.Relation
+module Vm = Ivm.View_manager
+
+let help_text =
+  "  query BODY       run an ad-hoc Datalog query against the server's\n\
+  \                   published snapshot (e.g. query hop(a, X))\n\
+  \  apply ±FACT; ±FACT; ...  submit inserts (+) and deletes (-) as one\n\
+  \                   atomic batch; blocks until its group commit is\n\
+  \                   durable (e.g. apply +link(a,b); -link(b,c).)\n\
+  \  subscribe PRED   ask for per-batch delta pushes of a view\n\
+  \  await [N]        wait for N subscribed delta pushes (default 1)\n\
+  \  status           server and view-manager status (JSON)\n\
+  \  ping             round-trip check\n\
+  \  help             this text\n\
+  \  quit             exit (closes the session politely)"
+
+(* "+link(a,b); -link(b,c)" → one batch of per-predicate signed deltas *)
+let parse_batch (body : string) : Protocol.changes =
+  let body = String.trim body in
+  let body =
+    if String.length body > 0 && body.[String.length body - 1] = '.' then
+      String.sub body 0 (String.length body - 1)
+    else body
+  in
+  let entries =
+    String.split_on_char ';' body
+    |> List.filter_map (fun part ->
+           let part = String.trim part in
+           if part = "" then None
+           else if String.length part < 2 || (part.[0] <> '+' && part.[0] <> '-')
+           then failwith "apply: each entry must be +fact or -fact"
+           else
+             let sign = if part.[0] = '+' then 1 else -1 in
+             match Vm.parse_fact (String.sub part 1 (String.length part - 1)) with
+             | Ok (pred, tup) -> Some (pred, (tup, sign))
+             | Error msg -> failwith msg)
+  in
+  if entries = [] then failwith "usage: apply +fact; -fact; ...";
+  let tbl = Hashtbl.create 7 in
+  List.iter
+    (fun (p, e) ->
+      Hashtbl.replace tbl p (e :: Option.value ~default:[] (Hashtbl.find_opt tbl p)))
+    entries;
+  Hashtbl.fold
+    (fun pred es acc ->
+      let arity =
+        match es with (t, _) :: _ -> Ivm_relation.Tuple.arity t | [] -> 0
+      in
+      (pred, Relation.of_list arity (List.rev es)) :: acc)
+    tbl []
+  |> List.sort compare
+
+let print_changes (changes : Protocol.changes) =
+  if changes = [] then Format.printf "(no view changed)@."
+  else
+    List.iter
+      (fun (view, delta) -> Format.printf "Δ%s = %a@." view Relation.pp delta)
+      changes
+
+let starts_with prefix line =
+  String.length line > String.length prefix
+  && String.sub line 0 (String.length prefix) = prefix
+
+let rest prefix line =
+  String.trim (String.sub line (String.length prefix)
+                  (String.length line - String.length prefix))
+
+let execute (conn : Client.t Lazy.t) line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if line = "help" then print_endline help_text
+  else if line = "ping" then begin
+    Client.ping (Lazy.force conn);
+    Format.printf "pong@."
+  end
+  else if line = "status" then print_endline (Client.status (Lazy.force conn))
+  else if starts_with "query " line then begin
+    let columns, rows = Client.query (Lazy.force conn) (rest "query " line) in
+    Format.printf "%s@." (String.concat ", " columns);
+    Format.printf "%a@." Relation.pp rows
+  end
+  else if starts_with "apply " line then begin
+    let seq, deltas = Client.apply (Lazy.force conn) (parse_batch (rest "apply " line)) in
+    Format.printf "committed at seq %d@." seq;
+    print_changes deltas
+  end
+  else if starts_with "subscribe " line then begin
+    let pred = rest "subscribe " line in
+    Client.subscribe (Lazy.force conn) pred;
+    Format.printf "subscribed to %s@." pred
+  end
+  else if line = "await" || starts_with "await " line then begin
+    let n =
+      if line = "await" then 1
+      else match int_of_string_opt (rest "await " line) with
+        | Some n when n > 0 -> n
+        | _ -> failwith "usage: await [N]"
+    in
+    for _ = 1 to n do
+      match Client.next_delta ~timeout:5.0 (Lazy.force conn) with
+      | Some (seq, pred, delta) ->
+        Format.printf "Δ%s @@ seq %d = %a@." pred seq Relation.pp delta
+      | None -> Format.printf "(no delta within 5s)@."
+    done
+  end
+  else Format.printf "unknown command (try 'help')@."
+
+let protect conn line =
+  try execute conn line with
+  | Client.Server_error (code, msg) ->
+    Format.printf "server error (%s): %s@." (Protocol.error_code_name code) msg
+  | Client.Unexpected msg -> Format.printf "protocol error: %s@." msg
+  | Failure msg -> Format.printf "error: %s@." msg
+  | Ivm_wire.Wire.Corrupt msg -> Format.printf "protocol error: %s@." msg
+  | Ivm_wire.Frame.Closed -> Format.printf "error: server closed the connection@."
+  | Unix.Unix_error (e, _, _) ->
+    Format.printf "connection error: %s@." (Unix.error_message e)
+
+let repl conn port interactive =
+  try
+    while true do
+      if interactive then begin
+        Printf.printf "ivm[%d]> " port;
+        flush stdout
+      end;
+      let line = input_line stdin in
+      if String.trim line = "quit" || String.trim line = "exit" then raise Exit;
+      protect conn line
+    done
+  with End_of_file | Exit -> ()
+
+open Cmdliner
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+
+let port_arg =
+  Arg.(
+    value & opt int 7401
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let token_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "auth" ] ~docv:"TOKEN" ~doc:"Auth token for the handshake.")
+
+let command_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "e"; "execute" ] ~docv:"CMD"
+        ~doc:"Execute a client command non-interactively (repeatable); the \
+              REPL is skipped.")
+
+let run host port token commands =
+  let conn = lazy (Client.connect ~host ~token ~port ()) in
+  (try
+     if commands = [] then repl conn port (Unix.isatty Unix.stdin)
+     else List.iter (protect conn) commands
+   with e ->
+     if Lazy.is_val conn then Client.close (Lazy.force conn);
+     raise e);
+  if Lazy.is_val conn then Client.close (Lazy.force conn)
+
+let cmd =
+  let doc = "command-line client for ivm-serve" in
+  Cmd.v
+    (Cmd.info "ivm-client" ~doc)
+    Term.(const run $ host_arg $ port_arg $ token_arg $ command_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -104,19 +104,9 @@ let last_batch_g =
   Metrics.gauge "ivm_last_batch_ns"
     ~help:"Wall time of the most recent maintenance batch, nanoseconds"
 
-let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
+let maintain_batch (t : t) (changes : Changes.t) : (string * Relation.t) list =
   let resolved = resolve t in
   let name = algorithm_name resolved in
-  let changes =
-    match t.store with
-    | None -> changes
-    | Some store ->
-      (* normalizing first makes the log record exactly what maintenance
-         will apply (and rejects invalid batches before logging them) *)
-      let normalized = Changes.normalize_base t.db changes in
-      Ivm_store.Store.append store normalized;
-      normalized
-  in
   let t0 = Unix.gettimeofday () in
   Ivm_obs.Attribution.batch_begin ~algorithm:name;
   if Ivm_prov.Prov.capturing () then Ivm_prov.Prov.batch_begin ~algorithm:name;
@@ -156,6 +146,59 @@ let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
   in
   Database.observe_gauges t.db;
   deltas
+
+let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
+  let changes =
+    match t.store with
+    | None -> changes
+    | Some store ->
+      (* normalizing first makes the log record exactly what maintenance
+         will apply (and rejects invalid batches before logging them) *)
+      let normalized = Changes.normalize_base t.db changes in
+      Ivm_store.Store.append store normalized;
+      normalized
+  in
+  maintain_batch t changes
+
+(** Group commit (the [ivm_serve] writer's path): apply a whole queue of
+    batches with {e one} fsync.  Each batch is normalized against the
+    database state the previous batches left (so deletion validity and
+    set-semantics collapsing see the right pre-state), appended to the
+    WAL {e without} syncing, and maintained; after the last batch a
+    single {!Ivm_store.Store.sync} makes the whole group durable.
+
+    Per-batch validation failures are isolated: an invalid batch yields
+    [Error msg] in its slot, is never logged, and leaves the database
+    untouched — the rest of the group proceeds.  Callers must treat the
+    group as {b unpublished} until this function returns: maintenance
+    runs ahead of the fsync inside the group, so acknowledging or
+    exposing a batch earlier would break the
+    "no reader observes an un-fsync'd batch" invariant
+    (ARCHITECTURE.md invariant 11).  A crash mid-group loses only
+    un-acknowledged batches: the WAL tail is torn and truncated on
+    recovery. *)
+let apply_group (t : t) (batches : Changes.t list) :
+    ((string * Relation.t) list, string) result list =
+  let results =
+    List.map
+      (fun changes ->
+        (* only validation failures are recoverable: they happen before
+           the append, so an [Error] batch left no trace anywhere.  A
+           maintenance exception after the append must propagate — the
+           WAL and memory would otherwise silently diverge. *)
+        match Changes.normalize_base t.db changes with
+        | exception Changes.Invalid_changes msg -> Error msg
+        | exception Program.Program_error msg -> Error msg
+        | exception Invalid_argument msg -> Error msg
+        | normalized ->
+          (match t.store with
+          | Some store -> Ivm_store.Store.append ~sync:false store normalized
+          | None -> ());
+          Ok (maintain_batch t normalized))
+      batches
+  in
+  (match t.store with Some store -> Ivm_store.Store.sync store | None -> ());
+  results
 
 (** Wrap an already-materialized database (e.g. one loaded from a
     snapshot) without re-evaluating anything.  The incremental-aggregates

@@ -86,6 +86,19 @@ val set_algorithm : t -> algorithm -> unit
     maintenance runs (see {!Ivm_store.Store}). *)
 val apply : t -> Changes.t -> (string * Relation.t) list
 
+(** Group commit: apply several batches in order with {e one} fsync.
+    Each batch is normalized against the state the previous batches
+    left, write-ahead logged without syncing, and maintained; one
+    {!Ivm_store.Store.sync} after the last batch makes the whole group
+    durable (non-durable managers skip the log entirely).  Validation
+    failures are isolated to their slot ([Error msg], nothing logged or
+    applied for that batch); the rest of the group proceeds.  The caller
+    must not acknowledge or publish any batch of the group before this
+    function returns — inside the group, maintenance runs ahead of the
+    fsync (see ARCHITECTURE.md invariant 11 and [Ivm_serve.Server]). *)
+val apply_group :
+  t -> Changes.t list -> ((string * Relation.t) list, string) result list
+
 (** {1 Durability}
 
     A durable manager pairs the in-memory database with an

@@ -1,0 +1,54 @@
+(** Blocking client for the [ivm_serve] protocol ([docs/PROTOCOL.md]).
+
+    One TCP connection, synchronous calls: each function sends one
+    request and waits for its reply.  [Delta] pushes interleaved with a
+    reply (the server fans deltas out per committed batch) are buffered
+    internally; {!next_delta} hands them out in arrival order. *)
+
+module Relation = Ivm_relation.Relation
+
+(** The server answered with an [Error] response. *)
+exception Server_error of Protocol.error_code * string
+
+(** The server answered with a well-formed but out-of-protocol
+    message — a bug on one side or the other. *)
+exception Unexpected of string
+
+type t
+
+(** Connect and perform the [Hello] handshake.  [token] defaults to
+    [""] (fine for a server without [auth_token]).
+    @raise Server_error when the server rejects version or token;
+    @raise Unix.Unix_error when nobody is listening. *)
+val connect : ?host:string -> ?token:string -> port:int -> unit -> t
+
+(** The last-durable WAL sequence the server reported at handshake. *)
+val seq : t -> int
+
+val ping : t -> unit
+
+(** Run an ad-hoc Datalog body (e.g. ["hop(a, X)"]) against the
+    server's published snapshot; returns (columns, rows). *)
+val query : t -> string -> string list * Relation.t
+
+(** Submit one atomic change batch; blocks until the server's group
+    commit has made it durable.  Returns the commit sequence and the
+    per-view deltas it caused.
+    @raise Server_error with [Invalid_changes] when validation rejects
+    the batch (nothing was applied). *)
+val apply : t -> Protocol.changes -> int * Protocol.changes
+
+(** Ask for per-batch [Delta] pushes of a derived view. *)
+val subscribe : t -> string -> unit
+
+(** The server's status document (JSON text). *)
+val status : t -> string
+
+(** Next buffered or arriving delta push as [(seq, pred, delta)];
+    [None] after [timeout] seconds (default 1.0) of silence, or once
+    the server has said [Bye]. *)
+val next_delta : ?timeout:float -> t -> (int * string * Relation.t) option
+
+(** Polite shutdown: send [Close], wait for [Bye], close the socket.
+    Idempotent; errors are swallowed. *)
+val close : t -> unit

@@ -1,0 +1,266 @@
+(* The ivm_serve wire protocol: framed, opcode-tagged messages over the
+   shared Ivm_wire codec.  docs/PROTOCOL.md specifies every byte; this
+   module is its reference implementation, and test_docs drift-checks
+   the spec's opcode table against [opcodes] below. *)
+
+module Wire = Ivm_wire.Wire
+module Relation = Ivm_relation.Relation
+
+let magic = "IVMSRV01"
+let version = 1
+
+type changes = (string * Relation.t) list
+
+type error_code =
+  | Bad_version
+  | Auth_failed
+  | Bad_request
+  | Query_failed
+  | Invalid_changes
+  | Quota_exceeded
+  | Shutting_down
+  | Internal
+
+let error_code_int = function
+  | Bad_version -> 1
+  | Auth_failed -> 2
+  | Bad_request -> 3
+  | Query_failed -> 4
+  | Invalid_changes -> 5
+  | Quota_exceeded -> 6
+  | Shutting_down -> 7
+  | Internal -> 8
+
+let error_code_of_int = function
+  | 1 -> Some Bad_version
+  | 2 -> Some Auth_failed
+  | 3 -> Some Bad_request
+  | 4 -> Some Query_failed
+  | 5 -> Some Invalid_changes
+  | 6 -> Some Quota_exceeded
+  | 7 -> Some Shutting_down
+  | 8 -> Some Internal
+  | _ -> None
+
+let error_code_name = function
+  | Bad_version -> "bad_version"
+  | Auth_failed -> "auth_failed"
+  | Bad_request -> "bad_request"
+  | Query_failed -> "query_failed"
+  | Invalid_changes -> "invalid_changes"
+  | Quota_exceeded -> "quota_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+type request =
+  | Hello of { version : int; token : string }
+  | Ping
+  | Query of string
+  | Apply of changes
+  | Subscribe of string
+  | Status
+  | Close
+
+type response =
+  | Hello_ok of { version : int; seq : int }
+  | Pong
+  | Answer of { columns : string list; rows : Relation.t }
+  | Applied of { seq : int; deltas : changes }
+  | Sub_ok of string
+  | Status_reply of string
+  | Bye
+  | Delta of { seq : int; pred : string; delta : Relation.t }
+  | Error of { code : error_code; message : string }
+
+(* ---------------- opcodes ---------------- *)
+
+let op_hello = 0x01
+let op_ping = 0x02
+let op_query = 0x03
+let op_apply = 0x04
+let op_subscribe = 0x05
+let op_status = 0x06
+let op_close = 0x07
+let op_hello_ok = 0x81
+let op_pong = 0x82
+let op_answer = 0x83
+let op_applied = 0x84
+let op_sub_ok = 0x85
+let op_status_reply = 0x86
+let op_bye = 0x87
+let op_delta = 0x88
+let op_error = 0x7F
+
+(* The normative opcode table, drift-checked against docs/PROTOCOL.md
+   (every row there must appear here and vice versa, and every opcode
+   must round-trip through the codec — test/test_docs.ml). *)
+let opcodes =
+  [
+    (op_hello, "hello");
+    (op_ping, "ping");
+    (op_query, "query");
+    (op_apply, "apply");
+    (op_subscribe, "subscribe");
+    (op_status, "status");
+    (op_close, "close");
+    (op_error, "error");
+    (op_hello_ok, "hello_ok");
+    (op_pong, "pong");
+    (op_answer, "answer");
+    (op_applied, "applied");
+    (op_sub_ok, "sub_ok");
+    (op_status_reply, "status_reply");
+    (op_bye, "bye");
+    (op_delta, "delta");
+  ]
+
+let opcode_of_request = function
+  | Hello _ -> op_hello
+  | Ping -> op_ping
+  | Query _ -> op_query
+  | Apply _ -> op_apply
+  | Subscribe _ -> op_subscribe
+  | Status -> op_status
+  | Close -> op_close
+
+let opcode_of_response = function
+  | Hello_ok _ -> op_hello_ok
+  | Pong -> op_pong
+  | Answer _ -> op_answer
+  | Applied _ -> op_applied
+  | Sub_ok _ -> op_sub_ok
+  | Status_reply _ -> op_status_reply
+  | Bye -> op_bye
+  | Delta _ -> op_delta
+  | Error _ -> op_error
+
+(* ---------------- encoding ---------------- *)
+
+let put_changes buf (changes : changes) =
+  Wire.put_u32 buf (List.length changes);
+  List.iter
+    (fun (pred, delta) ->
+      Wire.put_string buf pred;
+      Wire.put_relation buf delta)
+    changes
+
+let encode_request (req : request) : string =
+  let buf = Buffer.create 64 in
+  Wire.put_u8 buf (opcode_of_request req);
+  (match req with
+  | Hello { version; token } ->
+    Buffer.add_string buf magic;
+    Wire.put_u32 buf version;
+    Wire.put_string buf token
+  | Ping | Status | Close -> ()
+  | Query body -> Wire.put_string buf body
+  | Apply changes -> put_changes buf changes
+  | Subscribe pred -> Wire.put_string buf pred);
+  Buffer.contents buf
+
+let encode_response (resp : response) : string =
+  let buf = Buffer.create 64 in
+  Wire.put_u8 buf (opcode_of_response resp);
+  (match resp with
+  | Hello_ok { version; seq } ->
+    Wire.put_u32 buf version;
+    Wire.put_i64 buf seq
+  | Pong | Bye -> ()
+  | Answer { columns; rows } ->
+    Wire.put_u32 buf (List.length columns);
+    List.iter (Wire.put_string buf) columns;
+    Wire.put_relation buf rows
+  | Applied { seq; deltas } ->
+    Wire.put_i64 buf seq;
+    put_changes buf deltas
+  | Sub_ok pred -> Wire.put_string buf pred
+  | Status_reply json -> Wire.put_string buf json
+  | Delta { seq; pred; delta } ->
+    Wire.put_i64 buf seq;
+    Wire.put_string buf pred;
+    Wire.put_relation buf delta
+  | Error { code; message } ->
+    Wire.put_u8 buf (error_code_int code);
+    Wire.put_string buf message);
+  Buffer.contents buf
+
+(* ---------------- decoding ---------------- *)
+
+let get_changes r : changes =
+  List.init (Wire.get_u32 r) (fun _ ->
+      let pred = Wire.get_string r in
+      let delta = Wire.get_relation r in
+      (pred, delta))
+
+let get_magic r =
+  let m =
+    String.init (String.length magic) (fun _ -> Char.chr (Wire.get_u8 r))
+  in
+  if m <> magic then
+    Wire.corrupt r (Printf.sprintf "bad magic %S (want %S)" m magic)
+
+let finish r v =
+  if Wire.remaining r <> 0 then
+    Wire.corrupt r
+      (Printf.sprintf "%d trailing bytes in message" (Wire.remaining r));
+  v
+
+let decode_request (payload : string) : request =
+  let r = Wire.reader payload in
+  let op = Wire.get_u8 r in
+  finish r
+  @@
+  if op = op_hello then begin
+    get_magic r;
+    let version = Wire.get_u32 r in
+    let token = Wire.get_string r in
+    Hello { version; token }
+  end
+  else if op = op_ping then Ping
+  else if op = op_query then Query (Wire.get_string r)
+  else if op = op_apply then Apply (get_changes r)
+  else if op = op_subscribe then Subscribe (Wire.get_string r)
+  else if op = op_status then Status
+  else if op = op_close then Close
+  else Wire.corrupt r (Printf.sprintf "bad request opcode 0x%02x" op)
+
+let decode_response (payload : string) : response =
+  let r = Wire.reader payload in
+  let op = Wire.get_u8 r in
+  finish r
+  @@
+  if op = op_hello_ok then begin
+    let version = Wire.get_u32 r in
+    let seq = Wire.get_i64 r in
+    Hello_ok { version; seq }
+  end
+  else if op = op_pong then Pong
+  else if op = op_answer then begin
+    let columns = List.init (Wire.get_u32 r) (fun _ -> Wire.get_string r) in
+    let rows = Wire.get_relation r in
+    Answer { columns; rows }
+  end
+  else if op = op_applied then begin
+    let seq = Wire.get_i64 r in
+    let deltas = get_changes r in
+    Applied { seq; deltas }
+  end
+  else if op = op_sub_ok then Sub_ok (Wire.get_string r)
+  else if op = op_status_reply then Status_reply (Wire.get_string r)
+  else if op = op_bye then Bye
+  else if op = op_delta then begin
+    let seq = Wire.get_i64 r in
+    let pred = Wire.get_string r in
+    let delta = Wire.get_relation r in
+    Delta { seq; pred; delta }
+  end
+  else if op = op_error then begin
+    let code =
+      match error_code_of_int (Wire.get_u8 r) with
+      | Some c -> c
+      | None -> Wire.corrupt r "bad error code"
+    in
+    let message = Wire.get_string r in
+    Error { code; message }
+  end
+  else Wire.corrupt r (Printf.sprintf "bad response opcode 0x%02x" op)

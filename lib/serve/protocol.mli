@@ -1,0 +1,79 @@
+(** The [ivm_serve] wire protocol: opcode-tagged request/response
+    messages over the shared {!Ivm_wire} codec, carried in
+    {!Ivm_wire.Frame} envelopes (u32 length, u32 CRC-32, payload).
+
+    [docs/PROTOCOL.md] specifies every byte — this module is its
+    reference implementation, and [test/test_docs.ml] drift-checks the
+    spec's opcode table against {!opcodes} and round-trips every opcode
+    through the codec.  The first message on a connection must be
+    [Hello] (magic {!magic}, version {!version}, auth token); everything
+    else is rejected until the handshake succeeds. *)
+
+module Relation = Ivm_relation.Relation
+
+val magic : string
+
+(** Protocol version, currently [1].  The server rejects a [Hello]
+    carrying any other version with [Error Bad_version]. *)
+val version : int
+
+(** One change batch: per-predicate signed deltas, structurally
+    [Ivm.Changes.t] and encoded exactly like a WAL record body. *)
+type changes = (string * Relation.t) list
+
+type error_code =
+  | Bad_version  (** handshake version (or magic) not understood *)
+  | Auth_failed  (** token did not match the server's *)
+  | Bad_request  (** malformed or out-of-order message *)
+  | Query_failed  (** query parse/safety/unknown-predicate failure *)
+  | Invalid_changes  (** batch rejected by validation, nothing applied *)
+  | Quota_exceeded  (** session or batch quota hit *)
+  | Shutting_down  (** server is draining; retry elsewhere *)
+  | Internal  (** unexpected server-side failure *)
+
+val error_code_int : error_code -> int
+val error_code_of_int : int -> error_code option
+val error_code_name : error_code -> string
+
+type request =
+  | Hello of { version : int; token : string }
+  | Ping
+  | Query of string  (** ad-hoc Datalog body, e.g. ["hop(a, X)"] *)
+  | Apply of changes  (** one atomic batch; group-committed *)
+  | Subscribe of string  (** push per-batch deltas of this view *)
+  | Status
+  | Close
+
+type response =
+  | Hello_ok of { version : int; seq : int }
+      (** [seq]: last durable WAL sequence number *)
+  | Pong
+  | Answer of { columns : string list; rows : Relation.t }
+  | Applied of { seq : int; deltas : changes }
+      (** [seq]: the group-commit sequence this batch is durable at *)
+  | Sub_ok of string
+  | Status_reply of string  (** a JSON document *)
+  | Bye
+  | Delta of { seq : int; pred : string; delta : Relation.t }
+      (** pushed to subscribers after each committed batch *)
+  | Error of { code : error_code; message : string }
+
+(** The normative opcode table ([(code, name)]), in spec order; the one
+    [docs/PROTOCOL.md] §3 must mirror row for row. *)
+val opcodes : (int * string) list
+
+val opcode_of_request : request -> int
+val opcode_of_response : response -> int
+
+(** Encode to a frame payload (the caller wraps it in
+    {!Ivm_wire.Frame}). *)
+val encode_request : request -> string
+
+val encode_response : response -> string
+
+(** Decode a verified frame payload.
+    @raise Ivm_wire.Wire.Corrupt on a bad opcode, truncated body, or
+    trailing bytes. *)
+val decode_request : string -> request
+
+val decode_response : string -> response

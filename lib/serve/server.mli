@@ -1,0 +1,68 @@
+(** The multi-client view server: a TCP front door over one
+    {!Ivm.View_manager} speaking the {!Protocol} codec in
+    {!Ivm_wire.Frame} envelopes (see [docs/PROTOCOL.md]).
+
+    Concurrency shape (ARCHITECTURE.md §16): an accept domain, a pool of
+    reader domains that own the client sockets and answer queries
+    against an atomically-published immutable snapshot, and a single
+    writer domain that drains queued [Apply] batches and commits each
+    drain as a {e group} — per batch normalize → WAL append (unsynced) →
+    maintain, then one fsync ({!Ivm.View_manager.apply_group}), then
+    snapshot publication, acks, and subscriber delta fan-out.
+
+    Invariant 11: snapshot publication and every [Applied] /
+    [Delta] message happen strictly after the group's fsync, so no
+    client ever observes a batch the WAL has not made durable. *)
+
+type config = {
+  auth_token : string option;
+      (** when set, [Hello] must carry exactly this token *)
+  max_sessions : int;  (** connections beyond this are refused *)
+  max_batch_tuples : int;  (** per-[Apply] tuple quota *)
+  readers : int;  (** reader-domain pool size (>= 1) *)
+  client_timeout_s : float;
+      (** socket send/receive timeout; a stalled client is dropped after
+          at most this long, and can only ever stall its own reader *)
+}
+
+(** [{auth_token = None; max_sessions = 64; max_batch_tuples = 100_000;
+    readers = 2; client_timeout_s = 5.0}] *)
+val default_config : config
+
+type t
+
+(** Point-in-time counters, also exported through {!Ivm_obs.Metrics} as
+    [ivm_serve_*]. *)
+type stats = {
+  sessions : int;  (** currently connected *)
+  accepted : int;  (** connections accepted since start *)
+  group_commits : int;  (** fsyncs *)
+  committed_batches : int;  (** batches successfully applied *)
+  deltas_pushed : int;
+  protocol_errors : int;  (** [Error] responses sent *)
+}
+
+(** Start serving [vm] on [host:port] ([port = 0] picks an ephemeral
+    port, see {!port}).  Spawns [config.readers + 2] domains.  The
+    caller must not mutate [vm] while the server runs — the writer
+    domain owns it.  Registers an [at_exit] stop, like
+    [Ivm_monitor.Monitor]. *)
+val start :
+  ?host:string -> ?config:config -> vm:Ivm.View_manager.t -> port:int ->
+  unit -> t
+
+(** Graceful shutdown: stop accepting, drain and group-commit the
+    pending apply queue, send [Bye] to every session, close everything,
+    join all domains.  Idempotent. *)
+val stop : t -> unit
+
+(** The bound port. *)
+val port : t -> int
+
+val manager : t -> Ivm.View_manager.t
+val stats : t -> stats
+
+(** The [Status_reply] document: a ["server"] section (sessions, commit
+    and delta counters, published sequence) plus the manager's
+    {!Ivm.View_manager.status_json} under ["manager"]. *)
+val status_json : t -> Ivm_obs.Json.t

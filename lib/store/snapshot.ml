@@ -1,3 +1,5 @@
+module Wire = Ivm_wire.Wire
+module Crc32 = Ivm_wire.Crc32
 module Relation = Ivm_relation.Relation
 module Ast = Ivm_datalog.Ast
 module Parser = Ivm_datalog.Parser

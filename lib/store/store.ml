@@ -92,9 +92,11 @@ let open_ ~dir : Database.t * t * recovery =
     in
     (db, t, recovery)
 
-let append t (changes : changes) : unit =
+let append ?sync:(s = true) t (changes : changes) : unit =
   t.last_seq <- t.last_seq + 1;
-  Wal.append t.wal ~seq:t.last_seq changes
+  Wal.append ~sync:s t.wal ~seq:t.last_seq changes
+
+let sync t = Wal.sync t.wal
 
 let compact t (db : Database.t) : unit =
   t.snap_bytes <- Snapshot.save ~path:(snapshot_file t.sdir) ~seq:t.last_seq db;

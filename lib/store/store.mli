@@ -64,8 +64,15 @@ val initialize : dir:string -> Ivm_eval.Database.t -> t
     @raise Corrupt if the snapshot or the log header is unrecoverable. *)
 val open_ : dir:string -> Ivm_eval.Database.t * t * recovery
 
-(** Log one validated change batch, fsync'd durable before returning. *)
-val append : t -> changes -> unit
+(** Log one validated change batch.  [~sync:true] (the default) fsyncs
+    before returning; [~sync:false] defers the fsync for a group commit —
+    append the whole queue, then make it all durable with one {!sync}
+    (see {!Wal.append}). *)
+val append : ?sync:bool -> t -> changes -> unit
+
+(** Force every deferred append durable — the single fsync that commits
+    a group. *)
+val sync : t -> unit
 
 (** Fold the log into a fresh snapshot of [db] (which must reflect every
     appended batch) and reset the log. *)

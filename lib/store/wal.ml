@@ -1,3 +1,6 @@
+module Wire = Ivm_wire.Wire
+module Crc32 = Ivm_wire.Crc32
+module Frame = Ivm_wire.Frame
 module Relation = Ivm_relation.Relation
 module Metrics = Ivm_obs.Metrics
 module Trace = Ivm_obs.Trace
@@ -128,18 +131,28 @@ let open_append ~path : t * tail =
   Metrics.set wal_bytes_g (float_of_int t.size);
   (t, tail)
 
-let append t ~seq (changes : changes) : unit =
+let fsyncs_c = Metrics.counter "ivm_store_wal_fsyncs_total"
+
+let sync t =
+  fsync_oc t.oc;
+  Metrics.inc fsyncs_c
+
+(* [~sync:false] is the group-commit half: the frame is written to the
+   OS but not forced to disk, so a caller can append a whole queue of
+   batches and pay one fsync ({!sync}) for all of them.  Until that
+   [sync] returns, the records are not durable — the caller must not
+   acknowledge or publish them (ARCHITECTURE.md invariant 11). *)
+let append ?(sync = true) t ~seq (changes : changes) : unit =
   Trace.span "store.append" (fun () ->
       let payload = encode_payload ~seq changes in
-      let frame = Buffer.create (String.length payload + 8) in
-      Wire.put_u32 frame (String.length payload);
-      Buffer.add_int32_le frame (Crc32.digest payload);
-      Buffer.add_string frame payload;
-      Out_channel.output_string t.oc (Buffer.contents frame);
-      fsync_oc t.oc;
-      t.size <- t.size + Buffer.length frame;
+      let frame = Frame.encode payload in
+      Out_channel.output_string t.oc frame;
+      if sync then (
+        fsync_oc t.oc;
+        Metrics.inc fsyncs_c);
+      t.size <- t.size + String.length frame;
       t.count <- t.count + 1;
-      Metrics.add bytes_written_c (Buffer.length frame);
+      Metrics.add bytes_written_c (String.length frame);
       Metrics.inc records_c;
       Metrics.set wal_bytes_g (float_of_int t.size))
 

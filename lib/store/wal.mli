@@ -52,8 +52,18 @@ type t
     result. *)
 val open_append : path:string -> t * tail
 
-(** Append one record and fsync it durable before returning. *)
-val append : t -> seq:int -> changes -> unit
+(** Append one record.  With [~sync:true] (the default) the record is
+    fsync'd durable before returning.  [~sync:false] is the group-commit
+    half: the frame reaches the OS but not necessarily the disk — the
+    caller batches several appends and then calls {!sync} once, paying a
+    single fsync for the whole group.  Records appended with
+    [~sync:false] {b must not be acknowledged or published} until that
+    {!sync} returns. *)
+val append : ?sync:bool -> t -> seq:int -> changes -> unit
+
+(** Force every buffered append durable (the one fsync of a group
+    commit). *)
+val sync : t -> unit
 
 (** Truncate to the empty state (header only) — log compaction, after the
     snapshot covering the records has been durably saved. *)

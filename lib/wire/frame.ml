@@ -1,0 +1,56 @@
+(* Length-prefixed, CRC-checked frames: the common envelope of the
+   write-ahead log's records and the serve protocol's messages.
+
+   frame := u32 payload-length L | u32 CRC-32(payload) | L payload bytes
+
+   One implementation so the two consumers cannot drift: [Wal.append]
+   writes [encode] output to the log, [Ivm_serve] writes it to sockets
+   and reads it back with [read_fd]. *)
+
+exception Closed
+
+(* A frame header naming a multi-gigabyte payload is a desynchronized or
+   hostile peer, not a real message; failing fast beats allocating. *)
+let max_payload = 1 lsl 26
+
+let encode (payload : string) : string =
+  let frame = Buffer.create (String.length payload + 8) in
+  Wire.put_u32 frame (String.length payload);
+  Buffer.add_int32_le frame (Crc32.digest payload);
+  Buffer.add_string frame payload;
+  Buffer.contents frame
+
+let rec read_exact fd buf off len =
+  if len > 0 then begin
+    let n = Unix.read fd buf off len in
+    if n = 0 then raise Closed;
+    read_exact fd buf (off + n) (len - n)
+  end
+
+let read_fd fd : string =
+  let hdr = Bytes.create 8 in
+  read_exact fd hdr 0 8;
+  let len = Int32.to_int (Bytes.get_int32_le hdr 0) land 0xFFFFFFFF in
+  if len > max_payload then
+    raise (Wire.Corrupt (Printf.sprintf "frame claims %d payload bytes" len));
+  let stored_crc = Bytes.get_int32_le hdr 4 in
+  let payload = Bytes.create len in
+  read_exact fd payload 0 len;
+  let payload = Bytes.unsafe_to_string payload in
+  if Crc32.digest payload <> stored_crc then
+    raise
+      (Wire.Corrupt
+         (Printf.sprintf "frame CRC mismatch (stored %08lx, computed %08lx)"
+            stored_crc (Crc32.digest payload)));
+  payload
+
+let write_fd fd (payload : string) : unit =
+  let s = encode payload in
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write fd b !off (n - !off) in
+    if w <= 0 then raise Closed;
+    off := !off + w
+  done

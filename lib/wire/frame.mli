@@ -1,0 +1,32 @@
+(** Length-prefixed, CRC-checked frames — the common envelope of
+    write-ahead-log records and [ivm_serve] protocol messages.
+
+    A frame is [u32] payload length, [u32] CRC-32 of the payload, then
+    the payload bytes (all little-endian, no padding); see
+    [docs/PERSISTENCE.md] §4 and [docs/PROTOCOL.md] §2.  The WAL appends
+    {!encode} output to a file; the serve protocol writes it to sockets
+    and reads it back with {!read_fd} — one implementation, so the two
+    formats cannot drift. *)
+
+(** The peer closed the descriptor mid-frame (EOF before the declared
+    length arrived). *)
+exception Closed
+
+(** Declared payload lengths above this (64 MiB) are rejected as
+    {!Wire.Corrupt} before any allocation: a desynchronized or hostile
+    peer, not a real message. *)
+val max_payload : int
+
+(** [encode payload] is the 8-byte header followed by [payload]. *)
+val encode : string -> string
+
+(** Blocking read of exactly one frame; returns the verified payload.
+    @raise Closed on EOF mid-frame;
+    @raise Wire.Corrupt on an implausible length or CRC mismatch;
+    @raise Unix.Unix_error as the underlying reads do (e.g. a socket
+    receive timeout). *)
+val read_fd : Unix.file_descr -> string
+
+(** Blocking write of one complete frame.  @raise Closed if the
+    descriptor stops accepting bytes. *)
+val write_fd : Unix.file_descr -> string -> unit

@@ -4,6 +4,11 @@ module Relation = Ivm_relation.Relation
 
 exception Corrupt of string
 
+(* Codec generation.  Bumped whenever any encoding below changes shape;
+   the containing artifacts (snapshot, WAL, serve protocol) embed it in
+   their own version handshakes. *)
+let version = 1
+
 (* ---------------- encoding ---------------- *)
 
 let put_u8 buf n = Buffer.add_uint8 buf (n land 0xff)

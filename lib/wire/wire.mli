@@ -1,10 +1,12 @@
-(** Binary wire codec shared by the snapshot and the write-ahead log.
+(** Binary wire codec shared by the snapshot, the write-ahead log, and
+    the [ivm_serve] client/server protocol.
 
     Every multi-byte integer is {b little-endian} and fixed-width; strings
     and relations are length-prefixed.  The exact byte layout is specified
-    in [docs/PERSISTENCE.md] — this module is its reference
-    implementation, and the formats are a compatibility contract: changing
-    any encoding requires bumping the containing artifact's version.
+    in [docs/PERSISTENCE.md] (storage) and [docs/PROTOCOL.md] (network) —
+    this module is their shared reference implementation, and the formats
+    are a compatibility contract: changing any encoding requires bumping
+    {!version} and the containing artifact's own version.
 
     Encoders append to a [Buffer.t]; decoders read from a [string] through
     a mutable cursor and raise {!Corrupt} (never [Invalid_argument] or an
@@ -18,6 +20,11 @@ module Relation = Ivm_relation.Relation
 (** Malformed bytes: truncation, a bad tag, a negative length… the
     message says what was being decoded and where. *)
 exception Corrupt of string
+
+(** Codec generation, currently [1].  Containing artifacts (snapshot,
+    WAL, serve protocol) embed it in their own version handshakes;
+    readers reject generations they do not know. *)
+val version : int
 
 (** {2 Encoding} *)
 

@@ -34,4 +34,5 @@ let () =
       ("differential", Test_differential.suite);
       ("prov", Test_prov.suite);
       ("statecheck", Test_statecheck.suite);
+      ("serve", Test_serve.suite);
     ]

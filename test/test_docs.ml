@@ -149,10 +149,204 @@ let test_statecheck_vocabulary_documented () =
         true (List.mem cmd from_help))
     Ivm_statecheck.Cmd.vocabulary
 
+(* ---------------- the protocol spec (docs/PROTOCOL.md) ---------------- *)
+
+module Protocol = Ivm_serve.Protocol
+
+let protocol_spec () =
+  locate
+    [ Filename.concat (Filename.concat ".." "docs") "PROTOCOL.md";
+      "docs/PROTOCOL.md" ]
+
+(* Lines of one "## N. Title" section of the spec. *)
+let spec_section heading =
+  let lines = read_lines (protocol_spec ()) in
+  let rec find = function
+    | [] -> Alcotest.failf "PROTOCOL.md has no %S section" heading
+    | l :: rest -> if String.trim l = heading then rest else find rest
+  in
+  let rec take acc = function
+    | [] -> List.rev acc
+    | l :: _ when String.length l > 2 && String.sub l 0 3 = "## " -> List.rev acc
+    | l :: rest -> take (l :: acc) rest
+  in
+  take [] (find lines)
+
+(* First two backtick-quoted cells of a markdown table row. *)
+let row_cells l =
+  if String.length l < 2 || String.sub l 0 2 <> "| " then None
+  else
+    match String.split_on_char '`' l with
+    | _ :: first :: _ :: second :: _ -> Some (first, second)
+    | _ -> None
+
+let test_opcode_table_matches_protocol () =
+  let from_spec =
+    List.filter_map
+      (fun l ->
+        match row_cells l with
+        | Some (code, name) when String.length code > 2 && String.sub code 0 2 = "0x"
+          -> Some (int_of_string code, name)
+        | _ -> None)
+      (spec_section "## 3. Opcodes")
+  in
+  Alcotest.(check (list (pair int string)))
+    "PROTOCOL.md §3 opcode table = Protocol.opcodes (same rows, same order)"
+    Protocol.opcodes from_spec
+
+let test_error_table_matches_protocol () =
+  let from_spec =
+    List.filter_map
+      (fun l ->
+        match row_cells l with
+        | Some (code, name) -> (
+          match int_of_string_opt code with
+          | Some c -> Some (c, name)
+          | None -> None)
+        | _ -> None)
+      (spec_section "## 6. Error codes")
+  in
+  let from_code =
+    List.filter_map
+      (fun c ->
+        Option.map
+          (fun e -> (c, Protocol.error_code_name e))
+          (Protocol.error_code_of_int c))
+      (List.init 32 Fun.id)
+  in
+  Alcotest.(check (list (pair int string)))
+    "PROTOCOL.md §6 error table = Protocol error codes" from_code from_spec
+
+(* One sample message per opcode; encoding and re-decoding each proves
+   every opcode the spec lists is live in the real codec. *)
+let sample_messages : (int * string) list =
+  let rel = Ivm_relation.Relation.of_list 1 [] in
+  let requests =
+    [ Protocol.Hello { version = Protocol.version; token = "t" };
+      Protocol.Ping; Protocol.Query "p(X)"; Protocol.Apply [ ("p", rel) ];
+      Protocol.Subscribe "v"; Protocol.Status; Protocol.Close ]
+  in
+  let responses =
+    [ Protocol.Hello_ok { version = Protocol.version; seq = 7 };
+      Protocol.Pong;
+      Protocol.Answer { columns = [ "X" ]; rows = rel };
+      Protocol.Applied { seq = 7; deltas = [ ("v", rel) ] };
+      Protocol.Sub_ok "v"; Protocol.Status_reply "{}"; Protocol.Bye;
+      Protocol.Delta { seq = 7; pred = "v"; delta = rel };
+      Protocol.Error { code = Protocol.Internal; message = "m" } ]
+  in
+  List.map
+    (fun r ->
+      let payload = Protocol.encode_request r in
+      (* decode must succeed and preserve the opcode; semantic equality
+         is the serve suite's QCheck property *)
+      if
+        Protocol.opcode_of_request (Protocol.decode_request payload)
+        <> Protocol.opcode_of_request r
+      then
+        Alcotest.failf "request opcode 0x%02x did not round-trip"
+          (Protocol.opcode_of_request r);
+      (Protocol.opcode_of_request r, payload))
+    requests
+  @ List.map
+      (fun r ->
+        let payload = Protocol.encode_response r in
+        if
+          Protocol.opcode_of_response (Protocol.decode_response payload)
+          <> Protocol.opcode_of_response r
+        then
+          Alcotest.failf "response opcode 0x%02x did not round-trip"
+            (Protocol.opcode_of_response r);
+        (Protocol.opcode_of_response r, payload))
+      responses
+
+let test_every_spec_opcode_roundtrips () =
+  let covered = List.map fst sample_messages in
+  List.iter
+    (fun (code, name) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "spec opcode 0x%02x (%s) round-trips through the codec"
+           code name)
+        true (List.mem code covered))
+    Protocol.opcodes;
+  (* and the codec has no opcodes the spec forgot *)
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "codec opcode 0x%02x is in the spec table" code)
+        true
+        (List.mem_assoc code Protocol.opcodes))
+    covered
+
+(* ---------------- the client's command table ---------------- *)
+
+let client_exe () =
+  locate
+    [ Filename.concat (Filename.concat ".." "bin") "ivm_client.exe";
+      "_build/default/bin/ivm_client.exe" ]
+
+(* `help` must work offline — the client only connects on demand. *)
+let client_help_commands () =
+  let exe = client_exe () in
+  let ic = Unix.open_process_in (Filename.quote_command exe [ "-e"; "help" ]) in
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some l -> go (l :: acc)
+    | None -> List.rev acc
+  in
+  let lines = go [] in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 ->
+    List.filter_map
+      (fun l -> if is_command_line l then Some (phrase_of_line l) else None)
+      lines
+  | _ -> Alcotest.failf "%s -e help did not exit cleanly (offline)" exe
+
+let client_section_heading = "### Server client commands"
+
+let client_readme_commands () =
+  let lines = read_lines (readme ()) in
+  let rec find = function
+    | [] -> Alcotest.failf "README.md has no %S section" client_section_heading
+    | l :: rest -> if String.trim l = client_section_heading then rest else find rest
+  in
+  let rec rows acc = function
+    | [] -> List.rev acc
+    | l :: _ when String.length l > 0 && l.[0] = '#' -> List.rev acc
+    | l :: rest ->
+      let acc =
+        if String.length l > 3 && String.sub l 0 3 = "| `" then
+          match String.index_from_opt l 3 '`' with
+          | Some close -> String.sub l 3 (close - 3) :: acc
+          | None -> Alcotest.failf "unterminated command cell in README row %S" l
+        else acc
+      in
+      rows acc rest
+  in
+  rows [] (find lines)
+
+let test_client_table_matches_help () =
+  let from_help = client_help_commands () in
+  let from_readme = client_readme_commands () in
+  Alcotest.(check bool) "client help lists commands" true
+    (List.length from_help >= 8);
+  Alcotest.(check (list string))
+    "README server-client table = ivm-client `help` output (same commands, \
+     same order)"
+    from_help from_readme
+
 let suite =
   [
     Alcotest.test_case "shell command table tracks help" `Quick
       test_command_table_matches_help;
+    Alcotest.test_case "protocol spec opcode table tracks the codec" `Quick
+      test_opcode_table_matches_protocol;
+    Alcotest.test_case "protocol spec error table tracks the codec" `Quick
+      test_error_table_matches_protocol;
+    Alcotest.test_case "every spec opcode round-trips" `Quick
+      test_every_spec_opcode_roundtrips;
+    Alcotest.test_case "client command table tracks help" `Quick
+      test_client_table_matches_help;
     Alcotest.test_case "statecheck vocabulary tracks help" `Quick
       test_statecheck_vocabulary_documented;
     Alcotest.test_case "monitor + explain commands documented" `Quick

@@ -601,9 +601,9 @@ let wire_roundtrip_prop =
               (map Tuple.of_list (list_repeat 3 value_gen)))))
     (fun r ->
       let buf = Buffer.create 256 in
-      Ivm_store.Wire.put_relation buf r;
+      Ivm_wire.Wire.put_relation buf r;
       let decoded =
-        Ivm_store.Wire.get_relation (Ivm_store.Wire.reader (Buffer.contents buf))
+        Ivm_wire.Wire.get_relation (Ivm_wire.Wire.reader (Buffer.contents buf))
       in
       let interned = ref true in
       Relation.iter

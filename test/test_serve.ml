@@ -1,0 +1,465 @@
+(** The view server: protocol codec round-trips (QCheck), frame
+    hardening, group commit ({!Ivm.View_manager.apply_group}), and
+    live-socket behaviour — snapshot-consistent concurrent readers,
+    subscriber fan-out, misbehaving-client isolation, and durability of
+    every acknowledged batch across a reopen. *)
+
+module Vm = Ivm.View_manager
+module Changes = Ivm.Changes
+module Relation = Ivm_relation.Relation
+module Tuple = Ivm_relation.Tuple
+module Value = Ivm_relation.Value
+module Wire = Ivm_wire.Wire
+module Frame = Ivm_wire.Frame
+module Protocol = Ivm_serve.Protocol
+module Server = Ivm_serve.Server
+module Client = Ivm_serve.Client
+module Metrics = Ivm_obs.Metrics
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let q ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let tmpdir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  d
+
+(* ---------------- generators ---------------- *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map Value.int (int_range (-1000) 1000);
+        map Value.str (string_size ~gen:(char_range 'a' 'z') (int_range 0 6));
+        map Value.bool bool;
+        map (fun i -> Value.float (float_of_int i /. 8.)) (int_range (-80) 80);
+      ])
+
+let relation_gen ~arity =
+  QCheck.Gen.(
+    let tuple = map Tuple.of_list (list_size (return arity) value_gen) in
+    let entry =
+      map2 (fun t c -> (t, if c = 0 then 1 else c)) tuple (int_range (-3) 3)
+    in
+    map (Relation.of_list arity) (list_size (int_range 0 8) entry))
+
+let changes_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 3)
+      (map2
+         (fun name rel -> (name, rel))
+         (string_size ~gen:(char_range 'a' 'z') (int_range 1 5))
+         (relation_gen ~arity:2)))
+
+let token_gen = QCheck.Gen.(string_size ~gen:printable (int_range 0 12))
+
+let request_gen : Protocol.request QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun version token -> Protocol.Hello { version; token })
+          (int_range 0 5) token_gen;
+        return Protocol.Ping;
+        map (fun s -> Protocol.Query s) token_gen;
+        map (fun c -> Protocol.Apply c) changes_gen;
+        map (fun s -> Protocol.Subscribe s) token_gen;
+        return Protocol.Status;
+        return Protocol.Close;
+      ])
+
+let error_code_gen =
+  QCheck.Gen.oneofl
+    Protocol.
+      [
+        Bad_version; Auth_failed; Bad_request; Query_failed; Invalid_changes;
+        Quota_exceeded; Shutting_down; Internal;
+      ]
+
+let response_gen : Protocol.response QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun version seq -> Protocol.Hello_ok { version; seq })
+          (int_range 0 5) (int_range 0 1_000_000);
+        return Protocol.Pong;
+        map2
+          (fun columns rows -> Protocol.Answer { columns; rows })
+          (list_size (int_range 0 3) token_gen)
+          (relation_gen ~arity:2);
+        map2
+          (fun seq deltas -> Protocol.Applied { seq; deltas })
+          (int_range 0 1_000_000) changes_gen;
+        map (fun s -> Protocol.Sub_ok s) token_gen;
+        map (fun s -> Protocol.Status_reply s) token_gen;
+        return Protocol.Bye;
+        map3
+          (fun seq pred delta -> Protocol.Delta { seq; pred; delta })
+          (int_range 0 1_000_000) token_gen (relation_gen ~arity:1);
+        map2
+          (fun code message -> Protocol.Error { code; message })
+          error_code_gen token_gen;
+      ])
+
+(* ---------------- semantic equality ---------------- *)
+
+let eq_changes (a : Protocol.changes) (b : Protocol.changes) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (p, r) (p', r') -> p = p' && Relation.equal_counted r r')
+       a b
+
+let eq_request (a : Protocol.request) (b : Protocol.request) =
+  match (a, b) with
+  | Protocol.Apply x, Protocol.Apply y -> eq_changes x y
+  | _ -> a = b
+
+let eq_response (a : Protocol.response) (b : Protocol.response) =
+  match (a, b) with
+  | Protocol.Answer x, Protocol.Answer y ->
+    x.columns = y.columns && Relation.equal_counted x.rows y.rows
+  | Protocol.Applied x, Protocol.Applied y ->
+    x.seq = y.seq && eq_changes x.deltas y.deltas
+  | Protocol.Delta x, Protocol.Delta y ->
+    x.seq = y.seq && x.pred = y.pred && Relation.equal_counted x.delta y.delta
+  | _ -> a = b
+
+(* ---------------- codec properties ---------------- *)
+
+let request_arb =
+  QCheck.make request_gen ~print:(fun r ->
+      Printf.sprintf "request opcode 0x%02x" (Protocol.opcode_of_request r))
+
+let response_arb =
+  QCheck.make response_gen ~print:(fun r ->
+      Printf.sprintf "response opcode 0x%02x" (Protocol.opcode_of_response r))
+
+let request_roundtrip =
+  q "codec: requests round-trip" request_arb (fun req ->
+      eq_request req (Protocol.decode_request (Protocol.encode_request req)))
+
+let response_roundtrip =
+  q "codec: responses round-trip" response_arb (fun resp ->
+      eq_response resp (Protocol.decode_response (Protocol.encode_response resp)))
+
+let frame_roundtrip =
+  q "codec: framed messages survive the fd layer" request_arb (fun req ->
+      let r, w = Unix.pipe () in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close r with Unix.Unix_error _ -> ());
+          try Unix.close w with Unix.Unix_error _ -> ())
+        (fun () ->
+          Frame.write_fd w (Protocol.encode_request req);
+          eq_request req (Protocol.decode_request (Frame.read_fd r))))
+
+let trailing_bytes_rejected () =
+  let payload = Protocol.encode_request Protocol.Ping ^ "x" in
+  match Protocol.decode_request payload with
+  | _ -> Alcotest.fail "trailing byte accepted"
+  | exception Wire.Corrupt _ -> ()
+
+let corrupt_frame_rejected () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let frame = Bytes.of_string (Frame.encode (Protocol.encode_request Protocol.Ping)) in
+      let last = Bytes.length frame - 1 in
+      Bytes.set frame last (Char.chr (Char.code (Bytes.get frame last) lxor 0x01));
+      ignore (Unix.write w frame 0 (Bytes.length frame));
+      match Frame.read_fd r with
+      | _ -> Alcotest.fail "bit flip not detected"
+      | exception Wire.Corrupt _ -> ())
+
+let truncated_frame_is_closed () =
+  let r, w = Unix.pipe () in
+  (try
+     let frame = Frame.encode (Protocol.encode_request Protocol.Status) in
+     ignore (Unix.write_substring w frame 0 (String.length frame - 2));
+     Unix.close w
+   with e ->
+     Unix.close r;
+     raise e);
+  Fun.protect
+    ~finally:(fun () -> try Unix.close r with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Frame.read_fd r with
+      | _ -> Alcotest.fail "truncated frame accepted"
+      | exception Frame.Closed -> ())
+
+(* ---------------- group commit ---------------- *)
+
+let fsyncs_counter = Metrics.counter "ivm_store_wal_fsyncs_total"
+
+let link a b =
+  Tuple.of_list [ Value.str a; Value.str b ]
+
+let hop_src = "hop(X, Y) :- link(X, Z), link(Z, Y).\nlink(a, b). link(b, c).\n"
+
+let group_commit_single_fsync () =
+  let dir = tmpdir "ivm_serve_group" in
+  let vm = Vm.of_source ~durable:dir hop_src in
+  let p = Vm.program vm in
+  let batch a b = Changes.of_list p [ ("link", [ (link a b, 1) ]) ] in
+  let before = Metrics.counter_value fsyncs_counter in
+  let results = Vm.apply_group vm [ batch "c" "d"; batch "d" "e"; batch "e" "f" ] in
+  Alcotest.(check int) "one fsync for three batches" 1
+    (Metrics.counter_value fsyncs_counter - before);
+  Alcotest.(check int) "three results" 3 (List.length results);
+  List.iter
+    (fun r -> Alcotest.(check bool) "batch ok" true (Result.is_ok r))
+    results;
+  let st = Option.get (Vm.store_status vm) in
+  Alcotest.(check int) "store advanced one seq per batch" 3
+    st.Ivm_store.Store.seq;
+  Alcotest.(check bool) "audit ok" true (Vm.audit vm = Ok ());
+  Vm.close_store vm
+
+let group_commit_isolates_bad_batch () =
+  let dir = tmpdir "ivm_serve_groupbad" in
+  let vm = Vm.of_source ~durable:dir hop_src in
+  let p = Vm.program vm in
+  let good a b = Changes.of_list p [ ("link", [ (link a b, 1) ]) ] in
+  (* deleting an absent tuple violates the standing assumption — the
+     batch must be rejected without poisoning its neighbours *)
+  let bad = [ ("link", Relation.of_list 2 [ (link "no" "where", -1) ]) ] in
+  let results = Vm.apply_group vm [ good "c" "d"; bad; good "d" "e" ] in
+  (match results with
+  | [ Ok _; Error _; Ok _ ] -> ()
+  | _ -> Alcotest.fail "expected [Ok; Error; Ok]");
+  let st = Option.get (Vm.store_status vm) in
+  Alcotest.(check int) "only the two good batches were logged" 2
+    st.Ivm_store.Store.seq;
+  Alcotest.(check bool) "audit ok" true (Vm.audit vm = Ok ());
+  (* the rejected batch must also be invisible after recovery *)
+  Vm.close_store vm;
+  let vm2, _recovery = Vm.open_durable dir in
+  Alcotest.(check bool) "recovered audit ok" true (Vm.audit vm2 = Ok ());
+  Alcotest.(check bool) "good deltas present" true
+    (Relation.mem (Vm.relation vm2 "link") (link "d" "e"));
+  Vm.close_store vm2
+
+(* ---------------- live server ---------------- *)
+
+let with_server ?config ?durable src f =
+  let vm = Vm.of_source ?durable src in
+  let srv = Server.start ?config ~vm ~port:0 () in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv vm)
+
+let ab_src = "both(X) :- a(X), b(X).\n"
+
+let sym i = Value.str (Printf.sprintf "v%d" i)
+
+let pair_batch i : Protocol.changes =
+  [
+    ("a", Relation.of_list 1 [ (Tuple.of_list [ sym i ], 1) ]);
+    ("b", Relation.of_list 1 [ (Tuple.of_list [ sym i ], 1) ]);
+  ]
+
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec at i = i + nl <= tl && (String.sub text i nl = needle || at (i + 1)) in
+  at 0
+
+let basic_session () =
+  with_server hop_src (fun srv _vm ->
+      let c = Client.connect ~port:(Server.port srv) () in
+      Client.ping c;
+      let cols, rows = Client.query c "hop(a, X)" in
+      Alcotest.(check (list string)) "columns" [ "X" ] cols;
+      Alcotest.(check int) "hop(a,·) has one answer" 1 (Relation.cardinal rows);
+      let seq, deltas =
+        Client.apply c [ ("link", Relation.of_list 2 [ (link "c" "d", 1) ]) ]
+      in
+      Alcotest.(check int) "first commit is seq 1" 1 seq;
+      Alcotest.(check bool) "hop delta pushed back" true
+        (List.mem_assoc "hop" deltas);
+      let json = Client.status c in
+      Alcotest.(check bool) "status mentions group_commits" true
+        (contains json "group_commits");
+      Client.close c)
+
+let snapshot_consistency () =
+  with_server ab_src (fun srv _vm ->
+      let port = Server.port srv in
+      let batches = 60 in
+      let writer =
+        Domain.spawn (fun () ->
+            let c = Client.connect ~port () in
+            for i = 1 to batches do
+              ignore (Client.apply c (pair_batch i))
+            done;
+            Client.close c)
+      in
+      (* concurrent readers: a(X) without b(X) must never be observable —
+         each pair lands in one atomic batch, and queries run against the
+         atomically-published post-commit snapshot *)
+      let readers =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                let c = Client.connect ~port () in
+                let violations = ref 0 in
+                for _ = 1 to 150 do
+                  let _cols, rows = Client.query c "a(X), !b(X)" in
+                  if not (Relation.is_empty rows) then incr violations
+                done;
+                Client.close c;
+                !violations))
+      in
+      Domain.join writer;
+      let violations = List.fold_left (fun n d -> n + Domain.join d) 0 readers in
+      Alcotest.(check int) "no reader ever saw a half-applied pair" 0 violations;
+      let c = Client.connect ~port () in
+      let _cols, rows = Client.query c "both(X)" in
+      Alcotest.(check int) "all pairs visible at the end" batches
+        (Relation.cardinal rows);
+      Client.close c)
+
+let subscriber_receives_deltas () =
+  with_server ab_src (fun srv _vm ->
+      let port = Server.port srv in
+      let sub = Client.connect ~port () in
+      Client.subscribe sub "both";
+      let w = Client.connect ~port () in
+      let seq, _ = Client.apply w (pair_batch 1) in
+      (match Client.next_delta ~timeout:5.0 sub with
+      | Some (dseq, pred, delta) ->
+        Alcotest.(check string) "delta for the subscribed view" "both" pred;
+        Alcotest.(check int) "delta carries the commit seq" seq dseq;
+        Alcotest.(check int) "one tuple" 1 (Relation.cardinal delta)
+      | None -> Alcotest.fail "no delta within 5s");
+      Client.close w;
+      Client.close sub)
+
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let dead_subscriber_does_not_wedge_writer () =
+  with_server ab_src (fun srv _vm ->
+      let port = Server.port srv in
+      (* a subscriber that vanishes without a Close *)
+      let fd = raw_connect port in
+      Frame.write_fd fd
+        (Protocol.encode_request
+           (Protocol.Hello { version = Protocol.version; token = "" }));
+      ignore (Frame.read_fd fd);
+      Frame.write_fd fd (Protocol.encode_request (Protocol.Subscribe "both"));
+      ignore (Frame.read_fd fd);
+      Unix.close fd;
+      (* the writer must keep committing and acking for everyone else *)
+      let c = Client.connect ~port () in
+      for i = 1 to 5 do
+        let seq, _ = Client.apply c (pair_batch i) in
+        Alcotest.(check int) "acks keep flowing" i seq
+      done;
+      Client.close c)
+
+let handshake_gatekeeping () =
+  let config = { Server.default_config with auth_token = Some "s3cret" } in
+  with_server ~config ab_src (fun srv _vm ->
+      let port = Server.port srv in
+      (match Client.connect ~token:"wrong" ~port () with
+      | _ -> Alcotest.fail "bad token accepted"
+      | exception Client.Server_error (Protocol.Auth_failed, _) -> ());
+      (* wrong protocol version, right token *)
+      let fd = raw_connect port in
+      Frame.write_fd fd
+        (Protocol.encode_request (Protocol.Hello { version = 99; token = "s3cret" }));
+      (match Protocol.decode_response (Frame.read_fd fd) with
+      | Protocol.Error { code = Protocol.Bad_version; _ } -> ()
+      | _ -> Alcotest.fail "version 99 not rejected");
+      Unix.close fd;
+      (* no handshake at all *)
+      let fd = raw_connect port in
+      Frame.write_fd fd (Protocol.encode_request Protocol.Ping);
+      (match Protocol.decode_response (Frame.read_fd fd) with
+      | Protocol.Error { code = Protocol.Bad_request; _ } -> ()
+      | _ -> Alcotest.fail "unauthenticated ping not rejected");
+      Unix.close fd;
+      let c = Client.connect ~token:"s3cret" ~port () in
+      Client.ping c;
+      Client.close c)
+
+let quotas_enforced () =
+  let config =
+    { Server.default_config with max_sessions = 1; max_batch_tuples = 2 }
+  in
+  with_server ~config ab_src (fun srv _vm ->
+      let port = Server.port srv in
+      let c1 = Client.connect ~port () in
+      (match Client.connect ~port () with
+      | _ -> Alcotest.fail "second session admitted past max_sessions = 1"
+      | exception Client.Server_error (Protocol.Quota_exceeded, _) -> ()
+      | exception Frame.Closed -> ());
+      let big : Protocol.changes =
+        [
+          ( "a",
+            Relation.of_list 1
+              (List.init 3 (fun i -> (Tuple.of_list [ sym i ], 1))) );
+        ]
+      in
+      (match Client.apply c1 big with
+      | _ -> Alcotest.fail "oversized batch accepted"
+      | exception Client.Server_error (Protocol.Quota_exceeded, _) -> ());
+      (* the session survives a rejected batch *)
+      Client.ping c1;
+      (match Client.apply c1 [ ("nosuch", Relation.of_list 1 [ (Tuple.of_list [ sym 1 ], 1) ]) ] with
+      | _ -> Alcotest.fail "unknown predicate accepted"
+      | exception Client.Server_error (Protocol.Invalid_changes, _) -> ());
+      (match Client.query c1 "nosuch(X)" with
+      | _ -> Alcotest.fail "query on unknown predicate accepted"
+      | exception Client.Server_error (Protocol.Query_failed, _) -> ());
+      Client.ping c1;
+      Client.close c1)
+
+let acked_batches_survive_reopen () =
+  let dir = tmpdir "ivm_serve_reopen" in
+  let last_seq = ref 0 in
+  with_server ~durable:dir ab_src (fun srv _vm ->
+      let c = Client.connect ~port:(Server.port srv) () in
+      for i = 1 to 5 do
+        let seq, _ = Client.apply c (pair_batch i) in
+        last_seq := seq
+      done;
+      Client.close c);
+  (* with_server stopped the server; detach and reopen the store *)
+  let vm2, _recovery = Vm.open_durable dir in
+  let st = Option.get (Vm.store_status vm2) in
+  Alcotest.(check bool) "every acknowledged batch is on disk" true
+    (st.Ivm_store.Store.seq >= !last_seq);
+  Alcotest.(check int) "all five pairs recovered" 5
+    (Relation.cardinal (Vm.relation vm2 "both"));
+  Alcotest.(check bool) "recovered audit ok" true (Vm.audit vm2 = Ok ());
+  Vm.close_store vm2
+
+let suite =
+  [
+    request_roundtrip;
+    response_roundtrip;
+    frame_roundtrip;
+    quick "codec: trailing bytes rejected" trailing_bytes_rejected;
+    quick "frame: bit flip detected by CRC" corrupt_frame_rejected;
+    quick "frame: truncation reads as Closed" truncated_frame_is_closed;
+    quick "apply_group: one fsync per group" group_commit_single_fsync;
+    quick "apply_group: bad batch isolated, log stays clean"
+      group_commit_isolates_bad_batch;
+    quick "server: hello/ping/query/apply/status" basic_session;
+    quick "server: concurrent readers see atomic batches" snapshot_consistency;
+    quick "server: subscriber receives per-batch deltas"
+      subscriber_receives_deltas;
+    quick "server: dead subscriber does not wedge the writer"
+      dead_subscriber_does_not_wedge_writer;
+    quick "server: version and auth gatekeeping" handshake_gatekeeping;
+    quick "server: session and batch quotas" quotas_enforced;
+    quick "server: acked batches survive kill and reopen"
+      acked_batches_survive_reopen;
+  ]

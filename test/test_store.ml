@@ -11,8 +11,8 @@
     batches whose log frames survived — no more, no fewer. *)
 
 open Util
-module Crc32 = Ivm_store.Crc32
-module Wire = Ivm_store.Wire
+module Crc32 = Ivm_wire.Crc32
+module Wire = Ivm_wire.Wire
 module Snapshot = Ivm_store.Snapshot
 module Wal = Ivm_store.Wal
 module Store = Ivm_store.Store
