@@ -4,8 +4,10 @@
    durable store, then hammers it with K client domains, each issuing an
    80/20 query/apply mix over real sockets.  Reports per-op p50/p99
    latency, throughput, the group-commit amortization the single-writer
-   achieved under concurrency (batches per fsync), and asserts that not
-   one protocol error occurred.
+   achieved under concurrency (batches per fsync), the server-side
+   per-stage latency decomposition from the ivm_serve_stage_ns
+   histograms (E19 — run once with IVM_REQTRACE=0 to measure the
+   tracing overhead), and asserts that not one protocol error occurred.
 
      dune exec bench/serve_load.exe -- --clients 8 --seconds 3 *)
 
@@ -13,6 +15,8 @@ module Vm = Ivm.View_manager
 module Server = Ivm_serve.Server
 module Client = Ivm_serve.Client
 module Relation = Ivm_relation.Relation
+module Metrics = Ivm_obs.Metrics
+module Reqtrace = Ivm_obs.Reqtrace
 
 let usage = "serve_load [--clients K] [--seconds S] [--readers N] [--dir DIR]"
 
@@ -150,6 +154,23 @@ let () =
        /. float_of_int stats.Server.group_commits);
   Printf.printf "deltas pushed: %d, sessions served: %d\n"
     stats.Server.deltas_pushed stats.Server.accepted;
+  if Reqtrace.enabled () then begin
+    Printf.printf "server stage ns (apply path):\n";
+    List.iter
+      (fun stage ->
+        let h =
+          Metrics.histogram ~labels:[ ("stage", stage) ] "ivm_serve_stage_ns"
+        in
+        let n = Metrics.histogram_count h in
+        if n > 0 then
+          Printf.printf "  %-10s p50 %9d  p90 %9d  p99 %9d  (n=%d)\n" stage
+            (Metrics.percentile h 0.50)
+            (Metrics.percentile h 0.90)
+            (Metrics.percentile h 0.99)
+            n)
+      Reqtrace.apply_stages
+  end
+  else Printf.printf "server stage ns: tracing disabled (IVM_REQTRACE=0)\n";
   Printf.printf "protocol errors: %d\n" (errors + stats.Server.protocol_errors);
   (* the audit closes the loop: concurrent group commits kept views exact *)
   (match Vm.audit vm with

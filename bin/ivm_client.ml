@@ -25,7 +25,10 @@ let help_text =
   \  status           server and view-manager status (JSON)\n\
   \  ping             round-trip check\n\
   \  help             this text\n\
-  \  quit             exit (closes the session politely)"
+  \  quit             exit (closes the session politely)\n\
+  \    (--timings makes apply print the server's per-stage latency\n\
+  \    breakdown: decode, queue, normalize, wal_append, maintain,\n\
+  \    group_wait, fsync, publish)"
 
 (* "+link(a,b); -link(b,c)" → one batch of per-predicate signed deltas *)
 let parse_batch (body : string) : Protocol.changes =
@@ -78,7 +81,17 @@ let rest prefix line =
   String.trim (String.sub line (String.length prefix)
                   (String.length line - String.length prefix))
 
-let execute (conn : Client.t Lazy.t) line =
+let print_timings (timings : (string * int) list) =
+  let total = List.fold_left (fun acc (_, ns) -> acc + ns) 0 timings in
+  List.iter
+    (fun (stage, ns) ->
+      Format.printf "  %-10s %8.1f us  %4.1f%%@." stage
+        (float_of_int ns /. 1e3)
+        (if total = 0 then 0. else 100. *. float_of_int ns /. float_of_int total))
+    timings;
+  Format.printf "  %-10s %8.1f us@." "total" (float_of_int total /. 1e3)
+
+let execute ~timings (conn : Client.t Lazy.t) line =
   let line = String.trim line in
   if line = "" then ()
   else if line = "help" then print_endline help_text
@@ -93,9 +106,18 @@ let execute (conn : Client.t Lazy.t) line =
     Format.printf "%a@." Relation.pp rows
   end
   else if starts_with "apply " line then begin
-    let seq, deltas = Client.apply (Lazy.force conn) (parse_batch (rest "apply " line)) in
-    Format.printf "committed at seq %d@." seq;
-    print_changes deltas
+    let batch = parse_batch (rest "apply " line) in
+    if timings then begin
+      let seq, deltas, stage_ns = Client.apply_timed (Lazy.force conn) batch in
+      Format.printf "committed at seq %d@." seq;
+      print_changes deltas;
+      print_timings stage_ns
+    end
+    else begin
+      let seq, deltas = Client.apply (Lazy.force conn) batch in
+      Format.printf "committed at seq %d@." seq;
+      print_changes deltas
+    end
   end
   else if starts_with "subscribe " line then begin
     let pred = rest "subscribe " line in
@@ -118,8 +140,8 @@ let execute (conn : Client.t Lazy.t) line =
   end
   else Format.printf "unknown command (try 'help')@."
 
-let protect conn line =
-  try execute conn line with
+let protect ~timings conn line =
+  try execute ~timings conn line with
   | Client.Server_error (code, msg) ->
     Format.printf "server error (%s): %s@." (Protocol.error_code_name code) msg
   | Client.Unexpected msg -> Format.printf "protocol error: %s@." msg
@@ -129,7 +151,7 @@ let protect conn line =
   | Unix.Unix_error (e, _, _) ->
     Format.printf "connection error: %s@." (Unix.error_message e)
 
-let repl conn port interactive =
+let repl ~timings conn port interactive =
   try
     while true do
       if interactive then begin
@@ -138,7 +160,7 @@ let repl conn port interactive =
       end;
       let line = input_line stdin in
       if String.trim line = "quit" || String.trim line = "exit" then raise Exit;
-      protect conn line
+      protect ~timings conn line
     done
   with End_of_file | Exit -> ()
 
@@ -168,11 +190,20 @@ let command_arg =
         ~doc:"Execute a client command non-interactively (repeatable); the \
               REPL is skipped.")
 
-let run host port token commands =
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:
+          "Attach a trace context to every apply and print the server's \
+           per-stage latency breakdown (the same chain GET /requestz \
+           serves).")
+
+let run host port token commands timings =
   let conn = lazy (Client.connect ~host ~token ~port ()) in
   (try
-     if commands = [] then repl conn port (Unix.isatty Unix.stdin)
-     else List.iter (protect conn) commands
+     if commands = [] then repl ~timings conn port (Unix.isatty Unix.stdin)
+     else List.iter (protect ~timings conn) commands
    with e ->
      if Lazy.is_val conn then Client.close (Lazy.force conn);
      raise e);
@@ -182,6 +213,7 @@ let cmd =
   let doc = "command-line client for ivm-serve" in
   Cmd.v
     (Cmd.info "ivm-client" ~doc)
-    Term.(const run $ host_arg $ port_arg $ token_arg $ command_arg)
+    Term.(
+      const run $ host_arg $ port_arg $ token_arg $ command_arg $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

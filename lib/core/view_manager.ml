@@ -177,27 +177,62 @@ let apply (t : t) (changes : Changes.t) : (string * Relation.t) list =
     (ARCHITECTURE.md invariant 11).  A crash mid-group loses only
     un-acknowledged batches: the WAL tail is torn and truncated on
     recovery. *)
-let apply_group (t : t) (batches : Changes.t list) :
+type group_hooks = {
+  batch_stage : int -> string -> float -> float -> unit;
+  group_stage : string -> float -> float -> unit;
+}
+
+let apply_group ?hooks (t : t) (batches : Changes.t list) :
     ((string * Relation.t) list, string) result list =
+  (* timestamps are taken only when a hook is installed, so the unhooked
+     path is byte-for-byte the old one *)
+  let batch_stage i name f =
+    match hooks with
+    | None -> f ()
+    | Some h ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      h.batch_stage i name t0 (Unix.gettimeofday ());
+      r
+  in
+  let group_stage name f =
+    match hooks with
+    | None -> f ()
+    | Some h ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      h.group_stage name t0 (Unix.gettimeofday ());
+      r
+  in
   let results =
-    List.map
-      (fun changes ->
+    List.mapi
+      (fun i changes ->
         (* only validation failures are recoverable: they happen before
            the append, so an [Error] batch left no trace anywhere.  A
            maintenance exception after the append must propagate — the
            WAL and memory would otherwise silently diverge. *)
-        match Changes.normalize_base t.db changes with
+        match
+          batch_stage i "normalize" (fun () ->
+              Changes.normalize_base t.db changes)
+        with
         | exception Changes.Invalid_changes msg -> Error msg
         | exception Program.Program_error msg -> Error msg
         | exception Invalid_argument msg -> Error msg
         | normalized ->
           (match t.store with
-          | Some store -> Ivm_store.Store.append ~sync:false store normalized
+          | Some store ->
+            batch_stage i "wal_append" (fun () ->
+                Ivm_store.Store.append ~sync:false store normalized)
           | None -> ());
-          Ok (maintain_batch t normalized))
+          Ok (batch_stage i "maintain" (fun () -> maintain_batch t normalized)))
       batches
   in
-  (match t.store with Some store -> Ivm_store.Store.sync store | None -> ());
+  (* one fsync per group (zero-duration without a store, so a committed
+     batch's stage chain always carries exactly one fsync — invariant 12) *)
+  group_stage "fsync" (fun () ->
+      match t.store with
+      | Some store -> Ivm_store.Store.sync store
+      | None -> ());
   results
 
 (** Wrap an already-materialized database (e.g. one loaded from a

@@ -86,6 +86,20 @@ val set_algorithm : t -> algorithm -> unit
     maintenance runs (see {!Ivm_store.Store}). *)
 val apply : t -> Changes.t -> (string * Relation.t) list
 
+(** Stage-timing callbacks for {!apply_group}, the hook the serve path's
+    request tracing hangs off ([Ivm_obs.Reqtrace]) without [lib/core]
+    knowing about requests.  [batch_stage i name t0 t1] reports one
+    timed stage of batch [i] ([normalize], [wal_append], [maintain]);
+    [group_stage name t0 t1] reports a group-wide stage ([fsync] — once
+    per group, zero-duration on a non-durable manager so every committed
+    batch still carries exactly one fsync stage, ARCHITECTURE.md
+    invariant 12).  Times are [Unix.gettimeofday] seconds; callbacks run
+    on the applying domain and must not raise. *)
+type group_hooks = {
+  batch_stage : int -> string -> float -> float -> unit;
+  group_stage : string -> float -> float -> unit;
+}
+
 (** Group commit: apply several batches in order with {e one} fsync.
     Each batch is normalized against the state the previous batches
     left, write-ahead logged without syncing, and maintained; one
@@ -95,9 +109,13 @@ val apply : t -> Changes.t -> (string * Relation.t) list
     applied for that batch); the rest of the group proceeds.  The caller
     must not acknowledge or publish any batch of the group before this
     function returns — inside the group, maintenance runs ahead of the
-    fsync (see ARCHITECTURE.md invariant 11 and [Ivm_serve.Server]). *)
+    fsync (see ARCHITECTURE.md invariant 11 and [Ivm_serve.Server]).
+    [hooks], when given, receives per-batch and group stage timings (a
+    stage that raises reports nothing, so an [Error] slot's chain simply
+    ends where the batch failed). *)
 val apply_group :
-  t -> Changes.t list -> ((string * Relation.t) list, string) result list
+  ?hooks:group_hooks -> t -> Changes.t list ->
+  ((string * Relation.t) list, string) result list
 
 (** {1 Durability}
 

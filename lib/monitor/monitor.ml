@@ -15,6 +15,8 @@
       fields (uptime, pid);
     - [GET /trace] — drains the {!Ivm_obs.Trace} ring buffer as a Chrome
       [trace_event] JSON array (repeated GETs see disjoint batches);
+    - [GET /requestz] — the {!Ivm_obs.Reqtrace} ring of completed serve
+      requests with per-stage latency breakdowns;
     - [GET /why?q=fact] — the caller-supplied provenance EXPLAIN
       callback ([why]/[why not]/[lineage] JSON); 404 when none is
       configured.
@@ -199,6 +201,11 @@ let handle t fd =
       | "/trace" ->
         respond fd ~code:200 ~content_type:"application/json"
           (Json.to_string (Trace.events_json (Trace.drain ())) ^ "\n")
+      | "/requestz" ->
+        (* the serve path's completed-request ring (Ivm_obs.Reqtrace):
+           last N requests, each with its per-stage latency breakdown *)
+        respond fd ~code:200 ~content_type:"application/json"
+          (Json.to_string (Ivm_obs.Reqtrace.recent_json ()) ^ "\n")
       | "/why" -> (
         match t.config.explain with
         | None ->
@@ -219,7 +226,7 @@ let handle t fd =
                 (Json.to_string (Json.Obj [ ("error", Json.Str e) ]) ^ "\n"))))
       | _ ->
         respond fd ~code:404 ~content_type:"text/plain; charset=utf-8"
-          "not found: try /metrics /healthz /statusz /trace /why\n")
+          "not found: try /metrics /healthz /statusz /trace /requestz /why\n")
   | _ -> ()
 
 (* A client that connects but never sends a request (or stops reading a

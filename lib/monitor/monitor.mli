@@ -10,7 +10,9 @@
     [GET /healthz] (liveness JSON), [GET /statusz] (caller-supplied
     status document plus uptime/pid/trace fields), [GET /trace] (drains
     the {!Ivm_obs.Trace} ring as a Chrome [trace_event] JSON array —
-    repeated GETs see disjoint batches), [GET /why?q=fact] (the
+    repeated GETs see disjoint batches), [GET /requestz] (the
+    {!Ivm_obs.Reqtrace} ring of completed serve-path requests with
+    per-stage latency breakdowns), [GET /why?q=fact] (the
     caller-supplied provenance EXPLAIN callback; 404 when none is
     configured).  Anything else is a 404. *)
 

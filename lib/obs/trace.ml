@@ -21,7 +21,7 @@
     [depth] argument is still attached to every event so tests (and the
     ring buffer) can check ordering without timestamp arithmetic. *)
 
-type kind = Span | Instant
+type kind = Span | Instant | Flow_start | Flow_step | Flow_end
 
 type event = {
   kind : kind;  (** a span is a complete event even at zero duration *)
@@ -30,6 +30,8 @@ type event = {
   ts_us : float;  (** microseconds since {!enable}-time *)
   dur_us : float;  (** span duration; [0] for instants *)
   depth : int;  (** span-nesting depth at emission *)
+  tid : int;  (** emitting domain id, the Chrome [tid] lane *)
+  id : int;  (** flow-event correlation id; [0] for non-flow events *)
   args : (string * string) list;
 }
 
@@ -46,7 +48,10 @@ type state = {
 }
 
 let dummy_event =
-  { kind = Instant; name = ""; cat = ""; ts_us = 0.; dur_us = 0.; depth = 0; args = [] }
+  { kind = Instant; name = ""; cat = ""; ts_us = 0.; dur_us = 0.; depth = 0;
+    tid = 0; id = 0; args = [] }
+
+let self_tid () = (Domain.self () :> int)
 
 let state =
   {
@@ -76,8 +81,13 @@ let capacity_gauge =
     ~help:"Capacity of the trace ring buffer (0 until first enabled)"
 
 (* Spans can be emitted from worker domains during parallel fan-out
-   ([Ivm_par]); the ring cursor and file channel are shared, so event
-   emission is serialized on [record_lock].  The [depth] counter stays a
+   ([Ivm_par]) and from every serve-path domain (readers, writer,
+   accept); the ring cursor and file channel are shared, so event
+   emission is serialized on [record_lock].  Control operations
+   ([enable]/[disable]) take the same lock: they swap the ring array and
+   the file channel, and an emitter caught between the [state.on] check
+   and [record] must land in either the old or the new sink — never in
+   a closed channel or a torn ring.  The [depth] counter stays a
    best-effort plain field: concurrent spans would interleave depths
    anyway, and viewers nest by timestamp containment, not depth. *)
 let record_lock = Mutex.create ()
@@ -99,57 +109,89 @@ let record_ring ev =
   end
 
 let event_json ev =
+  let ph =
+    match ev.kind with
+    | Span -> "X"
+    | Instant -> "i"
+    | Flow_start -> "s"
+    | Flow_step -> "t"
+    | Flow_end -> "f"
+  in
+  (* flow events carry the correlation [id] (and bind to the enclosing
+     slice, "bp": "e") so viewers draw arrows between the reader- and
+     writer-domain spans of one request *)
+  let flow_fields =
+    match ev.kind with
+    | Flow_start | Flow_step | Flow_end ->
+      [ ("id", Json.int ev.id); ("bp", Json.Str "e") ]
+    | Span | Instant -> []
+  in
   Json.Obj
-    [
-      ("name", Json.Str ev.name);
-      ("cat", Json.Str ev.cat);
-      ("ph", Json.Str (match ev.kind with Span -> "X" | Instant -> "i"));
-      ("ts", Json.Num ev.ts_us);
-      ("dur", Json.Num ev.dur_us);
-      ("pid", Json.int 1);
-      ("tid", Json.int 1);
-      ( "args",
-        Json.Obj
-          (("depth", Json.int ev.depth)
-          :: List.map (fun (k, v) -> (k, Json.Str v)) ev.args) );
-    ]
+    ([
+       ("name", Json.Str ev.name);
+       ("cat", Json.Str ev.cat);
+       ("ph", Json.Str ph);
+       ("ts", Json.Num ev.ts_us);
+       ("dur", Json.Num ev.dur_us);
+       ("pid", Json.int 1);
+       ("tid", Json.int ev.tid);
+     ]
+    @ flow_fields
+    @ [
+        ( "args",
+          Json.Obj
+            (("depth", Json.int ev.depth)
+            :: List.map (fun (k, v) -> (k, Json.Str v)) ev.args) );
+      ])
 
 let record ev =
   Mutex.lock record_lock;
-  record_ring ev;
-  (match state.chan with
-  | None -> ()
-  | Some oc ->
-    output_string oc (Json.to_string (event_json ev));
-    output_string oc ",\n");
+  (* re-check under the lock: [disable] may have closed the sinks between
+     the caller's [state.on] test and here *)
+  if state.on then begin
+    record_ring ev;
+    match state.chan with
+    | None -> ()
+    | Some oc ->
+      output_string oc (Json.to_string (event_json ev));
+      output_string oc ",\n"
+  end;
   Mutex.unlock record_lock
 
 (* ---------------- control ---------------- *)
 
-(** Start tracing into the ring buffer only. *)
-let enable ?(capacity = default_capacity) () =
-  state.on <- true;
+(* ring/channel swaps happen under [record_lock] so concurrent emitters
+   (multiple domains are live whenever the server or the parallel pool
+   runs) never write into a freed ring slot or a closed channel *)
+let enable_locked ?(capacity = default_capacity) ?chan ?path () =
+  Mutex.lock record_lock;
   state.t0 <- Unix.gettimeofday ();
   state.ring <- Array.make capacity dummy_event;
   state.ring_len <- 0;
   state.ring_next <- 0;
   state.depth <- 0;
   state.dropped <- 0;
+  state.chan <- chan;
+  state.path <- path;
+  state.on <- true;
+  Mutex.unlock record_lock;
   Metrics.set dropped_gauge 0.;
   Metrics.set capacity_gauge (float_of_int capacity)
+
+(** Start tracing into the ring buffer only. *)
+let enable ?capacity () = enable_locked ?capacity ()
 
 (** Start tracing into [path] (Chrome trace format) and the ring buffer.
     Truncates an existing file. *)
 let enable_file ?capacity path =
-  enable ?capacity ();
   let oc = open_out path in
   output_string oc "[\n";
-  state.chan <- Some oc;
-  state.path <- Some path
+  enable_locked ?capacity ~chan:oc ~path ()
 
 (** Stop tracing; flushes and closes the file sink if open.  Returns the
     path written, if any. *)
 let disable () =
+  Mutex.lock record_lock;
   let written = state.path in
   (match state.chan with
   | Some oc ->
@@ -159,6 +201,7 @@ let disable () =
   state.chan <- None;
   state.path <- None;
   state.on <- false;
+  Mutex.unlock record_lock;
   written
 
 let file_path () = state.path
@@ -216,7 +259,7 @@ let span ?(cat = "ivm") ?(args = no_args) name f =
       state.depth <- depth;
       record
         { kind = Span; name; cat; ts_us = ts; dur_us = now_us () -. ts; depth;
-          args = args () };
+          tid = self_tid (); id = 0; args = args () };
       x
     | exception e ->
       state.depth <- depth;
@@ -228,6 +271,8 @@ let span ?(cat = "ivm") ?(args = no_args) name f =
           ts_us = ts;
           dur_us = now_us () -. ts;
           depth;
+          tid = self_tid ();
+          id = 0;
           args = [ ("exn", Printexc.to_string e) ];
         };
       raise e
@@ -238,4 +283,48 @@ let instant ?(cat = "ivm") ?(args = no_args) name =
   if state.on then
     record
       { kind = Instant; name; cat; ts_us = now_us (); dur_us = 0.;
-        depth = state.depth; args = args () }
+        depth = state.depth; tid = self_tid (); id = 0; args = args () }
+
+(** [span_at ~ts ~dur name] records a complete event with an explicit
+    start ([Unix.gettimeofday] seconds) and duration (seconds) — for
+    cross-domain work measured where it happened and emitted later, e.g.
+    a request's stage chain replayed at completion ({!Ivm_obs.Reqtrace}
+    does exactly that).  [tid] defaults to the emitting domain; pass the
+    domain that {e did} the work so the span lands in its lane. *)
+let span_at ?(cat = "ivm") ?(args = []) ?tid ~ts ~dur name =
+  if state.on then
+    record
+      {
+        kind = Span;
+        name;
+        cat;
+        ts_us = (ts -. state.t0) *. 1e6;
+        dur_us = dur *. 1e6;
+        depth = 0;
+        tid = (match tid with Some t -> t | None -> self_tid ());
+        id = 0;
+        args;
+      }
+
+(** [flow ~phase ~id ~ts name] emits one Chrome flow event ([ph] "s",
+    "t" or "f") with correlation [id] at absolute time [ts], in lane
+    [tid] — the arrows that link one request's spans across the reader
+    and writer domains. *)
+let flow ?(cat = "ivm") ?tid ~phase ~id ~ts name =
+  if state.on then
+    record
+      {
+        kind =
+          (match phase with
+          | `Start -> Flow_start
+          | `Step -> Flow_step
+          | `End -> Flow_end);
+        name;
+        cat;
+        ts_us = (ts -. state.t0) *. 1e6;
+        dur_us = 0.;
+        depth = 0;
+        tid = (match tid with Some t -> t | None -> self_tid ());
+        id;
+        args = [];
+      }

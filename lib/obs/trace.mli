@@ -17,11 +17,17 @@
     counters measured across the span without paying for them when
     tracing is off.
 
-    Emission is safe from worker domains (serialized on an internal
-    lock); control operations ({!enable}, {!disable}) belong to the
-    coordinating domain. *)
+    Emission {e and} control are safe from any domain: [record],
+    {!enable}, {!disable} and the ring readers all serialize on one
+    internal lock, so reader/writer server domains can emit while
+    another domain toggles tracing or drains [/trace].
 
-type kind = Span | Instant
+    Cross-domain work uses {!span_at} (explicit timestamps, emitted
+    after the fact in the lane of the domain that did the work) and
+    {!flow} (Chrome flow arrows tying one request's spans together
+    across lanes). *)
+
+type kind = Span | Instant | Flow_start | Flow_step | Flow_end
 
 type event = {
   kind : kind;  (** a span is a complete event even at zero duration *)
@@ -30,6 +36,8 @@ type event = {
   ts_us : float;  (** microseconds since {!enable}-time *)
   dur_us : float;  (** span duration; [0] for instants *)
   depth : int;  (** span-nesting depth at emission *)
+  tid : int;  (** emitting domain id (the Chrome [tid] lane) *)
+  id : int;  (** flow correlation id; [0] for non-flow events *)
   args : (string * string) list;
 }
 
@@ -78,3 +86,21 @@ val span :
 (** A zero-duration instant event. *)
 val instant :
   ?cat:string -> ?args:(unit -> (string * string) list) -> string -> unit
+
+(** [span_at ~ts ~dur name] records a complete event with an explicit
+    start time ([Unix.gettimeofday] seconds, converted to the trace
+    clock) and duration in seconds — for work measured on one domain and
+    emitted later (a finished request replaying its stage chain).  [tid]
+    defaults to the calling domain's id; pass the id of the domain that
+    performed the work to place the span in its lane. *)
+val span_at :
+  ?cat:string -> ?args:(string * string) list -> ?tid:int -> ts:float ->
+  dur:float -> string -> unit
+
+(** [flow ~phase ~id ~ts name] emits a Chrome flow event ([`Start] →
+    ["s"], [`Step] → ["t"], [`End] → ["f"]) with correlation [id] at
+    absolute time [ts] in lane [tid] — the arrows linking one request's
+    spans across domains. *)
+val flow :
+  ?cat:string -> ?tid:int -> phase:[ `Start | `Step | `End ] -> id:int ->
+  ts:float -> string -> unit

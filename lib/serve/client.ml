@@ -68,16 +68,33 @@ let ping c =
   send_request c Protocol.Ping;
   await c (function Protocol.Pong -> Some () | _ -> None)
 
-let query c body =
-  send_request c (Protocol.Query body);
+let query ?(trace = "") c body =
+  send_request c (Protocol.Query { body; trace });
   await c (function
     | Protocol.Answer { columns; rows } -> Some (columns, rows)
     | _ -> None)
 
-let apply c (changes : Protocol.changes) =
-  send_request c (Protocol.Apply changes);
+(* [trace = ""] sends byte-for-byte the v1 frame (no trailing field), so
+   an unmodified server keeps working; a non-empty trace context opts
+   the Applied reply into the per-stage timings *)
+let apply ?(trace = "") c (changes : Protocol.changes) =
+  send_request c (Protocol.Apply { changes; trace });
   await c (function
-    | Protocol.Applied { seq; deltas } -> Some (seq, deltas)
+    | Protocol.Applied { seq; deltas; _ } -> Some (seq, deltas)
+    | _ -> None)
+
+let next_trace = Atomic.make 1
+
+let apply_timed ?trace c (changes : Protocol.changes) =
+  (* timings require a trace context, so make one up when none given *)
+  let trace =
+    match trace with
+    | Some s when s <> "" -> s
+    | _ -> Printf.sprintf "c-%d" (Atomic.fetch_and_add next_trace 1)
+  in
+  send_request c (Protocol.Apply { changes; trace });
+  await c (function
+    | Protocol.Applied { seq; deltas; timings } -> Some (seq, deltas, timings)
     | _ -> None)
 
 let subscribe c pred =

@@ -28,15 +28,26 @@ val seq : t -> int
 val ping : t -> unit
 
 (** Run an ad-hoc Datalog body (e.g. ["hop(a, X)"]) against the
-    server's published snapshot; returns (columns, rows). *)
-val query : t -> string -> string list * Relation.t
+    server's published snapshot; returns (columns, rows).  [trace]
+    (default [""] = absent on the wire) names this request in the
+    server's request trace ([/requestz], Chrome trace). *)
+val query : ?trace:string -> t -> string -> string list * Relation.t
 
 (** Submit one atomic change batch; blocks until the server's group
     commit has made it durable.  Returns the commit sequence and the
-    per-view deltas it caused.
+    per-view deltas it caused.  [trace] as in {!query}.
     @raise Server_error with [Invalid_changes] when validation rejects
     the batch (nothing was applied). *)
-val apply : t -> Protocol.changes -> int * Protocol.changes
+val apply : ?trace:string -> t -> Protocol.changes -> int * Protocol.changes
+
+(** {!apply} plus the server's per-stage latency breakdown
+    [(stage, ns)] — queue wait, WAL append, fsync, maintain, publish —
+    as carried in the [Applied] reply.  The server sends timings only
+    when the request carries a trace context, so pass a non-empty
+    [trace] (or accept the default, a fresh ["c-<n>"] id). *)
+val apply_timed :
+  ?trace:string -> t -> Protocol.changes ->
+  int * Protocol.changes * (string * int) list
 
 (** Ask for per-batch [Delta] pushes of a derived view. *)
 val subscribe : t -> string -> unit

@@ -55,8 +55,8 @@ let error_code_name = function
 type request =
   | Hello of { version : int; token : string }
   | Ping
-  | Query of string
-  | Apply of changes
+  | Query of { body : string; trace : string }
+  | Apply of { changes : changes; trace : string }
   | Subscribe of string
   | Status
   | Close
@@ -65,7 +65,7 @@ type response =
   | Hello_ok of { version : int; seq : int }
   | Pong
   | Answer of { columns : string list; rows : Relation.t }
-  | Applied of { seq : int; deltas : changes }
+  | Applied of { seq : int; deltas : changes; timings : (string * int) list }
   | Sub_ok of string
   | Status_reply of string
   | Bye
@@ -144,6 +144,35 @@ let put_changes buf (changes : changes) =
       Wire.put_relation buf delta)
     changes
 
+(* The trace-context extension (docs/PROTOCOL.md §9): an {e optional
+   trailing} string on query/apply.  Decoders reject trailing bytes, so
+   backward compatibility hinges on position: a v1 peer that never sends
+   the field produces exactly the old bytes, and one that cannot parse
+   it is never sent it (the empty context encodes as {e absence}, and
+   [Applied] timings are emitted only when the request carried a
+   context). *)
+let put_trace buf trace = if trace <> "" then Wire.put_string buf trace
+
+let get_trace r = if Wire.remaining r > 0 then Wire.get_string r else ""
+
+let put_timings buf (timings : (string * int) list) =
+  if timings <> [] then begin
+    Wire.put_u32 buf (List.length timings);
+    List.iter
+      (fun (stage, ns) ->
+        Wire.put_string buf stage;
+        Wire.put_i64 buf ns)
+      timings
+  end
+
+let get_timings r =
+  if Wire.remaining r > 0 then
+    List.init (Wire.get_u32 r) (fun _ ->
+        let stage = Wire.get_string r in
+        let ns = Wire.get_i64 r in
+        (stage, ns))
+  else []
+
 let encode_request (req : request) : string =
   let buf = Buffer.create 64 in
   Wire.put_u8 buf (opcode_of_request req);
@@ -153,8 +182,12 @@ let encode_request (req : request) : string =
     Wire.put_u32 buf version;
     Wire.put_string buf token
   | Ping | Status | Close -> ()
-  | Query body -> Wire.put_string buf body
-  | Apply changes -> put_changes buf changes
+  | Query { body; trace } ->
+    Wire.put_string buf body;
+    put_trace buf trace
+  | Apply { changes; trace } ->
+    put_changes buf changes;
+    put_trace buf trace
   | Subscribe pred -> Wire.put_string buf pred);
   Buffer.contents buf
 
@@ -170,9 +203,10 @@ let encode_response (resp : response) : string =
     Wire.put_u32 buf (List.length columns);
     List.iter (Wire.put_string buf) columns;
     Wire.put_relation buf rows
-  | Applied { seq; deltas } ->
+  | Applied { seq; deltas; timings } ->
     Wire.put_i64 buf seq;
-    put_changes buf deltas
+    put_changes buf deltas;
+    put_timings buf timings
   | Sub_ok pred -> Wire.put_string buf pred
   | Status_reply json -> Wire.put_string buf json
   | Delta { seq; pred; delta } ->
@@ -217,8 +251,14 @@ let decode_request (payload : string) : request =
     Hello { version; token }
   end
   else if op = op_ping then Ping
-  else if op = op_query then Query (Wire.get_string r)
-  else if op = op_apply then Apply (get_changes r)
+  else if op = op_query then begin
+    let body = Wire.get_string r in
+    Query { body; trace = get_trace r }
+  end
+  else if op = op_apply then begin
+    let changes = get_changes r in
+    Apply { changes; trace = get_trace r }
+  end
   else if op = op_subscribe then Subscribe (Wire.get_string r)
   else if op = op_status then Status
   else if op = op_close then Close
@@ -243,7 +283,7 @@ let decode_response (payload : string) : response =
   else if op = op_applied then begin
     let seq = Wire.get_i64 r in
     let deltas = get_changes r in
-    Applied { seq; deltas }
+    Applied { seq; deltas; timings = get_timings r }
   end
   else if op = op_sub_ok then Sub_ok (Wire.get_string r)
   else if op = op_status_reply then Status_reply (Wire.get_string r)

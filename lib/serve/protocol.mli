@@ -38,8 +38,15 @@ val error_code_name : error_code -> string
 type request =
   | Hello of { version : int; token : string }
   | Ping
-  | Query of string  (** ad-hoc Datalog body, e.g. ["hop(a, X)"] *)
-  | Apply of changes  (** one atomic batch; group-committed *)
+  | Query of { body : string; trace : string }
+      (** [body]: ad-hoc Datalog body, e.g. ["hop(a, X)"].  [trace]: the
+          optional trace context ([""] = absent, encoded as {e no}
+          trailing field, so the bytes a v1 peer sends and expects are
+          unchanged — docs/PROTOCOL.md §9) *)
+  | Apply of { changes : changes; trace : string }
+      (** one atomic batch; group-committed.  [trace] as in [Query]; a
+          non-empty context also opts the [Applied] reply into stage
+          timings *)
   | Subscribe of string  (** push per-batch deltas of this view *)
   | Status
   | Close
@@ -49,8 +56,11 @@ type response =
       (** [seq]: last durable WAL sequence number *)
   | Pong
   | Answer of { columns : string list; rows : Relation.t }
-  | Applied of { seq : int; deltas : changes }
-      (** [seq]: the group-commit sequence this batch is durable at *)
+  | Applied of { seq : int; deltas : changes; timings : (string * int) list }
+      (** [seq]: the group-commit sequence this batch is durable at.
+          [timings]: per-stage nanoseconds ([[]] = absent on the wire),
+          sent only when the request carried a trace context — a client
+          that cannot decode the field never receives it *)
   | Sub_ok of string
   | Status_reply of string  (** a JSON document *)
   | Bye

@@ -33,6 +33,7 @@ module Frame = Ivm_wire.Frame
 module Wire = Ivm_wire.Wire
 module Json = Ivm_obs.Json
 module Metrics = Ivm_obs.Metrics
+module Reqtrace = Ivm_obs.Reqtrace
 
 type config = {
   auth_token : string option;
@@ -40,6 +41,7 @@ type config = {
   max_batch_tuples : int;
   readers : int;
   client_timeout_s : float;
+  max_outbox : int;
 }
 
 let default_config =
@@ -49,6 +51,7 @@ let default_config =
     max_batch_tuples = 100_000;
     readers = 2;
     client_timeout_s = 5.0;
+    max_outbox = 1024;
   }
 
 type session = {
@@ -60,13 +63,37 @@ type session = {
       (** flipped (and the fd closed) only by the owning reader; the
           writer routes messages by session struct, so a dead session's
           pending messages are skipped, never written to a reused fd *)
+  mutable outq : int;
+      (** messages queued in the owning reader's outbox for this
+          session (guarded by the reader's lock) — the bound
+          [config.max_outbox] applies to *)
+  mutable doomed : bool;
+      (** outbox overflowed: the writer stops routing deltas here and
+          the owning reader disconnects the session at its next pass *)
+  (* per-session request stats (reqtrace): mutated only on the owning
+     reader, read racily by [status_json] — same point-in-time contract
+     as the rest of the status document *)
+  mutable reqs : int;
+  mutable req_ns : int;
+  mutable req_max_ns : int;
+}
+
+(** One outbox entry: the response plus the request-trace handle to
+    complete once the frame is on the wire ([routed] is the enqueue
+    time, so the [ack] stage spans routing, reader wake-up, and the
+    socket write). *)
+type outmsg = {
+  om_s : session;
+  om_resp : Protocol.response;
+  om_rq : Reqtrace.t option;
+  om_routed : float;
 }
 
 type reader = {
   idx : int;
   lock : Mutex.t;
   mutable sessions : session list;
-  outbox : (session * Protocol.response) Queue.t;
+  outbox : outmsg Queue.t;
       (** messages other domains (writer, accept) want sent; drained and
           written by this reader, the only domain that touches the fds *)
   wake_r : Unix.file_descr;
@@ -74,7 +101,13 @@ type reader = {
   mutable domain : unit Domain.t option;
 }
 
-type job = { js : session; changes : Protocol.changes }
+type job = {
+  js : session;
+  changes : Protocol.changes;
+  rq : Reqtrace.t option;  (** request trace, riding with the batch *)
+  echo_timings : bool;  (** client sent a trace context: return timings *)
+  enq : float;  (** enqueue time — start of the [queue] stage *)
+}
 
 type t = {
   vm : Vm.t;
@@ -99,6 +132,7 @@ type t = {
   group_commits : int Atomic.t;
   committed_batches : int Atomic.t;
   deltas_pushed : int Atomic.t;
+  deltas_dropped : int Atomic.t;
   protocol_errors : int Atomic.t;
 }
 
@@ -108,6 +142,7 @@ type stats = {
   group_commits : int;
   committed_batches : int;
   deltas_pushed : int;
+  deltas_dropped : int;
   protocol_errors : int;
 }
 
@@ -121,6 +156,7 @@ let stats (t : t) =
     group_commits = Atomic.get t.group_commits;
     committed_batches = Atomic.get t.committed_batches;
     deltas_pushed = Atomic.get t.deltas_pushed;
+    deltas_dropped = Atomic.get t.deltas_dropped;
     protocol_errors = Atomic.get t.protocol_errors;
   }
 
@@ -153,9 +189,21 @@ let deltas_c =
   Metrics.counter "ivm_serve_deltas_pushed_total"
     ~help:"Delta messages pushed to subscribers"
 
+let deltas_dropped_c =
+  Metrics.counter "ivm_serve_deltas_dropped_total"
+    ~help:"Delta messages dropped on subscriber outbox overflow"
+
 let errors_c =
   Metrics.counter "ivm_serve_protocol_errors_total"
     ~help:"Error responses sent to clients"
+
+let queue_depth_g =
+  Metrics.gauge "ivm_serve_queue_depth"
+    ~help:"Apply batches waiting for the writer domain"
+
+let queue_wait_g =
+  Metrics.gauge "ivm_serve_queue_wait_ns"
+    ~help:"Longest queue wait in the last drained group, nanoseconds"
 
 (* ---------------- outbox routing ---------------- *)
 
@@ -175,12 +223,46 @@ let drain_wake r =
   go ()
 
 (** Queue [resp] for [s] on its owning reader; the reader performs the
-    actual socket write.  Safe from any domain. *)
-let route (t : t) (s : session) (resp : Protocol.response) =
+    actual socket write (and completes [rq] after it).  Safe from any
+    domain.  Acks and errors always enqueue — only delta pushes go
+    through the bounded {!route_delta}. *)
+let route ?rq (t : t) (s : session) (resp : Protocol.response) =
   let r = t.pool.(s.sid mod Array.length t.pool) in
   Mutex.lock r.lock;
-  Queue.add (s, resp) r.outbox;
+  s.outq <- s.outq + 1;
+  Queue.add
+    { om_s = s; om_resp = resp; om_rq = rq; om_routed = Unix.gettimeofday () }
+    r.outbox;
   Mutex.unlock r.lock;
+  poke r
+
+(** Bounded delta routing: a subscriber whose outbox already holds
+    [config.max_outbox] pending messages gets this delta {e dropped}
+    (counted in [ivm_serve_deltas_dropped_total]) and is marked doomed —
+    its owning reader disconnects it at the next pass.  An unbounded
+    outbox would otherwise let one slow subscriber absorb the server's
+    memory at the writer's publish rate (ROADMAP backpressure item). *)
+let route_delta (t : t) (s : session) (resp : Protocol.response) =
+  let r = t.pool.(s.sid mod Array.length t.pool) in
+  Mutex.lock r.lock;
+  let dropped = s.doomed || s.outq >= t.config.max_outbox in
+  if dropped then s.doomed <- true
+  else begin
+    s.outq <- s.outq + 1;
+    Queue.add
+      { om_s = s; om_resp = resp; om_rq = None;
+        om_routed = Unix.gettimeofday () }
+      r.outbox
+  end;
+  Mutex.unlock r.lock;
+  if dropped then begin
+    Atomic.incr t.deltas_dropped;
+    Metrics.inc deltas_dropped_c
+  end
+  else begin
+    Atomic.incr t.deltas_pushed;
+    Metrics.inc deltas_c
+  end;
   poke r
 
 (* ---------------- session lifecycle (owning reader only) ---------------- *)
@@ -210,6 +292,23 @@ let send (t : t) r (s : session) (resp : Protocol.response) =
     with _ -> close_session t r s
   end
 
+(* fold one finished request into the session's aggregates (owning
+   reader only; [status_json] reads these racily, like everything else
+   in the status document) *)
+let note_request (s : session) ns =
+  s.reqs <- s.reqs + 1;
+  s.req_ns <- s.req_ns + ns;
+  if ns > s.req_max_ns then s.req_max_ns <- ns
+
+(** Send [resp] and complete the request trace: the [ack] stage spans
+    [t0] (routing or handling start) to the end of the socket write. *)
+let send_traced (t : t) r (s : session) (rq : Reqtrace.t option) ~t0 resp =
+  send t r s resp;
+  Reqtrace.add_stage rq "ack" ~t0 ~t1:(Unix.gettimeofday ());
+  match Reqtrace.finish rq with
+  | Some ns -> note_request s ns
+  | None -> ()
+
 (* ---------------- request handling (reader domains) ---------------- *)
 
 let batch_tuples (changes : Protocol.changes) =
@@ -222,11 +321,30 @@ let query_error = function
   | Invalid_argument msg | Failure msg -> msg
   | e -> Printexc.to_string e
 
+let session_json (s : session) =
+  Json.Obj
+    [
+      ("sid", Json.int s.sid);
+      ("authed", Json.Bool s.authed);
+      ("subscriptions", Json.List (List.map (fun p -> Json.Str p) s.subs));
+      ("outbox", Json.int s.outq);
+      ("requests", Json.int s.reqs);
+      ( "mean_request_ns",
+        Json.int (if s.reqs = 0 then 0 else s.req_ns / s.reqs) );
+      ("max_request_ns", Json.int s.req_max_ns);
+    ]
+
 let status_json (t : t) =
   let mean_group =
     let c = Atomic.get t.group_commits in
     if c = 0 then 0.
     else float_of_int (Atomic.get t.committed_batches) /. float_of_int c
+  in
+  let per_session =
+    Array.to_list t.pool
+    |> List.concat_map (fun r -> Mutex.protect r.lock (fun () -> r.sessions))
+    |> List.sort (fun a b -> compare a.sid b.sid)
+    |> List.map session_json
   in
   let server =
     Json.Obj
@@ -240,20 +358,50 @@ let status_json (t : t) =
         ("committed_batches", Json.int (Atomic.get t.committed_batches));
         ("mean_group_size", Json.Num mean_group);
         ("deltas_pushed", Json.int (Atomic.get t.deltas_pushed));
+        ("deltas_dropped", Json.int (Atomic.get t.deltas_dropped));
         ("protocol_errors", Json.int (Atomic.get t.protocol_errors));
+        ("reqtrace", Json.Bool (Reqtrace.enabled ()));
+        ("per_session", Json.List per_session);
       ]
   in
   (* same racy point-in-time read contract as the monitor's /statusz *)
   Json.Obj [ ("server", server); ("manager", Vm.status_json t.vm) ]
 
-let handle_request (t : t) r (s : session) (req : Protocol.request) =
+let op_name : Protocol.request -> string = function
+  | Hello _ -> "hello"
+  | Ping -> "ping"
+  | Query _ -> "query"
+  | Apply _ -> "apply"
+  | Subscribe _ -> "subscribe"
+  | Status -> "status"
+  | Close -> "close"
+
+(** [t0] is the frame's arrival (the start of the socket read): the
+    request trace's [decode] stage spans read + CRC check + decode +
+    dispatch.  Inline ops finish here ([decode] → work → [ack]); applies
+    hand their trace to the writer inside the job and are finished by
+    the owning reader when the ack leaves the outbox. *)
+let handle_request (t : t) r (s : session) ~(t0 : float)
+    (req : Protocol.request) =
   let open Protocol in
+  let trace_ctx =
+    match req with
+    | Query { trace; _ } | Apply { trace; _ } -> trace
+    | _ -> ""
+  in
+  let rq =
+    Reqtrace.start
+      ?id:(if trace_ctx = "" then None else Some trace_ctx)
+      ~sid:s.sid ~op:(op_name req) ()
+  in
+  Reqtrace.add_stage rq "decode" ~t0 ~t1:(Unix.gettimeofday ());
+  let reply resp = send_traced t r s rq ~t0:(Unix.gettimeofday ()) resp in
   match req with
   | Hello { version; token } ->
     Metrics.inc (requests_c "hello");
-    if s.authed then send t r s (Error { code = Bad_request; message = "already said hello" })
+    if s.authed then reply (Error { code = Bad_request; message = "already said hello" })
     else if version <> Protocol.version then begin
-      send t r s
+      reply
         (Error
            {
              code = Bad_version;
@@ -266,34 +414,38 @@ let handle_request (t : t) r (s : session) (req : Protocol.request) =
     else begin
       match t.config.auth_token with
       | Some expected when not (String.equal expected token) ->
-        send t r s (Error { code = Auth_failed; message = "bad auth token" });
+        reply (Error { code = Auth_failed; message = "bad auth token" });
         close_session t r s
       | _ ->
         s.authed <- true;
-        send t r s
+        reply
           (Hello_ok { version = Protocol.version; seq = Atomic.get t.published_seq })
     end
   | _ when not s.authed ->
-    send t r s (Error { code = Bad_request; message = "hello required first" });
+    reply (Error { code = Bad_request; message = "hello required first" });
     close_session t r s
   | Ping ->
     Metrics.inc (requests_c "ping");
-    send t r s Pong
-  | Query body -> (
+    reply Pong
+  | Query { body; _ } -> (
     Metrics.inc (requests_c "query");
     (* against the published immutable snapshot — never the database the
        writer is maintaining *)
     let db = Atomic.get t.published in
+    let q0 = Unix.gettimeofday () in
     match Query.run_text db body with
-    | { Query.columns; rows } -> send t r s (Answer { columns; rows })
+    | { Query.columns; rows } ->
+      Reqtrace.add_stage rq "query" ~t0:q0 ~t1:(Unix.gettimeofday ());
+      reply (Answer { columns; rows })
     | exception e ->
-      send t r s (Error { code = Query_failed; message = query_error e }))
-  | Apply changes ->
+      Reqtrace.add_stage rq "query" ~t0:q0 ~t1:(Unix.gettimeofday ());
+      reply (Error { code = Query_failed; message = query_error e }))
+  | Apply { changes; _ } ->
     Metrics.inc (requests_c "apply");
     if Atomic.get t.stopped then
-      send t r s (Error { code = Shutting_down; message = "server is draining" })
+      reply (Error { code = Shutting_down; message = "server is draining" })
     else if batch_tuples changes > t.config.max_batch_tuples then
-      send t r s
+      reply
         (Error
            {
              code = Quota_exceeded;
@@ -303,7 +455,11 @@ let handle_request (t : t) r (s : session) (req : Protocol.request) =
            })
     else begin
       Mutex.lock t.qlock;
-      Queue.add { js = s; changes } t.queue;
+      Queue.add
+        { js = s; changes; rq; echo_timings = trace_ctx <> "";
+          enq = Unix.gettimeofday () }
+        t.queue;
+      Metrics.set queue_depth_g (float_of_int (Queue.length t.queue));
       Condition.signal t.qcond;
       Mutex.unlock t.qlock
       (* the ack (Applied / Error) arrives via the outbox after the
@@ -313,10 +469,9 @@ let handle_request (t : t) r (s : session) (req : Protocol.request) =
     Metrics.inc (requests_c "subscribe");
     let program = Vm.program t.vm in
     if not (Program.mem_pred program pred) then
-      send t r s
-        (Error { code = Bad_request; message = "unknown predicate " ^ pred })
+      reply (Error { code = Bad_request; message = "unknown predicate " ^ pred })
     else if Program.is_base program pred then
-      send t r s
+      reply
         (Error
            {
              code = Bad_request;
@@ -324,17 +479,18 @@ let handle_request (t : t) r (s : session) (req : Protocol.request) =
            })
     else begin
       if not (List.mem pred s.subs) then s.subs <- pred :: s.subs;
-      send t r s (Sub_ok pred)
+      reply (Sub_ok pred)
     end
   | Status ->
     Metrics.inc (requests_c "status");
-    send t r s (Status_reply (Json.to_string (status_json t)))
+    reply (Status_reply (Json.to_string (status_json t)))
   | Close ->
     Metrics.inc (requests_c "close");
-    send t r s Bye;
+    reply Bye;
     close_session t r s
 
 let handle_readable (t : t) r (s : session) =
+  let t0 = Unix.gettimeofday () in
   match Frame.read_fd s.fd with
   | exception Frame.Closed -> close_session t r s
   | exception Wire.Corrupt msg ->
@@ -348,7 +504,7 @@ let handle_readable (t : t) r (s : session) =
       send t r s
         (Error { code = Protocol.Bad_request; message = "bad request: " ^ msg });
       close_session t r s
-    | req -> handle_request t r s req)
+    | req -> handle_request t r s ~t0 req)
 
 let reader_loop (t : t) (r : reader) =
   while not (Atomic.get t.stopped) do
@@ -357,12 +513,35 @@ let reader_loop (t : t) (r : reader) =
       Mutex.lock r.lock;
       let msgs = List.of_seq (Queue.to_seq r.outbox) in
       Queue.clear r.outbox;
+      List.iter (fun m -> m.om_s.outq <- m.om_s.outq - 1) msgs;
       let sessions = r.sessions in
       Mutex.unlock r.lock;
       (msgs, sessions)
     in
     let msgs, sessions = pending in
-    List.iter (fun (s, resp) -> send t r s resp) msgs;
+    List.iter
+      (fun m ->
+        match m.om_rq with
+        | None -> send t r m.om_s m.om_resp
+        | Some _ -> send_traced t r m.om_s m.om_rq ~t0:m.om_routed m.om_resp)
+      msgs;
+    (* disconnect sessions whose delta outbox overflowed (marked by the
+       writer in [route_delta]; only the owning reader may close) *)
+    List.iter
+      (fun s ->
+        if s.doomed && s.alive then begin
+          send t r s
+            (Protocol.Error
+               {
+                 code = Protocol.Quota_exceeded;
+                 message =
+                   Printf.sprintf
+                     "subscriber outbox overflowed (max %d pending messages)"
+                     t.config.max_outbox;
+               });
+          close_session t r s
+        end)
+      sessions;
     (* 2. wait for traffic *)
     let fds =
       r.wake_r :: List.filter_map (fun s -> if s.alive then Some s.fd else None) sessions
@@ -396,8 +575,49 @@ let writer_loop (t : t) =
     if Atomic.get t.stopped && jobs = [] then running := false;
     Mutex.unlock t.qlock;
     if jobs <> [] then begin
+      (* queue stage: from each batch's enqueue to the moment this drain
+         starts processing — a batch's wait folds in its predecessors'
+         work, which is exactly the latency the client experienced *)
+      let jobs_a = Array.of_list jobs in
+      let t_drain = Unix.gettimeofday () in
+      Array.iter
+        (fun j -> Reqtrace.add_stage j.rq "queue" ~t0:j.enq ~t1:t_drain)
+        jobs_a;
+      Metrics.set queue_depth_g 0.;
+      Metrics.set queue_wait_g
+        (Array.fold_left (fun acc j -> Float.max acc (t_drain -. j.enq)) 0.
+           jobs_a
+        *. 1e9);
+      (* stage hooks: per-batch normalize/wal_append/maintain timings
+         land on that batch's request trace; the group-wide fsync is
+         attributed once to every committed batch, preceded by its
+         group_wait (own maintain end → fsync start) — invariant 12 *)
+      let maintain_end = Array.make (Array.length jobs_a) 0. in
+      let hooks =
+        if Reqtrace.enabled () then
+          Some
+            {
+              Vm.batch_stage =
+                (fun i name t0 t1 ->
+                  Reqtrace.add_stage jobs_a.(i).rq name ~t0 ~t1;
+                  if String.equal name "maintain" then maintain_end.(i) <- t1);
+              Vm.group_stage =
+                (fun name t0 t1 ->
+                  Array.iteri
+                    (fun i j ->
+                      if maintain_end.(i) > 0. then begin
+                        Reqtrace.add_stage j.rq "group_wait"
+                          ~t0:maintain_end.(i) ~t1:t0;
+                        Reqtrace.add_stage j.rq name ~t0 ~t1
+                      end)
+                    jobs_a);
+            }
+        else None
+      in
       (* the group commit: normalize/log/maintain each batch, one fsync *)
-      let results = Vm.apply_group t.vm (List.map (fun j -> j.changes) jobs) in
+      let results =
+        Vm.apply_group ?hooks t.vm (List.map (fun j -> j.changes) jobs)
+      in
       let ok = List.length (List.filter Result.is_ok results) in
       let seq =
         match Vm.store_status t.vm with
@@ -406,6 +626,7 @@ let writer_loop (t : t) =
       in
       (* fsync'd → publish the new snapshot, then ack and fan out; until
          here no reader could see any batch of this group (invariant 11) *)
+      let t_pub0 = Unix.gettimeofday () in
       Atomic.set t.published (Database.copy (Vm.database t.vm));
       Atomic.set t.published_seq seq;
       Atomic.incr t.group_commits;
@@ -413,15 +634,26 @@ let writer_loop (t : t) =
       Metrics.add batches_c ok;
       Metrics.observe group_size_h (List.length jobs);
       Atomic.set t.committed_batches (Atomic.get t.committed_batches + ok);
+      let t_pub1 = Unix.gettimeofday () in
       List.iter2
         (fun j res ->
           match res with
-          | Ok deltas -> route t j.js (Protocol.Applied { seq; deltas })
+          | Ok deltas ->
+            Reqtrace.add_stage j.rq "publish" ~t0:t_pub0 ~t1:t_pub1;
+            route ?rq:j.rq t j.js
+              (Protocol.Applied
+                 {
+                   seq;
+                   deltas;
+                   timings =
+                     (if j.echo_timings then Reqtrace.timings j.rq else []);
+                 })
           | Error msg ->
-            route t j.js
+            route ?rq:j.rq t j.js
               (Protocol.Error { code = Protocol.Invalid_changes; message = msg }))
         jobs results;
-      (* per-batch delta fan-out to subscribers *)
+      (* per-batch delta fan-out to subscribers (bounded per session —
+         [route_delta] drops and dooms on overflow) *)
       let subscribers =
         Array.to_list t.pool
         |> List.concat_map (fun r ->
@@ -438,11 +670,8 @@ let writer_loop (t : t) =
                 (fun (pred, delta) ->
                   List.iter
                     (fun s ->
-                      if List.mem pred s.subs then begin
-                        route t s (Protocol.Delta { seq; pred; delta });
-                        Atomic.incr t.deltas_pushed;
-                        Metrics.inc deltas_c
-                      end)
+                      if List.mem pred s.subs then
+                        route_delta t s (Protocol.Delta { seq; pred; delta }))
                     subscribers)
                 deltas)
           results
@@ -485,7 +714,10 @@ let accept_loop (t : t) =
         end
         else begin
           let sid = Atomic.fetch_and_add t.next_sid 1 in
-          let s = { sid; fd; authed = false; subs = []; alive = true } in
+          let s =
+            { sid; fd; authed = false; subs = []; alive = true; outq = 0;
+              doomed = false; reqs = 0; req_ns = 0; req_max_ns = 0 }
+          in
           (* sid mod pool-size is the owner — [route] relies on it *)
           let r = t.pool.(sid mod Array.length t.pool) in
           Mutex.lock r.lock;
@@ -620,6 +852,7 @@ let start ?(host = "127.0.0.1") ?(config = default_config) ~vm ~port:requested
       group_commits = Atomic.make 0;
       committed_batches = Atomic.make 0;
       deltas_pushed = Atomic.make 0;
+      deltas_dropped = Atomic.make 0;
       protocol_errors = Atomic.make 0;
     }
   in

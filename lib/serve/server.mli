@@ -23,10 +23,15 @@ type config = {
   client_timeout_s : float;
       (** socket send/receive timeout; a stalled client is dropped after
           at most this long, and can only ever stall its own reader *)
+  max_outbox : int;
+      (** per-session bound on pending outbox messages: a subscriber
+          whose deltas back up past this has further deltas dropped
+          (counted in [ivm_serve_deltas_dropped_total]) and is
+          disconnected by its owning reader *)
 }
 
 (** [{auth_token = None; max_sessions = 64; max_batch_tuples = 100_000;
-    readers = 2; client_timeout_s = 5.0}] *)
+    readers = 2; client_timeout_s = 5.0; max_outbox = 1024}] *)
 val default_config : config
 
 type t
@@ -39,6 +44,7 @@ type stats = {
   group_commits : int;  (** fsyncs *)
   committed_batches : int;  (** batches successfully applied *)
   deltas_pushed : int;
+  deltas_dropped : int;  (** deltas dropped on subscriber outbox overflow *)
   protocol_errors : int;  (** [Error] responses sent *)
 }
 
@@ -63,6 +69,8 @@ val manager : t -> Ivm.View_manager.t
 val stats : t -> stats
 
 (** The [Status_reply] document: a ["server"] section (sessions, commit
-    and delta counters, published sequence) plus the manager's
-    {!Ivm.View_manager.status_json} under ["manager"]. *)
+    and delta counters, published sequence, and a ["per_session"] array
+    with each session's request count, mean/max latency, subscription
+    list, and outbox depth — fed by {!Ivm_obs.Reqtrace}) plus the
+    manager's {!Ivm.View_manager.status_json} under ["manager"]. *)
 val status_json : t -> Ivm_obs.Json.t

@@ -116,8 +116,9 @@ let test_monitor_commands_documented () =
        at 0)
   in
   List.iter has
-    [ "--monitor"; "/metrics"; "/healthz"; "/statusz"; "/trace"; "/why";
-      "IVM_ATTRIBUTION"; "IVM_SLOW_BATCH_MS"; "IVM_PROV_MAX_SUPPORTS" ]
+    [ "--monitor"; "/metrics"; "/healthz"; "/statusz"; "/trace"; "/requestz";
+      "/why"; "IVM_ATTRIBUTION"; "IVM_SLOW_BATCH_MS"; "IVM_PROV_MAX_SUPPORTS";
+      "IVM_REQTRACE"; "IVM_SLOW_REQUEST_MS"; "--timings" ]
 
 let test_readme_mentions_docs () =
   (* The persistence spec the README and ARCHITECTURE.md point at must
@@ -223,14 +224,16 @@ let sample_messages : (int * string) list =
   let rel = Ivm_relation.Relation.of_list 1 [] in
   let requests =
     [ Protocol.Hello { version = Protocol.version; token = "t" };
-      Protocol.Ping; Protocol.Query "p(X)"; Protocol.Apply [ ("p", rel) ];
+      Protocol.Ping;
+      Protocol.Query { body = "p(X)"; trace = "" };
+      Protocol.Apply { changes = [ ("p", rel) ]; trace = "" };
       Protocol.Subscribe "v"; Protocol.Status; Protocol.Close ]
   in
   let responses =
     [ Protocol.Hello_ok { version = Protocol.version; seq = 7 };
       Protocol.Pong;
       Protocol.Answer { columns = [ "X" ]; rows = rel };
-      Protocol.Applied { seq = 7; deltas = [ ("v", rel) ] };
+      Protocol.Applied { seq = 7; deltas = [ ("v", rel) ]; timings = [] };
       Protocol.Sub_ok "v"; Protocol.Status_reply "{}"; Protocol.Bye;
       Protocol.Delta { seq = 7; pred = "v"; delta = rel };
       Protocol.Error { code = Protocol.Internal; message = "m" } ]
@@ -277,6 +280,26 @@ let test_every_spec_opcode_roundtrips () =
         true
         (List.mem_assoc code Protocol.opcodes))
     covered
+
+(* The §9 trace-context spec must name every stage the implementation
+   can put in a request's chain — a renamed or added stage without a
+   spec update fails here. *)
+let test_trace_context_section_tracks_stages () =
+  let text =
+    String.concat "\n"
+      (spec_section "## 9. Trace context (optional, backward compatible)")
+  in
+  let has needle =
+    Alcotest.(check bool)
+      (Printf.sprintf "PROTOCOL.md §9 mentions stage %s" needle)
+      true
+      (let nl = String.length needle and tl = String.length text in
+       let rec at i = i + nl <= tl && (String.sub text i nl = needle || at (i + 1)) in
+       at 0)
+  in
+  List.iter has Ivm_obs.Reqtrace.apply_stages;
+  List.iter has Ivm_obs.Reqtrace.query_stages;
+  has "/requestz"
 
 (* ---------------- the client's command table ---------------- *)
 
@@ -345,6 +368,8 @@ let suite =
       test_error_table_matches_protocol;
     Alcotest.test_case "every spec opcode round-trips" `Quick
       test_every_spec_opcode_roundtrips;
+    Alcotest.test_case "trace-context spec tracks the stage chain" `Quick
+      test_trace_context_section_tracks_stages;
     Alcotest.test_case "client command table tracks help" `Quick
       test_client_table_matches_help;
     Alcotest.test_case "statecheck vocabulary tracks help" `Quick

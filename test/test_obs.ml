@@ -198,6 +198,44 @@ let test_ring_wraps () =
     (List.map (fun e -> e.Trace.name) (Trace.ring_events ()));
   Alcotest.(check int) "drops counted" 6 (Trace.dropped ())
 
+(* The serve path emits from reader and writer domains while the monitor
+   drains [/trace] and tests toggle tracing — control (enable/disable)
+   and emission must serialize on the ring lock.  Hammer all of them at
+   once, then check the quiescent accounting still balances. *)
+let test_trace_multidomain_stress () =
+  ignore (Trace.disable ());
+  let stop = Atomic.make false in
+  let emitters =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              incr i;
+              let name = Printf.sprintf "d%d-%d" d !i in
+              Trace.instant name;
+              Trace.span_at ~ts:(Unix.gettimeofday ()) ~dur:1e-6 name;
+              Trace.flow ~phase:`Step ~id:(d + 1)
+                ~ts:(Unix.gettimeofday ()) name
+            done))
+  in
+  (* toggle and drain concurrently with the emitting domains *)
+  for _ = 1 to 50 do
+    Trace.enable ~capacity:64 ();
+    ignore (Trace.drain ());
+    ignore (Trace.ring_events ());
+    ignore (Trace.disable ())
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join emitters;
+  (* quiescent: a fresh ring accounts for every event exactly once *)
+  Trace.enable ~capacity:64 ();
+  for i = 1 to 1000 do
+    Trace.instant (string_of_int i)
+  done;
+  ignore (Trace.disable ());
+  Alcotest.(check int) "ring + drops account for every event" 1000
+    (List.length (Trace.ring_events ()) + Trace.dropped ())
+
 (* ------------------------------------------------------------------ *)
 (* Stats shim                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -303,6 +341,8 @@ let suite =
       test_trace_file_parse_back;
     Alcotest.test_case "trace: ring buffer wraps, drops counted" `Quick
       test_ring_wraps;
+    Alcotest.test_case "trace: multi-domain emit vs toggle vs drain" `Quick
+      test_trace_multidomain_stress;
     Alcotest.test_case "stats: nested since attributes to both regions" `Quick
       test_stats_since_nesting;
     Alcotest.test_case "stats: since clamps across reset" `Quick

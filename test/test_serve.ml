@@ -15,6 +15,8 @@ module Protocol = Ivm_serve.Protocol
 module Server = Ivm_serve.Server
 module Client = Ivm_serve.Client
 module Metrics = Ivm_obs.Metrics
+module Reqtrace = Ivm_obs.Reqtrace
+module Monitor = Ivm_monitor.Monitor
 
 let quick name f = Alcotest.test_case name `Quick f
 
@@ -56,6 +58,20 @@ let changes_gen =
 
 let token_gen = QCheck.Gen.(string_size ~gen:printable (int_range 0 12))
 
+(* empty half the time: absence on the wire must round-trip too *)
+let trace_gen =
+  QCheck.Gen.(
+    oneof
+      [ return ""; string_size ~gen:(char_range 'a' 'z') (int_range 1 10) ])
+
+let timings_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 5)
+      (map2
+         (fun stage ns -> (stage, ns))
+         (string_size ~gen:(char_range 'a' 'z') (int_range 1 10))
+         (int_range 0 1_000_000_000)))
+
 let request_gen : Protocol.request QCheck.Gen.t =
   QCheck.Gen.(
     oneof
@@ -64,8 +80,11 @@ let request_gen : Protocol.request QCheck.Gen.t =
           (fun version token -> Protocol.Hello { version; token })
           (int_range 0 5) token_gen;
         return Protocol.Ping;
-        map (fun s -> Protocol.Query s) token_gen;
-        map (fun c -> Protocol.Apply c) changes_gen;
+        map2 (fun body trace -> Protocol.Query { body; trace }) token_gen
+          trace_gen;
+        map2
+          (fun changes trace -> Protocol.Apply { changes; trace })
+          changes_gen trace_gen;
         map (fun s -> Protocol.Subscribe s) token_gen;
         return Protocol.Status;
         return Protocol.Close;
@@ -91,9 +110,9 @@ let response_gen : Protocol.response QCheck.Gen.t =
           (fun columns rows -> Protocol.Answer { columns; rows })
           (list_size (int_range 0 3) token_gen)
           (relation_gen ~arity:2);
-        map2
-          (fun seq deltas -> Protocol.Applied { seq; deltas })
-          (int_range 0 1_000_000) changes_gen;
+        map3
+          (fun seq deltas timings -> Protocol.Applied { seq; deltas; timings })
+          (int_range 0 1_000_000) changes_gen timings_gen;
         map (fun s -> Protocol.Sub_ok s) token_gen;
         map (fun s -> Protocol.Status_reply s) token_gen;
         return Protocol.Bye;
@@ -115,7 +134,8 @@ let eq_changes (a : Protocol.changes) (b : Protocol.changes) =
 
 let eq_request (a : Protocol.request) (b : Protocol.request) =
   match (a, b) with
-  | Protocol.Apply x, Protocol.Apply y -> eq_changes x y
+  | Protocol.Apply x, Protocol.Apply y ->
+    eq_changes x.changes y.changes && x.trace = y.trace
   | _ -> a = b
 
 let eq_response (a : Protocol.response) (b : Protocol.response) =
@@ -123,7 +143,7 @@ let eq_response (a : Protocol.response) (b : Protocol.response) =
   | Protocol.Answer x, Protocol.Answer y ->
     x.columns = y.columns && Relation.equal_counted x.rows y.rows
   | Protocol.Applied x, Protocol.Applied y ->
-    x.seq = y.seq && eq_changes x.deltas y.deltas
+    x.seq = y.seq && eq_changes x.deltas y.deltas && x.timings = y.timings
   | Protocol.Delta x, Protocol.Delta y ->
     x.seq = y.seq && x.pred = y.pred && Relation.equal_counted x.delta y.delta
   | _ -> a = b
@@ -156,6 +176,61 @@ let frame_roundtrip =
         (fun () ->
           Frame.write_fd w (Protocol.encode_request req);
           eq_request req (Protocol.decode_request (Frame.read_fd r))))
+
+(* ---------------- trace context: v1 wire compatibility ---------------- *)
+
+(* The trace context is a trailing optional field: its absence must be
+   byte-identical to a pre-trace v1 frame, and a v1 frame (no trailing
+   field) must decode with [trace = ""].  Same deal for the [Applied]
+   timings. *)
+let trace_context_wire_compat () =
+  let wire_string s =
+    let buf = Buffer.create 16 in
+    Wire.put_string buf s;
+    Buffer.contents buf
+  in
+  (* hand-built v1 query frame: opcode byte + body, nothing after *)
+  let legacy_query =
+    let buf = Buffer.create 16 in
+    Wire.put_u8 buf
+      (Protocol.opcode_of_request (Protocol.Query { body = ""; trace = "" }));
+    Wire.put_string buf "p(X)";
+    Buffer.contents buf
+  in
+  (match Protocol.decode_request legacy_query with
+  | Protocol.Query { body = "p(X)"; trace = "" } -> ()
+  | _ -> Alcotest.fail "v1 query frame did not decode to trace = \"\"");
+  Alcotest.(check string) "empty trace encodes as the v1 bytes" legacy_query
+    (Protocol.encode_request (Protocol.Query { body = "p(X)"; trace = "" }));
+  (* a traced frame is exactly the v1 frame plus the trailing field *)
+  let changes =
+    [ ("p", Relation.of_list 1 [ (Tuple.of_list [ Value.str "x" ], 1) ]) ]
+  in
+  let untraced =
+    Protocol.encode_request (Protocol.Apply { changes; trace = "" })
+  in
+  Alcotest.(check string) "trace context is a trailing field"
+    (untraced ^ wire_string "t7")
+    (Protocol.encode_request (Protocol.Apply { changes; trace = "t7" }));
+  (match Protocol.decode_request untraced with
+  | Protocol.Apply { trace = ""; _ } -> ()
+  | _ -> Alcotest.fail "v1 apply frame did not decode to trace = \"\"");
+  (* Applied timings: absent for v1 clients, trailing when present *)
+  let plain =
+    Protocol.encode_response
+      (Protocol.Applied { seq = 7; deltas = changes; timings = [] })
+  in
+  let timed =
+    Protocol.encode_response
+      (Protocol.Applied
+         { seq = 7; deltas = changes; timings = [ ("fsync", 123) ] })
+  in
+  Alcotest.(check bool) "timings only lengthen the frame when present" true
+    (String.length plain < String.length timed
+    && String.sub timed 0 (String.length plain) = plain);
+  match Protocol.decode_response plain with
+  | Protocol.Applied { timings = []; _ } -> ()
+  | _ -> Alcotest.fail "v1 applied frame did not decode to timings = []"
 
 let trailing_bytes_rejected () =
   let payload = Protocol.encode_request Protocol.Ping ^ "x" in
@@ -441,11 +516,176 @@ let acked_batches_survive_reopen () =
   Alcotest.(check bool) "recovered audit ok" true (Vm.audit vm2 = Ok ());
   Vm.close_store vm2
 
+(* ---------------- request tracing ---------------- *)
+
+let http_get port path =
+  let fd = raw_connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+(* The tentpole's acceptance check: a single traced apply against a
+   durable server decomposes into the full stage chain — in the Applied
+   reply, in the completed-request ring behind [GET /requestz], and in
+   the stage histograms — with exactly one fsync span per committed
+   batch (ARCHITECTURE.md invariant 12) and the spans summing to
+   (almost all of) the end-to-end latency. *)
+let request_tracing_decomposed () =
+  let dir = tmpdir "ivm_serve_reqtrace" in
+  Reqtrace.reset ();
+  let h_apply =
+    Metrics.histogram ~labels:[ ("op", "apply") ] "ivm_serve_request_ns"
+  in
+  let h_fsync =
+    Metrics.histogram ~labels:[ ("stage", "fsync") ] "ivm_serve_stage_ns"
+  in
+  let before_apply = Metrics.histogram_count h_apply in
+  let before_fsync = Metrics.histogram_count h_fsync in
+  let n = 5 in
+  with_server ~durable:dir ab_src (fun srv _vm ->
+      let c = Client.connect ~port:(Server.port srv) () in
+      for i = 1 to n do
+        let _seq, _deltas, timings =
+          Client.apply_timed ~trace:(Printf.sprintf "t-%d" i) c (pair_batch i)
+        in
+        (* the Applied reply echoes every stage the writer saw; the ack
+           stage is still in flight when the reply is cut *)
+        List.iter
+          (fun st ->
+            Alcotest.(check bool)
+              (st ^ " in Applied timings") true (List.mem_assoc st timings))
+          [ "decode"; "queue"; "normalize"; "wal_append"; "maintain";
+            "group_wait"; "fsync"; "publish" ]
+      done;
+      (* close waits for Bye, which the owning reader sends strictly
+         after finishing the last ack — the ring is complete here *)
+      Client.close c;
+      let applies =
+        List.filter (fun r -> r.Reqtrace.c_op = "apply") (Reqtrace.recent ())
+      in
+      Alcotest.(check int) "every traced apply completed into the ring" n
+        (List.length applies);
+      List.iter
+        (fun r ->
+          let names =
+            List.map (fun (s : Reqtrace.stage) -> s.stage) r.Reqtrace.c_stages
+          in
+          List.iter
+            (fun st ->
+              Alcotest.(check bool)
+                (st ^ " present in the stage chain")
+                true (List.mem st names))
+            Reqtrace.apply_stages;
+          Alcotest.(check int) "exactly one fsync span (invariant 12)" 1
+            (List.length (List.filter (( = ) "fsync") names));
+          let sum_ns =
+            List.fold_left
+              (fun acc (s : Reqtrace.stage) ->
+                acc + int_of_float ((s.t1 -. s.t0) *. 1e9))
+              0 r.Reqtrace.c_stages
+          in
+          Alcotest.(check bool) "stages never exceed the end-to-end total"
+            true
+            (sum_ns <= r.Reqtrace.c_total_ns * 11 / 10);
+          Alcotest.(check bool) "stages cover most of the request" true
+            (2 * sum_ns >= r.Reqtrace.c_total_ns))
+        applies;
+      Alcotest.(check int) "one request_ns observation per apply" n
+        (Metrics.histogram_count h_apply - before_apply);
+      Alcotest.(check int) "one fsync observation per committed batch" n
+        (Metrics.histogram_count h_fsync - before_fsync);
+      (* and the monitor serves the same ring over HTTP *)
+      let mon = Monitor.start ~port:0 () in
+      Fun.protect
+        ~finally:(fun () -> Monitor.stop mon)
+        (fun () ->
+          let body = http_get (Monitor.port mon) "/requestz" in
+          Alcotest.(check bool) "/requestz lists the traced applies" true
+            (contains body "\"t-1\"");
+          Alcotest.(check bool) "/requestz carries fsync spans" true
+            (contains body "\"fsync\"")))
+
+(* Satellite: bounded subscriber outboxes.  A subscriber that stops
+   reading must not pin unbounded delta memory — past [max_outbox]
+   pending messages its deltas are dropped (counted) and the session is
+   disconnected, while well-behaved sessions keep committing. *)
+let outbox_overflow_drops_and_disconnects () =
+  let dropped = Metrics.counter "ivm_serve_deltas_dropped_total" in
+  let config =
+    { Server.default_config with max_outbox = 4; client_timeout_s = 0.5 }
+  in
+  with_server ~config ab_src (fun srv _vm ->
+      let port = Server.port srv in
+      (* a subscriber that never reads: tiny receive window, then silence *)
+      let sub = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt_int sub Unix.SO_RCVBUF 1;
+      Unix.connect sub (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Frame.write_fd sub
+        (Protocol.encode_request
+           (Protocol.Hello { version = Protocol.version; token = "" }));
+      ignore (Frame.read_fd sub);
+      Frame.write_fd sub (Protocol.encode_request (Protocol.Subscribe "both"));
+      ignore (Frame.read_fd sub);
+      let before = Metrics.counter_value dropped in
+      (* bulky tuples so deltas overrun the socket buffers quickly *)
+      let blob = String.make 4096 'x' in
+      let fat i : Protocol.changes =
+        let tup j =
+          Tuple.of_list [ Value.str (Printf.sprintf "%s-%d-%d" blob i j) ]
+        in
+        let rel = Relation.of_list 1 (List.init 16 (fun j -> (tup j, 1))) in
+        [ ("a", rel); ("b", rel) ]
+      in
+      let c = Client.connect ~port () in
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let i = ref 0 in
+      while
+        Metrics.counter_value dropped = before
+        && Unix.gettimeofday () < deadline
+      do
+        incr i;
+        ignore (Client.apply c (fat !i))
+      done;
+      Alcotest.(check bool) "overflow counted in deltas_dropped_total" true
+        (Metrics.counter_value dropped > before);
+      (* the overflowing session is disconnected, not wedged *)
+      Unix.setsockopt_float sub Unix.SO_RCVTIMEO 10.0;
+      let rec drain_to_eof budget =
+        if budget = 0 then Alcotest.fail "subscriber was not disconnected"
+        else
+          match Frame.read_fd sub with
+          | _ -> drain_to_eof (budget - 1)
+          | exception Frame.Closed -> ()
+          | exception Wire.Corrupt _ -> ()
+          | exception Unix.Unix_error _ -> ()
+      in
+      drain_to_eof 10_000;
+      (try Unix.close sub with Unix.Unix_error _ -> ());
+      (* the well-behaved session never noticed *)
+      Client.ping c;
+      ignore (Client.apply c (pair_batch 999_999));
+      Client.close c)
+
 let suite =
   [
     request_roundtrip;
     response_roundtrip;
     frame_roundtrip;
+    quick "codec: trace context is v1 wire compatible" trace_context_wire_compat;
     quick "codec: trailing bytes rejected" trailing_bytes_rejected;
     quick "frame: bit flip detected by CRC" corrupt_frame_rejected;
     quick "frame: truncation reads as Closed" truncated_frame_is_closed;
@@ -462,4 +702,8 @@ let suite =
     quick "server: session and batch quotas" quotas_enforced;
     quick "server: acked batches survive kill and reopen"
       acked_batches_survive_reopen;
+    quick "reqtrace: one apply decomposes into the full stage chain"
+      request_tracing_decomposed;
+    quick "server: overflowing subscriber outbox is bounded"
+      outbox_overflow_drops_and_disconnects;
   ]
