@@ -29,6 +29,7 @@ let () =
   let min_len = ref 25 in
   let max_len = ref 45 in
   let fault = ref 0 in
+  let publish = ref false in
   let out = ref "" in
   let script = ref "" in
   Arg.parse
@@ -40,6 +41,10 @@ let () =
       ( "--fault",
         Arg.Set_int fault,
         "K  drop a real-side tuple every K-th insert (deliberate bug)" );
+      ( "--publish",
+        Arg.Set publish,
+        "  run a snapshot publisher in lockstep and check publish \
+         equivalence" );
       ("--out", Arg.Set_string out, "FILE  write the shrunk failing trace here");
       ( "--script",
         Arg.Set_string script,
@@ -64,7 +69,7 @@ let () =
           match d with Cmd.No_damage -> () | _ -> incr damaged)
         | _ -> ())
       trace.Cmd.steps;
-    match Interp.run_result ?fault:fault_opt trace with
+    match Interp.run_result ?fault:fault_opt ~publish:!publish trace with
     | Ok o ->
       steps_run := !steps_run + o.Interp.executed;
       steps_skipped := !steps_skipped + o.Interp.skipped;

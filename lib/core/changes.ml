@@ -99,6 +99,45 @@ let normalize_base (db : Database.t) (t : t) : t =
     t
   |> List.sort (fun (p, _) (q, _) -> String.compare p q)
 
+(* ---------------- net-change collectors ---------------- *)
+
+(* A collector accumulates the net stored-count changes a maintenance run
+   actually commits — base and derived predicates alike — as a change set.
+   The maintenance algorithms call [record] from their commit sites with
+   the per-tuple applied difference (new stored count − old), so the
+   collected set is exact by construction: replaying it with ⊎ onto any
+   count-identical database yields the post-maintenance database.  A run
+   that mutates stored state without per-tuple deltas (recomputation,
+   rederivation) marks the collector incomplete instead, and consumers
+   (the snapshot publisher) fall back to a full copy. *)
+type collector = {
+  net : (string, Relation.t) Hashtbl.t;
+  mutable incomplete : bool;
+}
+
+let collector () = { net = Hashtbl.create 8; incomplete = false }
+
+let record col pred tup c =
+  if c <> 0 then begin
+    let r =
+      match Hashtbl.find_opt col.net pred with
+      | Some r -> r
+      | None ->
+        let r = Relation.create (Tuple.arity tup) in
+        Hashtbl.replace col.net pred r;
+        r
+    in
+    Relation.add r tup c
+  end
+
+let mark_incomplete col = col.incomplete <- true
+let is_complete col = not col.incomplete
+
+let collected col : t =
+  Hashtbl.fold (fun p r acc -> if Relation.is_empty r then acc else (p, r) :: acc)
+    col.net []
+  |> List.sort (fun (p, _) (q, _) -> String.compare p q)
+
 let pp ppf (t : t) =
   List.iter
     (fun (pred, r) -> Format.fprintf ppf "Δ%s = %a@." pred Relation.pp r)

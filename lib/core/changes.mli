@@ -42,5 +42,35 @@ val total_tuples : t -> int
     @raise Invalid_changes on violations. *)
 val normalize_base : Database.t -> t -> t
 
+(** {2 Net-change collectors}
+
+    A collector accumulates the net stored-count changes a maintenance run
+    actually commits — base {e and} derived predicates — as a change set.
+    Algorithms call {!record} from their commit sites with the per-tuple
+    applied difference (new stored count − old), making the collected set
+    exact by construction: replaying it with [⊎] onto any count-identical
+    database reproduces the post-maintenance database.  A run that
+    rewrites stored state wholesale (recomputation, rederivation) calls
+    {!mark_incomplete}; consumers such as the snapshot publisher then fall
+    back to a full copy. *)
+
+type collector
+
+val collector : unit -> collector
+
+(** [record col pred tup c] folds an applied count difference [c] into the
+    collector ([c = 0] is a no-op). *)
+val record : collector -> string -> Tuple.t -> int -> unit
+
+(** The run mutated stored state outside per-tuple recording; {!collected}
+    is no longer a faithful replay. *)
+val mark_incomplete : collector -> unit
+
+val is_complete : collector -> bool
+
+(** The accumulated net change set, sorted by predicate, empty deltas
+    dropped.  Only meaningful when {!is_complete}. *)
+val collected : collector -> t
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

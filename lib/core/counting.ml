@@ -56,7 +56,7 @@ let changed_views report = List.map fst report.view_deltas
     @raise Recursive_program when the program has recursive views — use
     {!Dred} there (Section 7);
     @raise Changes.Invalid_changes on malformed change sets. *)
-let maintain (db : Database.t) (changes : Changes.t) : report =
+let maintain ?record (db : Database.t) (changes : Changes.t) : report =
   let program = Database.program db in
   (match
      List.find_opt (fun p -> Program.recursive program p) (Program.derived_preds program)
@@ -132,5 +132,5 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
       in
       let view_deltas = collect ctx.Delta.full in
       let propagated_deltas = collect ctx.Delta.propagated in
-      ignore (Delta.commit ctx);
+      ignore (Delta.commit ?record ctx);
       { base_deltas = normalized; view_deltas; propagated_deltas })

@@ -36,8 +36,14 @@ val changed_views : report -> string list
 
 (** Apply base-relation changes to [db], incrementally updating every
     materialized view; commits to the stored relations and returns what
-    changed.
+    changed.  [?record pred tup c] observes every applied per-tuple
+    stored-count difference at commit time (the snapshot publisher's
+    net-change feed).
     @raise Recursive_program when the program has recursive views — use
     {!Dred} (Section 7);
     @raise Changes.Invalid_changes on malformed change sets. *)
-val maintain : Database.t -> Changes.t -> report
+val maintain :
+  ?record:(string -> Ivm_relation.Tuple.t -> int -> unit) ->
+  Database.t ->
+  Changes.t ->
+  report

@@ -269,10 +269,12 @@ let apply_delta_rules_par ctx (crs : Compile.t list) ~(out : Relation.t) : unit 
   end
 
 (** Commit all accumulated full deltas into the stored relations.  Returns
-    the sorted non-empty (pred, full delta) list.
+    the sorted non-empty (pred, full delta) list.  [?record] observes
+    every applied per-tuple difference (exactly [c], since this commit
+    refuses to clamp) — the snapshot publisher's net-change feed.
     @raise Invalid_argument if a committed count would go negative — the
     caller violated Lemma 4.1's precondition. *)
-let commit ctx : (string * Relation.t) list =
+let commit ?record ctx : (string * Relation.t) list =
   let applied = ref [] in
   let cap = Ivm_prov.Prov.capturing () in
   Hashtbl.iter
@@ -294,6 +296,7 @@ let commit ctx : (string * Relation.t) list =
                 Ivm_prov.Prov.on_transition ~pred tup `Derived
               else if before > 0 && c' <= 0 then
                 Ivm_prov.Prov.on_transition ~pred tup `Deleted;
+            (match record with Some f -> f pred tup c | None -> ());
             Relation.set_count stored tup c')
           delta;
         applied := (pred, delta) :: !applied

@@ -105,7 +105,12 @@ val delta_rule_thunks : ctx -> Compile.t -> chunks:int -> (unit -> Relation.t) a
 val apply_delta_rules_par : ctx -> Compile.t list -> out:Relation.t -> unit
 
 (** Commit all accumulated deltas into the stored relations; returns the
-    non-empty (predicate, delta) pairs, sorted.
+    non-empty (predicate, delta) pairs, sorted.  [?record pred tup c]
+    observes every applied per-tuple stored-count difference (the
+    snapshot publisher's net-change feed).
     @raise Invalid_argument if a count would go negative (the caller
     violated Lemma 4.1's precondition). *)
-val commit : ctx -> (string * Relation.t) list
+val commit :
+  ?record:(string -> Ivm_relation.Tuple.t -> int -> unit) ->
+  ctx ->
+  (string * Relation.t) list

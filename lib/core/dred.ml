@@ -650,7 +650,7 @@ let insert_new ctx unit_preds =
     maintaining all views with DRed.  Set semantics only (Section 7).
     @raise Duplicate_semantics_unsupported under duplicate semantics;
     @raise Changes.Invalid_changes on malformed change sets. *)
-let maintain (db : Database.t) (changes : Changes.t) : report =
+let maintain ?record (db : Database.t) (changes : Changes.t) : report =
   if Database.semantics db = Database.Duplicate_semantics then
     raise Duplicate_semantics_unsupported;
   Metrics.inc batches_c;
@@ -765,6 +765,12 @@ let maintain (db : Database.t) (changes : Changes.t) : report =
               Ivm_prov.Prov.on_transition ~pred tup `Derived
             else if before > 0 && c' <= 0 then
               Ivm_prov.Prov.on_transition ~pred tup `Deleted;
+          (* The recorded net change is the *applied* difference — after
+             the [max 0] clamp — so it stays exact even where the raw
+             delta would have driven a count below zero. *)
+          (match record with
+          | Some f -> if c' <> before then f pred tup (c' - before)
+          | None -> ());
           Relation.set_count stored tup c')
         delta)
     ctx.delta;

@@ -34,7 +34,14 @@ type report = {
 }
 
 (** Apply base-relation changes with DRed; commits to the stored relations.
+    [?record pred tup c] observes every applied per-tuple stored-count
+    difference at commit time — the {e applied} difference, after DRed's
+    clamp to non-negative counts, so the recorded net change is exact.
     @raise Duplicate_semantics_unsupported under duplicate semantics
     (DRed is a set-semantics algorithm, Section 7);
     @raise Changes.Invalid_changes on malformed change sets. *)
-val maintain : Database.t -> Changes.t -> report
+val maintain :
+  ?record:(string -> Ivm_relation.Tuple.t -> int -> unit) ->
+  Database.t ->
+  Changes.t ->
+  report

@@ -210,7 +210,7 @@ let fix_unit ~max_rounds (ctx : Delta.ctx) unit_preds =
     derivation counts.  @raise Divergence when counts cannot converge;
     @raise Dred.Duplicate_semantics_unsupported never (set semantics is
     fine too: counts then follow the Section 5.1 convention). *)
-let maintain ?(max_rounds = default_max_rounds) (db : Database.t)
+let maintain ?(max_rounds = default_max_rounds) ?record (db : Database.t)
     (changes : Changes.t) : (string * Relation.t) list =
   if Database.semantics db = Database.Set_semantics then
     invalid_arg
@@ -246,7 +246,7 @@ let maintain ?(max_rounds = default_max_rounds) (db : Database.t)
               ~args:(fun () -> [ ("unit", String.concat "," unit_preds) ])
               (fun () -> fix_unit ~max_rounds ctx unit_preds))
         (Program.recursive_units program);
-      Delta.commit ctx)
+      Delta.commit ?record ctx)
 
 (** Materialize a database whose program may be recursive with full
     derivation counts: equivalent to maintaining from an empty database

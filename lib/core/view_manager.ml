@@ -61,6 +61,12 @@ type t = {
   mutable store : Ivm_store.Store.t option;
       (** durable mode: every validated batch is WAL-logged (fsync'd)
           before maintenance applies it — see {!open_durable} *)
+  state_version : int Atomic.t;
+      (** bumped on every out-of-band state mutation (rule change,
+          algorithm switch, incremental-aggregate enablement) — anything
+          that rewrites stored relations outside per-tuple-tracked batch
+          maintenance.  The snapshot publisher compares this across
+          groups to detect that its incremental shadow is stale. *)
 }
 
 let algorithm t = t.algorithm
@@ -104,9 +110,25 @@ let last_batch_g =
   Metrics.gauge "ivm_last_batch_ns"
     ~help:"Wall time of the most recent maintenance batch, nanoseconds"
 
-let maintain_batch (t : t) (changes : Changes.t) : (string * Relation.t) list =
+let maintain_batch ?track (t : t) (changes : Changes.t) :
+    (string * Relation.t) list =
   let resolved = resolve t in
   let name = algorithm_name resolved in
+  (* Net-change tracking for the snapshot publisher: the incremental
+     algorithms record every applied per-tuple stored-count difference at
+     their commit site; recomputation rewrites relations wholesale, so
+     the collector is marked incomplete and the publisher falls back to a
+     full copy for this group. *)
+  let record =
+    match track with
+    | None -> None
+    | Some col -> (
+      match resolved with
+      | Counting | Dred | Recursive_counting -> Some (Changes.record col)
+      | Recompute | Auto ->
+        Changes.mark_incomplete col;
+        None)
+  in
   let t0 = Unix.gettimeofday () in
   Ivm_obs.Attribution.batch_begin ~algorithm:name;
   if Ivm_prov.Prov.capturing () then Ivm_prov.Prov.batch_begin ~algorithm:name;
@@ -125,14 +147,15 @@ let maintain_batch (t : t) (changes : Changes.t) : (string * Relation.t) list =
           (fun () ->
             match resolved with
             | Counting ->
-              let report = Counting.maintain t.db changes in
+              let report = Counting.maintain ?record t.db changes in
               (match Database.semantics t.db with
               | Database.Set_semantics -> report.Counting.propagated_deltas
               | Database.Duplicate_semantics -> report.Counting.view_deltas)
             | Dred ->
-              let report = Dred.maintain t.db changes in
+              let report = Dred.maintain ?record t.db changes in
               report.Dred.view_deltas
-            | Recursive_counting -> Recursive_counting.maintain t.db changes
+            | Recursive_counting ->
+              Recursive_counting.maintain ?record t.db changes
             | Recompute | Auto ->
               (* A recompute invalidates every stored support wholesale;
                  [Seminaive.evaluate] then re-records each current
@@ -182,7 +205,7 @@ type group_hooks = {
   group_stage : string -> float -> float -> unit;
 }
 
-let apply_group ?hooks (t : t) (batches : Changes.t list) :
+let apply_group ?hooks ?track (t : t) (batches : Changes.t list) :
     ((string * Relation.t) list, string) result list =
   (* timestamps are taken only when a hook is installed, so the unhooked
      path is byte-for-byte the old one *)
@@ -224,7 +247,9 @@ let apply_group ?hooks (t : t) (batches : Changes.t list) :
             batch_stage i "wal_append" (fun () ->
                 Ivm_store.Store.append ~sync:false store normalized)
           | None -> ());
-          Ok (batch_stage i "maintain" (fun () -> maintain_batch t normalized)))
+          Ok
+            (batch_stage i "maintain" (fun () ->
+                 maintain_batch ?track t normalized)))
       batches
   in
   (* one fsync per group (zero-duration without a store, so a committed
@@ -244,6 +269,7 @@ let of_database ?(algorithm = Auto) (db : Database.t) : t =
     algorithm;
     incremental_aggregates = Database.agg_signatures db <> [];
     store = None;
+    state_version = Atomic.make 0;
   }
 
 (** Open an existing durable store: load the snapshot (no re-evaluation),
@@ -292,7 +318,15 @@ let create ?(semantics = Database.Set_semantics) ?(algorithm = Auto)
     let db = Database.create ~semantics program in
     List.iter (fun v -> Database.mark_distinct db v) distinct;
     List.iter (fun (pred, tuples) -> Database.load db pred tuples) facts;
-    let t = { db; algorithm; incremental_aggregates = false; store = None } in
+    let t =
+      {
+        db;
+        algorithm;
+        incremental_aggregates = false;
+        store = None;
+        state_version = Atomic.make 0;
+      }
+    in
     (match resolve t with
     | Recursive_counting -> Recursive_counting.evaluate db
     | Counting | Dred | Recompute | Auto -> Seminaive.evaluate db);
@@ -334,9 +368,18 @@ let close_store (t : t) : unit =
     t.store <- None
 
 (* Program and index changes are not WAL-logged; durable managers fold
-   them straight into a fresh snapshot. *)
+   them straight into a fresh snapshot.  Every such change also rewrites
+   stored state outside per-tuple-tracked maintenance, so the state
+   version is bumped here — the snapshot publisher watches it. *)
 let resnapshot (t : t) : unit =
+  Atomic.incr t.state_version;
   match t.store with Some s -> Ivm_store.Store.compact s t.db | None -> ()
+
+(** Out-of-band mutation counter (rule changes, algorithm switches,
+    aggregate enablement).  Monotonic; a change between two reads means
+    stored relations may have been rewritten outside tracked batch
+    maintenance. *)
+let state_version (t : t) : int = Atomic.get t.state_version
 
 let insert t pred tuples =
   apply t (Changes.insertions (program t) pred tuples)

@@ -112,10 +112,20 @@ type group_hooks = {
     fsync (see ARCHITECTURE.md invariant 11 and [Ivm_serve.Server]).
     [hooks], when given, receives per-batch and group stage timings (a
     stage that raises reports nothing, so an [Error] slot's chain simply
-    ends where the batch failed). *)
+    ends where the batch failed).  [track], when given, accumulates the
+    group's exact net stored-count changes — base and derived — via the
+    algorithms' commit-site recording ({!Changes.record}); a batch
+    maintained by recomputation marks the collector incomplete instead
+    (the snapshot publisher then falls back to a full copy). *)
 val apply_group :
-  ?hooks:group_hooks -> t -> Changes.t list ->
+  ?hooks:group_hooks -> ?track:Changes.collector -> t -> Changes.t list ->
   ((string * Relation.t) list, string) result list
+
+(** Out-of-band mutation counter: bumped whenever stored relations may
+    have been rewritten outside tracked batch maintenance (rule
+    add/remove, algorithm switch, incremental-aggregate enablement).
+    Monotonic; the snapshot publisher compares it across groups. *)
+val state_version : t -> int
 
 (** {1 Durability}
 

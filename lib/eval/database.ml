@@ -162,15 +162,47 @@ let set_relation t name rel =
   Hashtbl.replace t.rels name rel
 
 (** Fresh database with the same program/semantics and deep-copied
-    relations — lets tests run two algorithms from the same state. *)
-let copy t =
+    relations — lets tests run two algorithms from the same state.
+    [~with_indexes:false] skips rebuilding secondary indexes on the
+    copies (the serve publish fast path; readers rebuild on demand). *)
+let copy ?(with_indexes = true) t =
   let rels = Hashtbl.create (Hashtbl.length t.rels) in
-  Hashtbl.iter (fun name r -> Hashtbl.replace rels name (Relation.copy r)) t.rels;
+  Hashtbl.iter
+    (fun name r -> Hashtbl.replace rels name (Relation.copy ~with_indexes r))
+    t.rels;
   let agg_indexes = Hashtbl.create (Hashtbl.length t.agg_indexes) in
   Hashtbl.iter
     (fun sig_ idx -> Hashtbl.replace agg_indexes sig_ (Agg_index.copy idx))
     t.agg_indexes;
   { t with rels; agg_indexes; distinct = Hashtbl.copy t.distinct }
+
+(** Canonical content digest: MD5 over the semantics tag plus, for every
+    predicate in sorted order, its sorted [(tuple, count)] entries.  Base
+    and derived relations both contribute, counts included — two databases
+    digest equal iff they are count-identical, which is exactly the
+    publisher-equivalence contract (indexes and caches deliberately do not
+    participate). *)
+let canonical_digest t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (match t.semantics with Set_semantics -> "set;" | Duplicate_semantics -> "dup;");
+  let names =
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.rels [])
+  in
+  List.iter
+    (fun name ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '=';
+      List.iter
+        (fun (tup, c) ->
+          Buffer.add_string buf (Tuple.to_string tup);
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (string_of_int c);
+          Buffer.add_char buf ';')
+        (Relation.to_sorted_list (relation t name));
+      Buffer.add_char buf '\n')
+    names;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (** Do the stored relations of [a] and [b] agree?  Under set semantics
     compares sets; under duplicate semantics compares counts. *)

@@ -89,9 +89,18 @@ val invalidate_agg_indexes : t -> string -> unit
 
 val clear_agg_indexes : t -> unit
 
-(** Deep copy: same program and semantics, copied relations (indexes
-    included). *)
-val copy : t -> t
+(** Deep copy: same program and semantics, copied relations.  Secondary
+    indexes are rebuilt on the copies by default; [~with_indexes:false]
+    skips that (the serve publish fast path — readers rebuild on demand
+    under the relation build lock). *)
+val copy : ?with_indexes:bool -> t -> t
+
+(** Canonical content digest (hex MD5) over every relation's sorted
+    [(tuple, count)] entries, base and derived, plus the semantics tag.
+    Two databases digest equal iff they are count-identical; indexes and
+    caches do not participate.  This is the publisher-equivalence
+    oracle. *)
+val canonical_digest : t -> string
 
 (** Do the stored relations agree (sets under set semantics, counts under
     duplicates)?  [preds] defaults to every predicate. *)

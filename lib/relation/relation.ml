@@ -100,6 +100,33 @@ let add r t c =
 
 let remove r t = set_count r t 0
 
+(* In-place signed-delta application for the snapshot publisher (PR 10).
+   Same shape as [add] — in particular an in-place count bump touches no
+   index, and insert/remove maintain every attached index incrementally —
+   but a publish patch must never drive a count negative: the deltas it
+   applies are the *net* changes the maintenance algorithms already
+   committed to the live database, so a negative here means the publisher
+   and the live store have diverged and the snapshot can no longer be
+   trusted. *)
+let patch r t c =
+  if c <> 0 then begin
+    check_arity r t;
+    match Tbl.find_opt r.entries t with
+    | Some e ->
+      let c' = e.ecount + c in
+      if c' < 0 then
+        invalid_arg
+          (Printf.sprintf "Relation.patch: count would go negative (%d%+d) for %s"
+             e.ecount c (Tuple.to_string t));
+      if c' = 0 then remove_entry r t else e.ecount <- c'
+    | None ->
+      if c < 0 then
+        invalid_arg
+          (Printf.sprintf "Relation.patch: count would go negative (0%+d) for %s"
+             c (Tuple.to_string t));
+      insert_entry r { etup = t; ecount = c }
+  end
+
 let iter f r = Tbl.iter (fun _ e -> f e.etup e.ecount) r.entries
 let fold f r init = Tbl.fold (fun _ e acc -> f e.etup e.ecount acc) r.entries init
 
@@ -151,16 +178,21 @@ let get_index r cols =
 
 let ensure_index r cols = ignore (get_index r cols : index)
 
-let copy r =
-  (* Fresh entry records (counts are mutable), then each index rebuilt
-     over them — a copy behaves like the live relation, indexes included,
-     without lazily rebuilding on first probe. *)
+let copy ?(with_indexes = true) r =
+  (* Fresh entry records (counts are mutable), then — by default — each
+     index rebuilt over them, so a copy behaves like the live relation
+     without lazily rebuilding on first probe.  [~with_indexes:false]
+     skips the rebuild entirely: the serve publish path copies relations
+     whose indexes the readers may never probe, and a reader that does
+     probe rebuilds on demand under [build_lock] like any cold
+     relation. *)
   let out = create ~size:(cardinal r) r.arity in
   Tbl.iter
     (fun t e -> Tbl.replace out.entries t { etup = e.etup; ecount = e.ecount })
     r.entries;
-  Atomic.set out.indexes
-    (List.map (fun idx -> build_index out idx.cols) (Atomic.get r.indexes));
+  if with_indexes then
+    Atomic.set out.indexes
+      (List.map (fun idx -> build_index out idx.cols) (Atomic.get r.indexes));
   out
 
 let union_into ~into r = iter (fun t c -> add into t c) r

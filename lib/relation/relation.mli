@@ -52,6 +52,16 @@ val add : t -> Tuple.t -> int -> unit
 (** [set_count r t c] overwrites the count ([c = 0] deletes). *)
 val set_count : t -> Tuple.t -> int -> unit
 
+(** [patch r t c] applies a signed net delta in place, like {!add} —
+    indexes are maintained incrementally (an in-place count bump touches
+    no index at all) — but refuses to drive a count negative.  The
+    snapshot publisher applies net changes already committed to the live
+    database, so a negative result means publisher and live store have
+    diverged.
+    @raise Invalid_argument on arity mismatch or a would-be negative
+    count. *)
+val patch : t -> Tuple.t -> int -> unit
+
 (** [remove r t] deletes the tuple outright, whatever its count. *)
 val remove : t -> Tuple.t -> unit
 
@@ -60,9 +70,13 @@ val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
 val exists : (Tuple.t -> int -> bool) -> t -> bool
 val clear : t -> unit
 
-(** Deep copy, indexes included — a copy behaves like the live relation,
-    without lazily rebuilding its indexes on first probe. *)
-val copy : t -> t
+(** Deep copy.  With [~with_indexes:true] (the default) every secondary
+    index is rebuilt over the fresh entries, so the copy behaves like the
+    live relation without lazily rebuilding on first probe.
+    [~with_indexes:false] skips the rebuild — the serve publish path uses
+    this because readers may never probe those indexes; a reader that
+    does probe rebuilds on demand under the build lock. *)
+val copy : ?with_indexes:bool -> t -> t
 
 (** [union_into ~into r] folds [r] into [into] with [⊎]. *)
 val union_into : into:t -> t -> unit

@@ -42,6 +42,12 @@ type config = {
   readers : int;
   client_timeout_s : float;
   max_outbox : int;
+  publish_max_wait_s : float;
+      (** how long the writer waits for a pinned reader before a publish
+          falls back to a full snapshot copy ({!Snap_pub}) *)
+  full_publish : bool;
+      (** benchmarking escape hatch: publish untracked, forcing the
+          pre-incremental full-copy path on every group *)
 }
 
 let default_config =
@@ -52,6 +58,8 @@ let default_config =
     readers = 2;
     client_timeout_s = 5.0;
     max_outbox = 1024;
+    publish_max_wait_s = 0.05;
+    full_publish = false;
   }
 
 type session = {
@@ -115,7 +123,9 @@ type t = {
   lsock : Unix.file_descr;
   port : int;
   wake_addr : Unix.sockaddr;
-  published : Database.t Atomic.t;
+  pub : Snap_pub.t;
+      (** double-buffered snapshot publisher: readers pin per-query,
+          the writer patches/rotates per group commit *)
   published_seq : int Atomic.t;
   stopped : bool Atomic.t;
   pool : reader array;
@@ -148,6 +158,7 @@ type stats = {
 
 let port t = t.port
 let manager t = t.vm
+let publisher t = t.pub
 
 let stats (t : t) =
   {
@@ -354,6 +365,7 @@ let status_json (t : t) =
         ("sessions", Json.int (Atomic.get t.live_sessions));
         ("sessions_total", Json.int (Atomic.get t.accepted));
         ("published_seq", Json.int (Atomic.get t.published_seq));
+        ("publish", Snap_pub.status_json t.pub);
         ("group_commits", Json.int (Atomic.get t.group_commits));
         ("committed_batches", Json.int (Atomic.get t.committed_batches));
         ("mean_group_size", Json.Num mean_group);
@@ -430,16 +442,22 @@ let handle_request (t : t) r (s : session) ~(t0 : float)
   | Query { body; _ } -> (
     Metrics.inc (requests_c "query");
     (* against the published immutable snapshot — never the database the
-       writer is maintaining *)
-    let db = Atomic.get t.published in
+       writer is maintaining.  The pin spans only the evaluation: the
+       reply below can block for a full socket timeout on a stalled
+       client, and holding the pin there would force the writer into
+       full-copy fallbacks. *)
+    let db = Snap_pub.acquire t.pub ~reader:r.idx in
     let q0 = Unix.gettimeofday () in
-    match Query.run_text db body with
-    | { Query.columns; rows } ->
-      Reqtrace.add_stage rq "query" ~t0:q0 ~t1:(Unix.gettimeofday ());
-      reply (Answer { columns; rows })
-    | exception e ->
-      Reqtrace.add_stage rq "query" ~t0:q0 ~t1:(Unix.gettimeofday ());
-      reply (Error { code = Query_failed; message = query_error e }))
+    let res =
+      match Query.run_text db body with
+      | answer -> Ok answer
+      | exception e -> Error e
+    in
+    Snap_pub.release t.pub ~reader:r.idx;
+    Reqtrace.add_stage rq "query" ~t0:q0 ~t1:(Unix.gettimeofday ());
+    match res with
+    | Ok { Query.columns; rows } -> reply (Answer { columns; rows })
+    | Error e -> reply (Error { code = Query_failed; message = query_error e }))
   | Apply { changes; _ } ->
     Metrics.inc (requests_c "apply");
     if Atomic.get t.stopped then
@@ -614,9 +632,12 @@ let writer_loop (t : t) =
             }
         else None
       in
-      (* the group commit: normalize/log/maintain each batch, one fsync *)
+      (* the group commit: normalize/log/maintain each batch, one fsync.
+         The collector rides along and accumulates the group's exact net
+         stored-count changes — the publisher's patch feed. *)
+      let track = Changes.collector () in
       let results =
-        Vm.apply_group ?hooks t.vm (List.map (fun j -> j.changes) jobs)
+        Vm.apply_group ?hooks ~track t.vm (List.map (fun j -> j.changes) jobs)
       in
       let ok = List.length (List.filter Result.is_ok results) in
       let seq =
@@ -625,9 +646,14 @@ let writer_loop (t : t) =
         | None -> Atomic.get t.published_seq + ok
       in
       (* fsync'd → publish the new snapshot, then ack and fan out; until
-         here no reader could see any batch of this group (invariant 11) *)
+         here no reader could see any batch of this group (invariant 11).
+         Incremental: patch the spare shadow with the group's net deltas
+         and rotate; full-copy fallback when the group was untracked or
+         a stalled reader pins the spare. *)
       let t_pub0 = Unix.gettimeofday () in
-      Atomic.set t.published (Database.copy (Vm.database t.vm));
+      let track = if t.config.full_publish then None else Some track in
+      ignore (Snap_pub.publish ?track t.pub : Snap_pub.mode);
+      Snap_pub.refresh_gauges t.pub;
       Atomic.set t.published_seq seq;
       Atomic.incr t.group_commits;
       Metrics.inc commits_c;
@@ -836,7 +862,12 @@ let start ?(host = "127.0.0.1") ?(config = default_config) ~vm ~port:requested
       lsock;
       port;
       wake_addr;
-      published = Atomic.make (Database.copy (Vm.database vm));
+      pub =
+        (* one pin cell per reader domain plus a spare out-of-band cell
+           (index [config.readers]) for external holders — backup dumps,
+           load harnesses — reachable through [publisher] *)
+        Snap_pub.create ~max_wait_s:config.publish_max_wait_s
+          ~readers:(config.readers + 1) vm;
       published_seq = Atomic.make seq0;
       stopped = Atomic.make false;
       pool;

@@ -28,10 +28,17 @@ type config = {
           whose deltas back up past this has further deltas dropped
           (counted in [ivm_serve_deltas_dropped_total]) and is
           disconnected by its owning reader *)
+  publish_max_wait_s : float;
+      (** how long the writer waits for a pinned reader before a
+          publish falls back to a full snapshot copy ({!Snap_pub}) *)
+  full_publish : bool;
+      (** benchmarking escape hatch: publish untracked, forcing the
+          pre-incremental full-copy path on every group *)
 }
 
 (** [{auth_token = None; max_sessions = 64; max_batch_tuples = 100_000;
-    readers = 2; client_timeout_s = 5.0; max_outbox = 1024}] *)
+    readers = 2; client_timeout_s = 5.0; max_outbox = 1024;
+    publish_max_wait_s = 0.05; full_publish = false}] *)
 val default_config : config
 
 type t
@@ -66,6 +73,16 @@ val stop : t -> unit
 val port : t -> int
 
 val manager : t -> Ivm.View_manager.t
+
+(** The snapshot publisher — epoch/lag/mode introspection and the
+    monitor's gauge-refresh hook ({!Snap_pub.refresh_gauges}).  Pin
+    cells [0 .. config.readers - 1] belong to the reader domains; cell
+    [config.readers] is a spare for out-of-band holders (backup dumps,
+    load harnesses) — pin it with {!Snap_pub.acquire} and the writer
+    stays live, falling back to full copies past
+    [publish_max_wait_s]. *)
+val publisher : t -> Snap_pub.t
+
 val stats : t -> stats
 
 (** The [Status_reply] document: a ["server"] section (sessions, commit

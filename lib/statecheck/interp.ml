@@ -22,6 +22,7 @@ module Prov_query = Ivm_prov.Prov_query
 module Monitor = Ivm_monitor.Monitor
 module Vm = Ivm.View_manager
 module Changes = Ivm.Changes
+module Snap_pub = Ivm_serve.Snap_pub
 module Smap = Naive.Smap
 
 (** Deliberate-fault injection, for proving the harness catches bugs and
@@ -40,6 +41,13 @@ type ctx = {
   mutable executed : Cmd.step list;  (** non-skipped steps, reversed *)
   fault : fault option;
   mutable inserts_seen : int;
+  mutable pub : Snap_pub.t option;
+      (** publish mode: an {!Ivm_serve.Snap_pub} kept in lockstep, its
+          published snapshot digest-checked against the live database
+          after every mutating step *)
+  mutable last_track : Changes.collector option;
+      (** the collector threaded through the last [real_apply], consumed
+          by the publish step *)
 }
 
 exception Check_failed of { message : string; trace : Cmd.trace }
@@ -259,7 +267,17 @@ let real_apply ctx (entries : (bool * string * Tuple.t) list) : unit =
   in
   (if entries_real <> [] then
      let changes = changes_of_entries (Vm.program ctx.vm) entries_real in
-     ignore (Vm.apply ctx.vm changes));
+     match ctx.pub with
+     | None -> ignore (Vm.apply ctx.vm changes)
+     | Some _ -> (
+       (* publish mode routes through the server's group-commit path so
+          the commit sites feed the net-change collector *)
+       let track = Changes.collector () in
+       ctx.last_track <- Some track;
+       match Vm.apply_group ~track ctx.vm [ changes ] with
+       | [ Ok _ ] -> ()
+       | [ Error e ] -> failwith e
+       | _ -> assert false));
   Model.apply_batch ctx.model entries;
   (* a durable apply appends exactly one WAL record (even when the batch
      normalizes to nothing); mirror it with the observed extent *)
@@ -330,6 +348,11 @@ let exec (ctx : ctx) (step : Cmd.step) : unit =
           fail ctx "open_durable raised %s" (Printexc.to_string e)
       in
       ctx.vm <- vm;
+      (* the old publisher wraps the dropped manager; re-seed from the
+         recovered one *)
+      (match ctx.pub with
+      | Some _ -> ctx.pub <- Some (Snap_pub.create ~readers:1 vm)
+      | None -> ());
       let expected = Model.open_store m in
       let replayed = List.length recovery.Store.replayed in
       if replayed <> expected then
@@ -414,6 +437,37 @@ let exec (ctx : ctx) (step : Cmd.step) : unit =
       ctx.monitor <- None
     | None -> ())
 
+(** Steps after which the server's writer would publish a snapshot. *)
+let publishes_after = function
+  | Cmd.Insert _ | Cmd.Delete _ | Cmd.Batch _ | Cmd.Add_rule _
+  | Cmd.Del_rule _ | Cmd.Algorithm _ | Cmd.Open | Cmd.Compact -> true
+  | Cmd.Audit | Cmd.Query _ | Cmd.Close | Cmd.Crash _ | Cmd.Prov_on
+  | Cmd.Prov_off | Cmd.Why _ | Cmd.Whynot _ | Cmd.Monitor_start
+  | Cmd.Monitor_stop -> false
+
+(** Publish-mode postcondition: run a publish (tracked when the step was
+    a batch apply, untracked — a counted full-copy fallback — otherwise)
+    and require the published snapshot's canonical digest to equal the
+    live database's.  This is exactly the invariant the server's readers
+    depend on: an incrementally patched shadow is indistinguishable from
+    a [Database.copy]. *)
+let publish_check ctx ~(after : Cmd.step) : unit =
+  match ctx.pub with
+  | None -> ()
+  | Some pub when publishes_after after ->
+    let track = ctx.last_track in
+    ctx.last_track <- None;
+    ignore (Snap_pub.publish ?track pub : Snap_pub.mode);
+    let snap = Snap_pub.acquire pub ~reader:0 in
+    let got = Database.canonical_digest snap in
+    Snap_pub.release pub ~reader:0;
+    let want = Database.canonical_digest (Vm.database ctx.vm) in
+    if got <> want then
+      fail ctx
+        "after %s: published snapshot diverged from live database\n\
+        \  published: %s\n  live:      %s" (Cmd.to_line after) got want
+  | Some _ -> ctx.last_track <- None
+
 (* ------------------------------------------------------------------ *)
 (* Running whole traces                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -437,8 +491,13 @@ type outcome = {
 
 (** Run one trace to completion.  Raises {!Check_failed} (carrying the
     executed prefix) when the real system and the model disagree; any
-    other exception from the real side is wrapped the same way. *)
-let run ?fault (trace : Cmd.trace) : outcome =
+    other exception from the real side is wrapped the same way.
+
+    [publish] additionally keeps an {!Ivm_serve.Snap_pub} in lockstep —
+    batch applies route through {!Vm.apply_group} with a net-change
+    collector, every mutating step publishes, and the published
+    snapshot must digest-equal the live database ({!publish_check}). *)
+let run ?fault ?(publish = false) (trace : Cmd.trace) : outcome =
   let dir = Filename.temp_dir "ivm_statecheck" "" in
   Prov.set_enabled false;
   Prov.reset ();
@@ -464,6 +523,8 @@ let run ?fault (trace : Cmd.trace) : outcome =
       executed = [];
       fault;
       inserts_seen = 0;
+      pub = (if publish then Some (Snap_pub.create ~readers:1 vm) else None);
+      last_track = None;
     }
   in
   let executed = ref 0 and skipped = ref 0 in
@@ -486,6 +547,7 @@ let run ?fault (trace : Cmd.trace) : outcome =
             | e ->
               fail ctx "step %s raised %s" (Cmd.to_line step)
                 (Printexc.to_string e));
+            publish_check ctx ~after:step;
             check ctx ~after:step
           end
           else incr skipped)
@@ -494,8 +556,8 @@ let run ?fault (trace : Cmd.trace) : outcome =
 
 (** [run] as a result, with the failing prefix rendered as a replayable
     script — what the QCheck property and the corpus replayer print. *)
-let run_result ?fault (trace : Cmd.trace) : (outcome, string) result =
-  match run ?fault trace with
+let run_result ?fault ?publish (trace : Cmd.trace) : (outcome, string) result =
+  match run ?fault ?publish trace with
   | outcome -> Ok outcome
   | exception Check_failed { message; trace = prefix } ->
     Error

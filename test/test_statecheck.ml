@@ -21,19 +21,19 @@ let traces_count =
 
 (* ---------------- the lifecycle property ---------------- *)
 
-let lifecycle_prop ?fault trace =
-  match Interp.run_result ?fault trace with
+let lifecycle_prop ?fault ?publish trace =
+  match Interp.run_result ?fault ?publish trace with
   | Ok _ -> true
   | Error msg -> Q.Test.fail_report msg
 
 (** Run [count] generated traces from a fixed [seed]; Alcotest-fail with
     the shrunk counterexample (already printed as trace + script by the
     arbitrary's printer) on any divergence. *)
-let check_lifecycle ?duplicate ?algorithm ~count ~seed name =
+let check_lifecycle ?duplicate ?algorithm ?publish ~count ~seed name =
   let cell =
     Q.Test.make_cell ~count ~name
       (Gen.arbitrary ~min_len:25 ~max_len:40 ?duplicate ?algorithm ())
-      (lifecycle_prop ?fault:None)
+      (lifecycle_prop ?fault:None ?publish)
   in
   let rand = Random.State.make [| seed |] in
   match Q.TestResult.get_state (Q.Test.check_cell ~rand cell) with
@@ -51,6 +51,15 @@ let check_lifecycle ?duplicate ?algorithm ~count ~seed name =
 
 let test_lifecycle () =
   check_lifecycle ~count:traces_count ~seed:0xC0FFEE "statecheck lifecycle"
+
+(** Same traces with the snapshot publisher in lockstep: every mutating
+    step publishes through [Snap_pub] (incrementally patched when the
+    group was tracked, full-copy fallback otherwise) and the published
+    snapshot must digest-equal the live database after each publish. *)
+let test_lifecycle_publish () =
+  check_lifecycle ~publish:true
+    ~count:(max 20 (traces_count / 3))
+    ~seed:0x5EED "statecheck lifecycle+publish"
 
 (* Fixed-seed smokes pinning each algorithm as the initial one (the main
    property also switches algorithms mid-trace). *)
@@ -172,6 +181,8 @@ let suite =
     Alcotest.test_case "generated traces round-trip" `Quick test_round_trip;
     Alcotest.test_case "lifecycle: generated traces, all algorithms" `Slow
       test_lifecycle;
+    Alcotest.test_case "lifecycle: publish equivalence (snap_pub)" `Slow
+      test_lifecycle_publish;
   ]
   @ algorithm_smokes
   @ [
